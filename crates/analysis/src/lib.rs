@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # gdroid-analysis — the data-flow analysis core
+//!
+//! Implements the points-to data-flow analysis whose IDFG construction the
+//! GDroid paper accelerates:
+//!
+//! * [`fact`] — the `(slot, instance)` fact domain and the pre-determined
+//!   per-method pools MAT relies on;
+//! * [`store`] — the set-based fact store (original) and the MAT
+//!   bitmask-matrix store, with the memory accounting behind Fig. 10;
+//! * [`transfer`] — gen/kill transfer functions (`ProcessNode`), shared by
+//!   every solver in the repository;
+//! * [`summary`] — SBDA heap-manipulation summaries;
+//! * [`solver`] — the sequential worklist solver (Alg. 1) and bottom-up
+//!   app driver;
+//! * [`parallel`] — the multithreaded CPU baseline (the paper's
+//!   "multithreading C" Amandroid re-implementation);
+//! * [`costmodel`] — the calibrated CPU timing model (see DESIGN.md for
+//!   why time is modeled rather than measured);
+//! * [`concrete`] — a concrete IR interpreter used as a dynamic soundness
+//!   oracle: every observed runtime points-to must appear in the IDFG;
+//! * [`incremental`] — summary-driven incremental re-analysis across app
+//!   updates (the introduction's "apps update weekly or daily" pressure);
+//! * [`sweep`] — the conventional full-sweep iterative solver (§VI's
+//!   algorithmic baseline), used to quantify the worklist's advantage.
+
+pub mod concrete;
+pub mod costmodel;
+pub mod fact;
+pub mod incremental;
+pub mod parallel;
+pub mod solver;
+pub mod store;
+pub mod summary;
+pub mod sweep;
+pub mod transfer;
+
+pub use concrete::{check_soundness, validate_app, InterpConfig, Interpreter, Violation};
+pub use costmodel::{ns_to_ms, ns_to_s, CpuCostModel};
+pub use fact::{Fact, Instance, InstanceIdx, MethodSpace, Slot, SlotIdx};
+pub use incremental::{analyze_app_incremental, IncrementalStats};
+pub use parallel::analyze_app_parallel;
+pub use solver::{
+    analyze_app, merge_site_summaries, solve_method, AppAnalysis, StoreKind, WorklistTelemetry,
+};
+pub use store::{FactStore, Geometry, MatrixStore, NodeFacts, SetStore, UnionOutcome};
+pub use summary::{derive_summary, MethodSummary, SummaryMap, Token};
+pub use sweep::solve_method_sweep;
+pub use transfer::{CallResolution, TransferCtx, TransferEffort};

@@ -1,0 +1,251 @@
+//! On-disk app bundles.
+//!
+//! A bundle is the repository's stand-in for an `.apk` file: a directory
+//! holding the program as `.jil` text plus a line-oriented
+//! `manifest.txt`. Corpora can be exported once and re-analyzed without
+//! the generator, shared between machines, or inspected by hand.
+//!
+//! ```text
+//! com.gen.app0001/
+//!   app.jil        # the IR (see gdroid-ir::text)
+//!   manifest.txt   # package/category/seed/components/permissions
+//! ```
+
+use crate::app::{App, Category};
+use crate::manifest::{Component, ComponentKind, IntentFilter, Manifest, Permission};
+use gdroid_ir::text::{parse_program, print_program};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serializes a manifest to the `manifest.txt` format.
+pub fn manifest_to_text(app: &App) -> String {
+    let mut out = String::new();
+    writeln!(out, "package {}", app.manifest.package).unwrap();
+    writeln!(out, "category {}", app.category.name()).unwrap();
+    writeln!(out, "seed {}", app.seed).unwrap();
+    for c in &app.manifest.components {
+        let class = app.program.interner.resolve(c.class);
+        let main = if c.intent_filters.iter().any(|f| f.action.ends_with("MAIN")) {
+            " MAIN"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "component {class} {:?} {}{main}",
+            c.kind,
+            if c.exported { "exported" } else { "internal" }
+        )
+        .unwrap();
+    }
+    for p in &app.manifest.permissions {
+        writeln!(out, "permission {}", p.manifest_name()).unwrap();
+    }
+    out
+}
+
+/// Errors from bundle IO/parsing.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// `.jil` parse failure.
+    Jil(gdroid_ir::text::ParseError),
+    /// Malformed manifest line.
+    Manifest(String),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Io(e) => write!(f, "bundle io error: {e}"),
+            BundleError::Jil(e) => write!(f, "bundle jil error: {e}"),
+            BundleError::Manifest(m) => write!(f, "bundle manifest error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<io::Error> for BundleError {
+    fn from(e: io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+/// Writes an app as a bundle directory (created if needed).
+pub fn save_bundle(app: &App, dir: &Path) -> Result<(), BundleError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("app.jil"), print_program(&app.program))?;
+    std::fs::write(dir.join("manifest.txt"), manifest_to_text(app))?;
+    Ok(())
+}
+
+/// Reads a bundle directory back into an [`App`].
+pub fn load_bundle(dir: &Path) -> Result<App, BundleError> {
+    let jil = std::fs::read_to_string(dir.join("app.jil"))?;
+    let program = parse_program(&jil).map_err(BundleError::Jil)?;
+    let manifest_text = std::fs::read_to_string(dir.join("manifest.txt"))?;
+
+    let mut package = String::new();
+    let mut category = Category::Tools;
+    let mut seed = 0u64;
+    let mut components = Vec::new();
+    let mut permissions = Vec::new();
+    for (lineno, line) in manifest_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().unwrap_or_default();
+        let err = |m: &str| BundleError::Manifest(format!("line {}: {m}", lineno + 1));
+        match key {
+            "package" => package = parts.next().ok_or_else(|| err("missing package"))?.into(),
+            "category" => {
+                let name = parts.next().ok_or_else(|| err("missing category"))?;
+                category = Category::ALL
+                    .into_iter()
+                    .find(|c| c.name() == name)
+                    .ok_or_else(|| err("unknown category"))?;
+            }
+            "seed" => {
+                seed = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad seed"))?;
+            }
+            "component" => {
+                let class = parts.next().ok_or_else(|| err("missing class"))?;
+                let kind_s = parts.next().ok_or_else(|| err("missing kind"))?;
+                let kind = ComponentKind::ALL
+                    .into_iter()
+                    .find(|k| format!("{k:?}") == kind_s)
+                    .ok_or_else(|| err("unknown component kind"))?;
+                let exported = parts.next() == Some("exported");
+                let main = parts.next() == Some("MAIN");
+                let class_sym = program
+                    .interner
+                    .get(class)
+                    .ok_or_else(|| err("component class not in program"))?;
+                components.push(Component {
+                    class: class_sym,
+                    kind,
+                    exported,
+                    intent_filters: if main {
+                        vec![IntentFilter { action: "android.intent.action.MAIN".into() }]
+                    } else {
+                        vec![]
+                    },
+                });
+            }
+            "permission" => {
+                let name = parts.next().ok_or_else(|| err("missing permission"))?;
+                let p = Permission::ALL
+                    .into_iter()
+                    .find(|p| p.manifest_name() == name)
+                    .ok_or_else(|| err("unknown permission"))?;
+                permissions.push(p);
+            }
+            other => return Err(err(&format!("unknown key `{other}`"))),
+        }
+    }
+
+    Ok(App {
+        name: package.clone(),
+        category,
+        seed,
+        program,
+        manifest: Manifest { package, components, permissions },
+    })
+}
+
+/// Exports the first `count` apps of a corpus under `root/<package>/`.
+/// Returns the bundle directories written.
+pub fn export_corpus(
+    corpus: &crate::corpus::Corpus,
+    count: usize,
+    root: &Path,
+) -> Result<Vec<std::path::PathBuf>, BundleError> {
+    let mut dirs = Vec::new();
+    for i in 0..count.min(corpus.size) {
+        let app = corpus.generate(i);
+        let dir = root.join(&app.name);
+        save_bundle(&app, &dir)?;
+        dirs.push(dir);
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use crate::corpus::Corpus;
+    use crate::generator::generate_app;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gdroid-bundle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_app() {
+        let app = generate_app(0, 6501, &GenConfig::tiny());
+        let dir = tmpdir("roundtrip");
+        save_bundle(&app, &dir).unwrap();
+        let loaded = load_bundle(&dir).unwrap();
+        assert_eq!(loaded.name, app.name);
+        assert_eq!(loaded.category, app.category);
+        assert_eq!(loaded.seed, app.seed);
+        assert_eq!(loaded.program.methods.len(), app.program.methods.len());
+        assert_eq!(loaded.program.total_statements(), app.program.total_statements());
+        assert_eq!(loaded.manifest.components.len(), app.manifest.components.len());
+        assert_eq!(loaded.manifest.permissions, app.manifest.permissions);
+        // Component classes resolve against the re-parsed interner.
+        for c in &loaded.manifest.components {
+            assert!(loaded.program.class_by_name(c.class).is_some());
+        }
+        // Launcher survives.
+        assert_eq!(loaded.manifest.launcher().is_some(), app.manifest.launcher().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_bundle_analyzes_identically() {
+        use gdroid_ir::validate_program;
+        let app = generate_app(0, 6502, &GenConfig::tiny());
+        let dir = tmpdir("analyze");
+        save_bundle(&app, &dir).unwrap();
+        let loaded = load_bundle(&dir).unwrap();
+        assert!(validate_program(&loaded.program).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_corpus_writes_bundles() {
+        let corpus = Corpus::test_corpus(3);
+        let dir = tmpdir("corpus");
+        let dirs = export_corpus(&corpus, 3, &dir).unwrap();
+        assert_eq!(dirs.len(), 3);
+        for d in &dirs {
+            assert!(d.join("app.jil").exists());
+            assert!(d.join("manifest.txt").exists());
+            load_bundle(d).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_manifest_is_rejected() {
+        let app = generate_app(0, 6503, &GenConfig::tiny());
+        let dir = tmpdir("bad");
+        save_bundle(&app, &dir).unwrap();
+        std::fs::write(dir.join("manifest.txt"), "nonsense line\n").unwrap();
+        let err = load_bundle(&dir).unwrap_err();
+        assert!(matches!(err, BundleError::Manifest(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

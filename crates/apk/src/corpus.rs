@@ -1,0 +1,122 @@
+//! Deterministic app corpora.
+//!
+//! The paper evaluates on 1000 randomly selected Google Play apps. Our
+//! corpus is the synthetic equivalent: `Corpus::paper()` yields 1000 apps
+//! derived from a fixed master seed, so every figure is reproducible
+//! bit-for-bit. Apps are generated on demand (generation is cheap relative
+//! to analysis) and can be generated in any order.
+
+use crate::app::App;
+use crate::config::GenConfig;
+use crate::generator::generate_app;
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The master seed behind the evaluation corpus. Changing this invalidates
+/// EXPERIMENTS.md.
+pub const PAPER_MASTER_SEED: u64 = 0xD401D;
+
+/// Number of apps in the paper-scale corpus.
+pub const PAPER_CORPUS_SIZE: usize = 1000;
+
+/// A corpus description: master seed + size + generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Master seed; per-app seeds derive from it.
+    pub master_seed: u64,
+    /// Number of apps.
+    pub size: usize,
+    /// Generator configuration.
+    pub config: GenConfig,
+}
+
+impl Corpus {
+    /// The full paper-scale corpus (1000 apps, Table I calibration).
+    pub fn paper() -> Self {
+        Self { master_seed: PAPER_MASTER_SEED, size: PAPER_CORPUS_SIZE, config: GenConfig::default() }
+    }
+
+    /// A corpus with the paper's generator profile but a custom size —
+    /// `figures --apps N` uses this for quick runs.
+    pub fn paper_sized(size: usize) -> Self {
+        Self { size, ..Self::paper() }
+    }
+
+    /// A small corpus for tests.
+    pub fn test_corpus(size: usize) -> Self {
+        Self { master_seed: 0xBEEF, size, config: GenConfig::tiny() }
+    }
+
+    /// The seed for app `index`.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        // One PRNG draw per app keeps seeds independent of corpus size.
+        let root = Rng::new(self.master_seed);
+        let mut child = root.derive(index as u64);
+        child.next_u64()
+    }
+
+    /// Generates app `index`.
+    pub fn generate(&self, index: usize) -> App {
+        assert!(index < self.size, "app index {index} out of corpus range {}", self.size);
+        generate_app(index, self.seed_for(index), &self.config)
+    }
+
+    /// Iterates over all apps (generated lazily).
+    pub fn iter(&self) -> impl Iterator<Item = App> + '_ {
+        (0..self.size).map(move |i| self.generate(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let c = Corpus::test_corpus(16);
+        let seeds: Vec<u64> = (0..16).map(|i| c.seed_for(i)).collect();
+        let seeds2: Vec<u64> = (0..16).map(|i| c.seed_for(i)).collect();
+        assert_eq!(seeds, seeds2);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "seed collision");
+    }
+
+    #[test]
+    fn seeds_independent_of_corpus_size() {
+        let small = Corpus::test_corpus(4);
+        let large = Corpus::test_corpus(64);
+        for i in 0..4 {
+            assert_eq!(small.seed_for(i), large.seed_for(i));
+        }
+    }
+
+    #[test]
+    fn generate_out_of_range_panics() {
+        let c = Corpus::test_corpus(2);
+        let result = std::panic::catch_unwind(|| c.generate(5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn paper_corpus_shape() {
+        let c = Corpus::paper();
+        assert_eq!(c.size, 1000);
+        assert_eq!(c.master_seed, PAPER_MASTER_SEED);
+        let sized = Corpus::paper_sized(10);
+        assert_eq!(sized.size, 10);
+        assert_eq!(sized.master_seed, PAPER_MASTER_SEED);
+        // Same seeds as the full corpus → same apps, just fewer.
+        assert_eq!(sized.seed_for(3), c.seed_for(3));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let c = Corpus::test_corpus(3);
+        let apps: Vec<_> = c.iter().collect();
+        assert_eq!(apps.len(), 3);
+        assert_eq!(apps[0].name, "com.gen.app0000");
+        assert_eq!(apps[2].name, "com.gen.app0002");
+    }
+}

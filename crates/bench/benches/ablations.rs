@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * worklist vs the conventional full-sweep iteration (§VI baseline);
+//! * blocks-per-SM co-residency (the auto-tuning axis);
+//! * incremental vs from-scratch re-analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_analysis::{
+    analyze_app, analyze_app_incremental, solve_method, solve_method_sweep, Geometry,
+    MatrixStore, MethodSpace, StoreKind, SummaryMap,
+};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_core::{gpu_analyze_app, OptConfig};
+use gdroid_gpusim::DeviceConfig;
+use gdroid_icfg::{prepare_app, Cfg};
+use gdroid_ir::MethodId;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut app = generate_app(0, 37, &GenConfig::tiny());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+    let methods = cg.reachable_from(&roots);
+    let summaries = SummaryMap::new();
+
+    // --- worklist vs full sweep -----------------------------------------
+    let mut g = c.benchmark_group("ablation_solver");
+    g.sample_size(10);
+    g.bench_function("worklist", |b| {
+        b.iter(|| {
+            for &mid in methods.iter().take(16) {
+                let space = MethodSpace::build(&app.program, mid);
+                let cfg = Cfg::build(&app.program.methods[mid]);
+                let mut store = MatrixStore::new(Geometry::of(&space), cfg.len());
+                solve_method(&app.program, mid, &space, &cfg, &mut store, &summaries, &cg);
+            }
+        });
+    });
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            for &mid in methods.iter().take(16) {
+                let space = MethodSpace::build(&app.program, mid);
+                let cfg = Cfg::build(&app.program.methods[mid]);
+                let mut store = MatrixStore::new(Geometry::of(&space), cfg.len());
+                solve_method_sweep(&app.program, mid, &space, &cfg, &mut store, &summaries, &cg);
+            }
+        });
+    });
+    g.finish();
+
+    // --- blocks/SM co-residency -----------------------------------------
+    let mut g = c.benchmark_group("ablation_blocks_per_sm");
+    g.sample_size(10);
+    for bps in [1usize, 4, 8] {
+        g.bench_function(format!("bps_{bps}"), |b| {
+            let config = DeviceConfig { blocks_per_sm: bps, ..DeviceConfig::tesla_p40() };
+            b.iter(|| gpu_analyze_app(&app.program, &cg, &roots, config, OptConfig::gdroid()));
+        });
+    }
+    g.finish();
+
+    // --- incremental vs full re-analysis ---------------------------------
+    let mut g = c.benchmark_group("ablation_incremental");
+    g.sample_size(10);
+    let prev = analyze_app(&app.program, &cg, &roots, StoreKind::Matrix);
+    g.bench_function("full_reanalysis", |b| {
+        b.iter(|| analyze_app(&app.program, &cg, &roots, StoreKind::Matrix));
+    });
+    g.bench_function("incremental_no_change", |b| {
+        b.iter(|| analyze_app_incremental(&app.program, &cg, &roots, &prev, &[]));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

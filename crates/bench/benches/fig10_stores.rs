@@ -1,0 +1,68 @@
+//! Fig. 10 bench: set-based vs matrix-based fact-store operations — the
+//! micro costs behind the MAT optimization (insert, union, snapshot) and
+//! whole-app runs under each store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_analysis::{analyze_app, Fact, FactStore, Geometry, MatrixStore, NodeFacts, SetStore, StoreKind};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+
+fn bench_stores(c: &mut Criterion) {
+    let g_small = Geometry { slots: 120, insts: 40 };
+    // A representative incoming fact batch.
+    let mut incoming = NodeFacts::empty(g_small);
+    for s in (0..120u16).step_by(3) {
+        for i in (0..40u16).step_by(5) {
+            incoming.set(Fact { slot: s, instance: i });
+        }
+    }
+
+    let mut group = c.benchmark_group("fig10_store_micro");
+    group.bench_function("set_store_union", |b| {
+        b.iter(|| {
+            let mut store = SetStore::new(g_small, 8);
+            for node in 0..8 {
+                store.union_into(node, &incoming);
+            }
+            store.memory_bytes()
+        });
+    });
+    group.bench_function("matrix_store_union", |b| {
+        b.iter(|| {
+            let mut store = MatrixStore::new(g_small, 8);
+            for node in 0..8 {
+                store.union_into(node, &incoming);
+            }
+            store.memory_bytes()
+        });
+    });
+    group.bench_function("set_store_snapshot", |b| {
+        let mut store = SetStore::new(g_small, 1);
+        store.union_into(0, &incoming);
+        b.iter(|| store.snapshot(0));
+    });
+    group.bench_function("matrix_store_snapshot", |b| {
+        let mut store = MatrixStore::new(g_small, 1);
+        store.union_into(0, &incoming);
+        b.iter(|| store.snapshot(0));
+    });
+    group.finish();
+
+    // Whole-app comparisons.
+    let mut app = generate_app(0, 17, &GenConfig::tiny());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+    let mut group = c.benchmark_group("fig10_whole_app");
+    group.sample_size(10);
+    group.bench_function("analyze_set_store", |b| {
+        b.iter(|| analyze_app(&app.program, &cg, &roots, StoreKind::Set));
+    });
+    group.bench_function("analyze_matrix_store", |b| {
+        b.iter(|| analyze_app(&app.program, &cg, &roots, StoreKind::Matrix));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 1 bench: the end-to-end Amandroid-style vetting pipeline whose
+//! breakdown (total vs IDFG-construction) the figure reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_analysis::{analyze_app, StoreKind};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+use gdroid_vetting::{vet_app, Engine};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+
+    g.bench_function("vet_app_amandroid_cpu", |b| {
+        b.iter(|| vet_app(generate_app(0, 7, &GenConfig::tiny()), Engine::AmandroidCpu));
+    });
+
+    // The IDFG-construction stage alone (the 58–96% component).
+    g.bench_function("idfg_construction_only", |b| {
+        let mut app = generate_app(0, 7, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+        b.iter(|| analyze_app(&app.program, &cg, &roots, StoreKind::Set));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

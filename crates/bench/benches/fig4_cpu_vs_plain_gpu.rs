@@ -1,0 +1,34 @@
+//! Fig. 4 bench: the two sides of the plain-GPU-vs-CPU comparison — the
+//! multithreaded CPU solver and the plain GPU kernel simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_analysis::{analyze_app_parallel, StoreKind};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_core::{gpu_analyze_app, OptConfig};
+use gdroid_gpusim::DeviceConfig;
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut app = generate_app(0, 13, &GenConfig::tiny());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+
+    g.bench_function("cpu_multithreaded_set_store", |b| {
+        b.iter(|| analyze_app_parallel(&app.program, &cg, &roots, StoreKind::Set));
+    });
+
+    g.bench_function("gpu_plain_kernel_sim", |b| {
+        b.iter(|| {
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::plain())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figs. 8/9/11/12 bench: the full GDroid optimization ladder on one app —
+//! plain, MAT, MAT+GRP, GDroid — as separate Criterion benchmarks so the
+//! relative simulation costs are tracked over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_core::{gpu_analyze_app, OptConfig};
+use gdroid_gpusim::DeviceConfig;
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut app = generate_app(0, 21, &GenConfig::tiny());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+
+    let mut g = c.benchmark_group("fig8_ladder");
+    g.sample_size(10);
+    for opts in OptConfig::ladder() {
+        g.bench_function(opts.to_string(), |b| {
+            b.iter(|| gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), opts));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

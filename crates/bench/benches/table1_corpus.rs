@@ -1,0 +1,39 @@
+//! Table I bench: corpus generation and dataset-statistics extraction.
+//!
+//! Measures the wall-clock of the substrate behind Table I — generating a
+//! deterministic app and computing its structural statistics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gdroid_apk::{generate_app, AppStats, Corpus, GenConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    g.bench_function("generate_tiny_app", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_app(0, seed, &GenConfig::tiny())
+        });
+    });
+
+    g.bench_function("generate_paper_scale_app", |b| {
+        let corpus = Corpus::paper();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            corpus.generate(i)
+        });
+    });
+
+    g.bench_function("app_stats", |b| {
+        let app = generate_app(0, 42, &GenConfig::small());
+        b.iter_batched(|| &app, AppStats::of, BatchSize::SmallInput);
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

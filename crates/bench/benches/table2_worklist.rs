@@ -1,0 +1,39 @@
+//! Table II bench: worklist machinery — kernel round execution with and
+//! without MER, plus the SBDA layering pass that schedules the blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdroid_apk::{generate_app, GenConfig};
+use gdroid_core::{gpu_analyze_app, OptConfig};
+use gdroid_gpusim::DeviceConfig;
+use gdroid_icfg::{prepare_app, CallLayers};
+use gdroid_ir::MethodId;
+
+fn bench_worklist(c: &mut Criterion) {
+    let mut app = generate_app(0, 29, &GenConfig::tiny());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    g.bench_function("sbda_layering", |b| {
+        b.iter(|| CallLayers::compute(&cg, &roots));
+    });
+
+    g.bench_function("worklist_without_mer", |b| {
+        b.iter(|| {
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::mat_grp())
+        });
+    });
+
+    g.bench_function("worklist_with_mer", |b| {
+        b.iter(|| {
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::gdroid())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_worklist);
+criterion_main!(benches);

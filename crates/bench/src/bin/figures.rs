@@ -1,0 +1,72 @@
+//! `figures` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures <experiment> [--apps N] [--scale S]
+//!
+//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all
+//!   --apps N   analyze the first N corpus apps (default 100; paper: 1000)
+//!   --scale S  generator scale factor (default 1.0 = Table I calibration)
+//! ```
+
+use gdroid_apk::Corpus;
+use gdroid_bench::{experiments, run_corpus};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug> \
+         [--apps N] [--scale S]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].clone();
+    let mut apps = 100usize;
+    let mut scale = 1.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--apps" => {
+                apps = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut corpus = Corpus::paper_sized(apps);
+    corpus.config.scale *= scale;
+
+    eprintln!("analyzing {apps} apps (scale {scale}) across all engines…");
+    let t0 = Instant::now();
+    let records = run_corpus(&corpus, apps);
+    eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    let report = match experiment.as_str() {
+        "table1" => experiments::table1(&records),
+        "fig1" => experiments::fig1(&records),
+        "fig4" => experiments::fig4(&records),
+        "fig8" => experiments::fig8(&records),
+        "fig9" => experiments::fig9(&records),
+        "fig10" => experiments::fig10(&records),
+        "fig11" => experiments::fig11(&records),
+        "fig12" => experiments::fig12(&records),
+        "table2" => experiments::table2(&records),
+        "all" => experiments::all(&records),
+        "debug" => experiments::debug(&records),
+        "multigpu" => experiments::ext_multigpu(&records),
+        "autotune" => experiments::ext_autotune(&records),
+        "csv" => experiments::csv(&records),
+        _ => usage(),
+    };
+    println!("{report}");
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # gdroid-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V) from
+//! the deterministic synthetic corpus. The `figures` binary drives it:
+//!
+//! ```text
+//! cargo run -p gdroid-bench --release --bin figures -- all --apps 1000
+//! ```
+//!
+//! [`run_app`] produces one [`AppRecord`] with every engine's result for
+//! one app; [`experiments`] turns record sets into the paper's reported
+//! aggregates, labeling each with the paper's value for comparison.
+
+pub mod experiments;
+pub mod record;
+pub mod stats;
+
+pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
+pub use stats::{percent_between, percent_below, Series};

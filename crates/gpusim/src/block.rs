@@ -1,0 +1,369 @@
+//! Thread-block execution context: warp-synchronous cost accounting.
+//!
+//! Kernels in this simulator are written *warp-centrically*: for each
+//! worklist round, the kernel builds one [`LaneWork`] descriptor per active
+//! lane and submits warp-sized groups through [`BlockCtx::warp_process`].
+//! The context then charges cycles mechanistically:
+//!
+//! * **branch divergence** — lanes are grouped by their `partition` (the
+//!   branch path they take); distinct groups execute *serially*, exactly
+//!   like a SIMT reconvergence stack. A warp of 25 different statement
+//!   types pays ~25 serialized passes; a GRP-sorted warp pays 1–3.
+//! * **memory coalescing** — each group's reads/writes are collapsed into
+//!   128-byte transactions ([`crate::memory::transactions`]); lanes in
+//!   different divergence groups cannot coalesce with each other.
+//! * **dependent latency** — double-de-reference lanes (`x.f`, `a[i]`)
+//!   pay pointer-chasing latency that other warps cannot hide.
+//! * **dynamic allocation** — `malloc` requests route to the shared
+//!   [`crate::memory::DeviceHeap`] and pay the serialized, contended path.
+
+use crate::config::DeviceConfig;
+use crate::memory::{transactions, DevAddr, DeviceBuffer, DeviceHeap};
+
+/// The work one lane performs in one warp-synchronous step.
+#[derive(Clone, Debug, Default)]
+pub struct LaneWork {
+    /// Branch-path identifier: lanes with equal partitions execute
+    /// together; distinct partitions serialize.
+    pub partition: u32,
+    /// ALU cycles this lane needs.
+    pub compute_cycles: u64,
+    /// Global addresses read.
+    pub reads: Vec<DevAddr>,
+    /// Global addresses written.
+    pub writes: Vec<DevAddr>,
+    /// Dependent de-reference depth (GRP's 0/1/2 classification).
+    pub deref_layers: u32,
+    /// Dynamic allocations requested (byte sizes).
+    pub mallocs: Vec<u64>,
+    /// Useful bytes behind `reads` (for the ideal-coalescing metric).
+    /// When 0, 8 bytes per address are assumed.
+    pub bytes_read: u64,
+    /// Useful bytes behind `writes`.
+    pub bytes_written: u64,
+}
+
+impl LaneWork {
+    /// A lane that only computes.
+    pub fn compute(partition: u32, cycles: u64) -> LaneWork {
+        LaneWork { partition, compute_cycles: cycles, ..Default::default() }
+    }
+}
+
+/// Per-block counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Cycles this block's timeline advanced.
+    pub cycles: u64,
+    /// Warp-synchronous steps executed.
+    pub warp_steps: u64,
+    /// Serialized divergence passes (≥ warp_steps; ratio = divergence).
+    pub divergence_passes: u64,
+    /// Global-memory transactions issued.
+    pub transactions: u64,
+    /// The minimum transactions had every access been perfectly coalesced.
+    pub ideal_transactions: u64,
+    /// Dynamic allocations performed.
+    pub mallocs: u64,
+    /// Cycles spent waiting on the allocator.
+    pub malloc_cycles: u64,
+    /// Cycles of dependent-load latency (hideable by co-resident blocks).
+    pub latency_cycles: u64,
+}
+
+/// Execution context of one thread block.
+pub struct BlockCtx<'a> {
+    config: &'a DeviceConfig,
+    heap: &'a mut DeviceHeap,
+    /// Blocks co-resident on the device during this launch (allocator
+    /// contention factor).
+    resident_blocks: usize,
+    /// Counters.
+    pub stats: BlockStats,
+}
+
+/// Fixed issue overhead per warp-synchronous step.
+const WARP_ISSUE_CYCLES: u64 = 8;
+
+impl<'a> BlockCtx<'a> {
+    /// Creates a context (called by the device launch machinery).
+    pub(crate) fn new(
+        config: &'a DeviceConfig,
+        heap: &'a mut DeviceHeap,
+        resident_blocks: usize,
+    ) -> BlockCtx<'a> {
+        BlockCtx { config, heap, resident_blocks, stats: BlockStats::default() }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        self.config
+    }
+
+    /// Uniform (non-divergent) block-wide compute.
+    pub fn compute(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Executes one warp-synchronous step over ≤ `warp_size` lanes.
+    ///
+    /// Lanes are grouped by `partition`; groups run serially. Within a
+    /// group, compute costs take the max (lockstep), memory accesses
+    /// coalesce, and dependent latency is charged once at the group's
+    /// deepest de-reference level.
+    pub fn warp_process(&mut self, lanes: &[LaneWork]) {
+        assert!(
+            lanes.len() <= self.config.warp_size,
+            "warp_process got {} lanes for warp size {}",
+            lanes.len(),
+            self.config.warp_size
+        );
+        if lanes.is_empty() {
+            return;
+        }
+        self.stats.warp_steps += 1;
+        self.stats.cycles += WARP_ISSUE_CYCLES;
+
+        // Group lanes by partition, preserving deterministic order.
+        let mut partitions: Vec<u32> = lanes.iter().map(|l| l.partition).collect();
+        partitions.sort_unstable();
+        partitions.dedup();
+
+        let mut total_bytes_read_written = 0u64;
+        for &p in &partitions {
+            self.stats.divergence_passes += 1;
+            let group: Vec<&LaneWork> = lanes.iter().filter(|l| l.partition == p).collect();
+
+            // Lockstep compute: the group takes its slowest lane.
+            let compute = group.iter().map(|l| l.compute_cycles).max().unwrap_or(0);
+            self.stats.cycles += compute;
+
+            // Coalescing within the group only.
+            let reads: Vec<DevAddr> =
+                group.iter().flat_map(|l| l.reads.iter().copied()).collect();
+            let writes: Vec<DevAddr> =
+                group.iter().flat_map(|l| l.writes.iter().copied()).collect();
+            let tx = transactions(self.config, &reads) + transactions(self.config, &writes);
+            self.stats.transactions += tx;
+            self.stats.cycles += tx * self.config.transaction_cycles;
+            for l in &group {
+                let br = if l.bytes_read == 0 { l.reads.len() as u64 * 8 } else { l.bytes_read };
+                let bw = if l.bytes_written == 0 {
+                    l.writes.len() as u64 * 8
+                } else {
+                    l.bytes_written
+                };
+                total_bytes_read_written += br + bw;
+            }
+
+            // Dependent de-reference latency (once per serialized pass —
+            // the pointer chase stalls the whole group). Tracked separately
+            // because co-resident blocks can hide it (see Device::pack).
+            let depth = group.iter().map(|l| l.deref_layers).max().unwrap_or(0) as u64;
+            let lat = depth * self.config.dependent_latency_cycles;
+            self.stats.cycles += lat;
+            self.stats.latency_cycles += lat;
+
+            // Dynamic allocations: fully serialized.
+            for lane in &group {
+                for &bytes in &lane.mallocs {
+                    let (_, cost) = self.heap.malloc(self.config, bytes, self.resident_blocks);
+                    self.stats.mallocs += 1;
+                    self.stats.malloc_cycles += cost;
+                    self.stats.cycles += cost;
+                }
+            }
+        }
+
+        // Ideal transaction count: all touched bytes in perfectly packed
+        // 128-byte lines.
+        self.stats.ideal_transactions +=
+            total_bytes_read_written.div_ceil(self.config.transaction_bytes);
+    }
+
+    /// Performs a kernel-side allocation outside lane context (e.g. the
+    /// initial set-chunk allocations of the plain kernel).
+    pub fn malloc(&mut self, bytes: u64) -> DeviceBuffer {
+        let (buf, cost) = self.heap.malloc(self.config, bytes, self.resident_blocks);
+        self.stats.mallocs += 1;
+        self.stats.malloc_cycles += cost;
+        self.stats.cycles += cost;
+        buf
+    }
+
+    /// `__syncthreads()` — a small fixed cost.
+    pub fn sync(&mut self) {
+        self.stats.cycles += 20;
+    }
+
+    /// One warp-synchronous access to shared memory: 32 banks, 4-byte
+    /// words; lanes hitting the same bank at different words serialize.
+    /// Returns the conflict factor (1 = conflict-free).
+    pub fn shared_access(&mut self, addrs: &[u64]) -> u64 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        // Bank = word address modulo 32; conflicts = max lanes per bank
+        // with distinct word addresses (broadcast of the same word is
+        // free).
+        let mut per_bank: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            std::collections::HashMap::new();
+        for &a in addrs {
+            let word = a / 4;
+            per_bank.entry(word % 32).or_default().insert(word);
+        }
+        let conflict = per_bank.values().map(|w| w.len() as u64).max().unwrap_or(1);
+        self.stats.cycles += 2 * conflict;
+        conflict
+    }
+
+    /// Models a block-level sort of `n` keys in shared memory (bitonic):
+    /// used by the GRP optimization's partial worklist sort.
+    pub fn shared_sort(&mut self, n: usize) {
+        if n <= 1 {
+            return;
+        }
+        // Bitonic sort: O(n log² n) comparisons over warp_size lanes.
+        // Key-value bitonic sort in shared memory with bank conflicts:
+        // ~20 cycles per element-pass. This overhead is what makes GRP a
+        // net loss on small worklists (§V-C).
+        let n = n as u64;
+        let log = 64 - n.leading_zeros() as u64;
+        let steps = log * (log + 1) / 2;
+        let per_step = n.div_ceil(self.config.warp_size as u64).max(1) * 26;
+        self.stats.cycles += steps * per_step + 200;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DeviceConfig, DeviceHeap) {
+        (DeviceConfig::tesla_p40(), DeviceHeap::new())
+    }
+
+    #[test]
+    fn uniform_warp_is_single_pass() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let lanes: Vec<LaneWork> = (0..32).map(|_| LaneWork::compute(0, 10)).collect();
+        ctx.warp_process(&lanes);
+        assert_eq!(ctx.stats.divergence_passes, 1);
+        assert_eq!(ctx.stats.warp_steps, 1);
+        assert_eq!(ctx.stats.cycles, WARP_ISSUE_CYCLES + 10);
+    }
+
+    #[test]
+    fn divergent_warp_serializes() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        // 25 partitions → 25 serialized passes of 10 cycles each.
+        let lanes: Vec<LaneWork> = (0..25).map(|i| LaneWork::compute(i, 10)).collect();
+        ctx.warp_process(&lanes);
+        assert_eq!(ctx.stats.divergence_passes, 25);
+        assert_eq!(ctx.stats.cycles, WARP_ISSUE_CYCLES + 25 * 10);
+    }
+
+    #[test]
+    fn coalesced_reads_cost_one_transaction() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let lanes: Vec<LaneWork> = (0..32)
+            .map(|i| LaneWork {
+                partition: 0,
+                reads: vec![0x4000 + i * 4],
+                ..Default::default()
+            })
+            .collect();
+        ctx.warp_process(&lanes);
+        assert_eq!(ctx.stats.transactions, 1);
+        assert_eq!(ctx.stats.ideal_transactions, 2); // 32 lanes x 8 B = 256 B
+    }
+
+    #[test]
+    fn divergence_breaks_coalescing() {
+        let (cfg, mut heap) = setup();
+        // Same addresses, but alternating partitions: two passes, and the
+        // two halves cannot share transactions.
+        let mut c1 = BlockCtx::new(&cfg, &mut heap, 1);
+        let lanes: Vec<LaneWork> = (0..32)
+            .map(|i| LaneWork {
+                partition: (i % 2) as u32,
+                reads: vec![0x4000 + i * 4],
+                ..Default::default()
+            })
+            .collect();
+        c1.warp_process(&lanes);
+        // Each half still touches the same single 128B segment, so 2
+        // transactions vs the uniform warp's 1.
+        assert_eq!(c1.stats.transactions, 2);
+        assert_eq!(c1.stats.divergence_passes, 2);
+    }
+
+    #[test]
+    fn deref_layers_charge_latency() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut lane = LaneWork::compute(0, 0);
+        lane.deref_layers = 2;
+        ctx.warp_process(&[lane]);
+        assert_eq!(
+            ctx.stats.cycles,
+            WARP_ISSUE_CYCLES + 2 * cfg.dependent_latency_cycles
+        );
+    }
+
+    #[test]
+    fn mallocs_are_expensive_and_contended() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 60);
+        let mut lane = LaneWork::compute(0, 0);
+        lane.mallocs = vec![256];
+        ctx.warp_process(&[lane]);
+        assert_eq!(ctx.stats.mallocs, 1);
+        // Contention is clamped to [12, 44] contenders.
+        assert_eq!(ctx.stats.malloc_cycles, cfg.malloc_cycles * 44);
+        assert!(ctx.stats.cycles >= cfg.malloc_cycles * 44);
+    }
+
+    #[test]
+    fn shared_access_models_bank_conflicts() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        // 32 consecutive words: one per bank, conflict-free.
+        let clean: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(ctx.shared_access(&clean), 1);
+        // All lanes read the SAME word: broadcast, conflict-free.
+        let broadcast = vec![128u64; 32];
+        assert_eq!(ctx.shared_access(&broadcast), 1);
+        // 32 words with stride 32 words: all in bank 0 → 32-way conflict.
+        let conflicted: Vec<u64> = (0..32).map(|i| i * 32 * 4).collect();
+        assert_eq!(ctx.shared_access(&conflicted), 32);
+        assert_eq!(ctx.shared_access(&[]), 0);
+    }
+
+    #[test]
+    fn shared_sort_scales_superlinearly() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        ctx.shared_sort(8);
+        let small = ctx.stats.cycles;
+        let mut ctx2 = BlockCtx::new(&cfg, &mut heap, 1);
+        ctx2.shared_sort(256);
+        assert!(ctx2.stats.cycles > small * 2);
+        // Sorting nothing is free.
+        let mut ctx3 = BlockCtx::new(&cfg, &mut heap, 1);
+        ctx3.shared_sort(1);
+        assert_eq!(ctx3.stats.cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp_process got")]
+    fn oversized_warp_panics() {
+        let (cfg, mut heap) = setup();
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let lanes: Vec<LaneWork> = (0..33).map(|_| LaneWork::compute(0, 1)).collect();
+        ctx.warp_process(&lanes);
+    }
+}

@@ -1,0 +1,300 @@
+//! The device: block scheduling and kernel launches.
+//!
+//! A launch takes one closure per thread block (the paper's mapping: one
+//! method per block). Blocks execute functionally in order — the
+//! simulation is deterministic and single-threaded — and their *timelines*
+//! are then packed onto the device's concurrent block slots
+//! (`SMs × blocks-per-SM`) with greedy earliest-finish scheduling, exactly
+//! how a hardware work distributor assigns blocks as SMs drain. The
+//! makespan of the packing is the kernel's execution time; workload
+//! imbalance across methods shows up as slot idle time.
+
+use crate::block::{BlockCtx, BlockStats};
+use crate::config::DeviceConfig;
+use crate::memory::{AddressSpace, DeviceBuffer, DeviceHeap};
+
+/// The simulated GPU.
+pub struct Device {
+    /// Architectural constants.
+    pub config: DeviceConfig,
+    /// cudaMalloc-style planned allocations.
+    pub address_space: AddressSpace,
+    /// Kernel-side dynamic heap (shared across all blocks).
+    pub heap: DeviceHeap,
+}
+
+/// Aggregated result of one kernel launch.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Blocks launched.
+    pub blocks: usize,
+    /// Makespan in device cycles (including launch overhead).
+    pub makespan_cycles: u64,
+    /// Sum of all block cycles (the work; makespan ≥ work / slots).
+    pub total_block_cycles: u64,
+    /// Busy-slot utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Warp steps across all blocks.
+    pub warp_steps: u64,
+    /// Divergence passes across all blocks.
+    pub divergence_passes: u64,
+    /// Memory transactions across all blocks.
+    pub transactions: u64,
+    /// Ideal (perfectly coalesced) transaction count.
+    pub ideal_transactions: u64,
+    /// Dynamic allocations.
+    pub mallocs: u64,
+    /// Cycles spent in the allocator.
+    pub malloc_cycles: u64,
+    /// Per-block schedule: `(slot, start_cycle, end_cycle)` in launch
+    /// order — the raw material for occupancy timelines.
+    pub schedule: Vec<(u32, u64, u64)>,
+}
+
+impl KernelStats {
+    /// Mean serialized passes per warp step (1.0 = divergence-free).
+    pub fn divergence_factor(&self) -> f64 {
+        if self.warp_steps == 0 {
+            return 1.0;
+        }
+        self.divergence_passes as f64 / self.warp_steps as f64
+    }
+
+    /// Achieved coalescing efficiency (ideal / actual, 1.0 = perfect).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.transactions == 0 {
+            return 1.0;
+        }
+        (self.ideal_transactions as f64 / self.transactions as f64).min(1.0)
+    }
+
+    /// Execution time in nanoseconds at the device clock.
+    pub fn time_ns(&self, config: &DeviceConfig) -> f64 {
+        config.cycles_to_ns(self.makespan_cycles) + config.launch_overhead_us * 1e3
+    }
+
+    /// Renders an ASCII occupancy timeline: one row per busy slot, `#`
+    /// where a block ran, `.` where the slot idled — the view a profiler's
+    /// kernel timeline gives. `width` is the number of character columns.
+    pub fn occupancy_chart(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.makespan_cycles == 0 || self.schedule.is_empty() {
+            return "(empty launch)\n".into();
+        }
+        let slots = self.schedule.iter().map(|&(s, _, _)| s).max().unwrap_or(0) as usize + 1;
+        let scale = self.makespan_cycles as f64 / width.max(1) as f64;
+        for slot in 0..slots {
+            let mut row = vec![b'.'; width];
+            for &(s, start, end) in &self.schedule {
+                if s as usize != slot {
+                    continue;
+                }
+                let from = (start as f64 / scale) as usize;
+                let to = ((end as f64 / scale) as usize).min(width.saturating_sub(1));
+                for c in row.iter_mut().take(to + 1).skip(from.min(width - 1)) {
+                    *c = b'#';
+                }
+            }
+            writeln!(out, "slot {slot:3} |{}|", String::from_utf8(row).unwrap()).unwrap();
+        }
+        out
+    }
+}
+
+impl Device {
+    /// A fresh device.
+    pub fn new(config: DeviceConfig) -> Device {
+        Device { address_space: AddressSpace::new(&config), heap: DeviceHeap::new(), config }
+    }
+
+    /// Plans a buffer (host-side `cudaMalloc`).
+    pub fn alloc(&mut self, len: u64) -> DeviceBuffer {
+        self.address_space.alloc(len)
+    }
+
+    /// Launches a kernel: one closure per block. Returns the aggregated
+    /// stats with the packed makespan.
+    pub fn launch<F>(&mut self, blocks: Vec<F>) -> KernelStats
+    where
+        F: FnOnce(&mut BlockCtx<'_>),
+    {
+        let n = blocks.len();
+        let resident = n.min(self.config.block_slots()).max(1);
+        let mut per_block: Vec<BlockStats> = Vec::with_capacity(n);
+        for f in blocks {
+            let mut ctx = BlockCtx::new(&self.config, &mut self.heap, resident);
+            f(&mut ctx);
+            per_block.push(ctx.stats);
+        }
+        self.pack(per_block)
+    }
+
+    /// Packs finished block timelines onto slots and aggregates stats.
+    ///
+    /// Co-residency trade-off: with `k = blocks_per_sm`, the warp
+    /// scheduler can switch to another block's warps during dependent-load
+    /// stalls (latency divided by `min(k, 6)`), but co-resident blocks
+    /// share the SM's issue/cache resources (non-latency cycles dilated by
+    /// `1 + 0.06·(k−1)`). The optimum lands at the paper's empirical 4–5
+    /// blocks/SM for typical layer widths.
+    fn pack(&self, per_block: Vec<BlockStats>) -> KernelStats {
+        let k = self.config.blocks_per_sm.max(1) as u64;
+        let dilation_num = 100 + 6 * (k - 1);
+        let hide = k.min(6);
+        let effective = |b: &BlockStats| -> u64 {
+            let non_latency = b.cycles.saturating_sub(b.latency_cycles);
+            non_latency * dilation_num / 100 + b.latency_cycles / hide
+        };
+        let slots = self.config.block_slots().max(1);
+        let mut slot_end = vec![0u64; slots.min(per_block.len().max(1))];
+        let mut stats = KernelStats { blocks: per_block.len(), ..Default::default() };
+        for b in &per_block {
+            stats.total_block_cycles += b.cycles;
+            stats.warp_steps += b.warp_steps;
+            stats.divergence_passes += b.divergence_passes;
+            stats.transactions += b.transactions;
+            stats.ideal_transactions += b.ideal_transactions;
+            stats.mallocs += b.mallocs;
+            stats.malloc_cycles += b.malloc_cycles;
+            // Greedy: next block goes to the earliest-finishing slot.
+            let (idx, _) = slot_end
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &end)| end)
+                .expect("at least one slot");
+            let start = slot_end[idx];
+            slot_end[idx] += effective(b);
+            stats.schedule.push((idx as u32, start, slot_end[idx]));
+        }
+        stats.makespan_cycles = slot_end.iter().copied().max().unwrap_or(0);
+        let busy: u64 = stats.total_block_cycles;
+        let span = stats.makespan_cycles * slot_end.len() as u64;
+        stats.utilization = if span == 0 { 1.0 } else { busy as f64 / span as f64 };
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::LaneWork;
+
+    /// A tiny config with one block per SM: no co-residency effects, so
+    /// cycle arithmetic in tests stays exact.
+    fn flat_config() -> DeviceConfig {
+        DeviceConfig { blocks_per_sm: 1, sm_count: 4, ..DeviceConfig::tesla_p40() }
+    }
+
+    #[test]
+    fn launch_packs_blocks_across_slots() {
+        let mut dev = Device::new(flat_config()); // 4 slots
+        // 8 equal blocks of 100 cycles → 2 rounds → makespan 200.
+        let blocks: Vec<_> = (0..8)
+            .map(|_| {
+                |ctx: &mut BlockCtx<'_>| {
+                    ctx.compute(100);
+                }
+            })
+            .collect();
+        let stats = dev.launch(blocks);
+        assert_eq!(stats.blocks, 8);
+        assert_eq!(stats.total_block_cycles, 800);
+        assert_eq!(stats.makespan_cycles, 200);
+        assert!((stats.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn co_residency_dilates_compute_but_hides_latency() {
+        // Pure-compute block: higher blocks/SM dilates it.
+        let mut one = Device::new(DeviceConfig { blocks_per_sm: 1, ..DeviceConfig::tesla_p40() });
+        let mut four = Device::new(DeviceConfig { blocks_per_sm: 4, ..DeviceConfig::tesla_p40() });
+        let compute = |ctx: &mut BlockCtx<'_>| ctx.compute(1000);
+        assert!(four.launch(vec![compute]).makespan_cycles > one.launch(vec![compute]).makespan_cycles);
+        // Latency-dominated block: higher blocks/SM hides the stalls.
+        let latency = |ctx: &mut BlockCtx<'_>| {
+            let mut lane = LaneWork::compute(0, 0);
+            lane.deref_layers = 2;
+            for _ in 0..50 {
+                ctx.warp_process(std::slice::from_ref(&lane));
+            }
+        };
+        let mut one = Device::new(DeviceConfig { blocks_per_sm: 1, ..DeviceConfig::tesla_p40() });
+        let mut four = Device::new(DeviceConfig { blocks_per_sm: 4, ..DeviceConfig::tesla_p40() });
+        assert!(four.launch(vec![latency]).makespan_cycles < one.launch(vec![latency]).makespan_cycles);
+    }
+
+    #[test]
+    fn imbalance_shows_in_makespan() {
+        let mut dev = Device::new(flat_config()); // 4 slots
+        // One huge block dominates.
+        let mut blocks: Vec<Box<dyn FnOnce(&mut BlockCtx<'_>)>> = Vec::new();
+        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000)));
+        for _ in 0..3 {
+            blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(10)));
+        }
+        let stats = dev.launch(blocks);
+        assert_eq!(stats.makespan_cycles, 1000);
+        assert!(stats.utilization < 0.3);
+    }
+
+    #[test]
+    fn fewer_blocks_than_slots_uses_block_count() {
+        let mut dev = Device::new(flat_config());
+        let stats = dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(50)]);
+        assert_eq!(stats.makespan_cycles, 50);
+        assert!((stats.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_aggregate_block_counters() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let stats = dev.launch(vec![
+            |ctx: &mut BlockCtx<'_>| {
+                let lanes: Vec<LaneWork> = (0..4).map(|i| LaneWork::compute(i, 5)).collect();
+                ctx.warp_process(&lanes);
+            },
+            |ctx: &mut BlockCtx<'_>| {
+                ctx.malloc(64);
+            },
+        ]);
+        assert_eq!(stats.warp_steps, 1);
+        assert_eq!(stats.divergence_passes, 4);
+        assert_eq!(stats.mallocs, 1);
+        assert!(stats.divergence_factor() > 3.9);
+    }
+
+    #[test]
+    fn occupancy_chart_shows_busy_and_idle() {
+        let mut dev = Device::new(flat_config()); // 4 slots
+        let mut blocks: Vec<Box<dyn FnOnce(&mut BlockCtx<'_>)>> = Vec::new();
+        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000)));
+        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(100)));
+        let stats = dev.launch(blocks);
+        let chart = stats.occupancy_chart(40);
+        assert_eq!(chart.lines().count(), 2, "two busy slots");
+        assert!(chart.contains('#'));
+        assert!(chart.contains('.'), "short block's slot must show idle time");
+        // The long block's row is denser than the short one's.
+        let rows: Vec<&str> = chart.lines().collect();
+        let dense = rows[0].matches('#').count();
+        let sparse = rows[1].matches('#').count();
+        assert!(dense > sparse);
+    }
+
+    #[test]
+    fn empty_launch_is_zero() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let stats = dev.launch(Vec::<fn(&mut BlockCtx<'_>)>::new());
+        assert_eq!(stats.makespan_cycles, 0);
+        assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn time_includes_launch_overhead() {
+        let dev_cfg = DeviceConfig::tesla_p40();
+        let stats = KernelStats { makespan_cycles: 1303, ..Default::default() };
+        let t = stats.time_ns(&dev_cfg);
+        assert!(t > 1000.0 + 4999.0, "{t}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The inter-procedural CFG of one component.
+//!
+//! `IDFG(EC) ≡ ((N, E), {fact(n) | n ∈ N})` — equation (1) of the paper.
+//! This module materializes `(N, E)`: the union of the intra-procedural
+//! CFGs of all methods reachable from the component's environment method,
+//! plus call edges (call node → callee entry) and return edges (callee
+//! exit → call node's intra-procedural successors).
+
+use crate::callgraph::{CallGraph, CallTarget};
+use crate::cfg::{Cfg, NodeId};
+use crate::env::EnvironmentInfo;
+use crate::layers::CallLayers;
+use gdroid_ir::{MethodId, Program, StmtIdx};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node reference in a component ICFG: method + intra-procedural node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IcfgNodeRef {
+    /// Owning method.
+    pub method: MethodId,
+    /// Node inside that method's CFG.
+    pub node: NodeId,
+}
+
+/// The assembled ICFG for one component.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComponentIcfg {
+    /// The environment method this ICFG is rooted at.
+    pub root: MethodId,
+    /// Reachable methods, in discovery order.
+    pub methods: Vec<MethodId>,
+    /// Intra-procedural CFGs, keyed by method.
+    pub cfgs: HashMap<MethodId, Cfg>,
+    /// Call edges: call node → callee entries.
+    pub call_edges: HashMap<IcfgNodeRef, Vec<IcfgNodeRef>>,
+    /// Return edges: callee exit → return-site nodes.
+    pub return_edges: HashMap<IcfgNodeRef, Vec<IcfgNodeRef>>,
+    /// The SBDA schedule for the reachable methods.
+    pub layers: CallLayers,
+}
+
+impl ComponentIcfg {
+    /// Builds the ICFG rooted at one environment.
+    pub fn build(program: &Program, cg: &CallGraph, env: &EnvironmentInfo) -> ComponentIcfg {
+        let methods = cg.reachable_from(&[env.method]);
+        let mut cfgs = HashMap::with_capacity(methods.len());
+        for &m in &methods {
+            cfgs.insert(m, Cfg::build(&program.methods[m]));
+        }
+
+        let mut call_edges: HashMap<IcfgNodeRef, Vec<IcfgNodeRef>> = HashMap::new();
+        let mut return_edges: HashMap<IcfgNodeRef, Vec<IcfgNodeRef>> = HashMap::new();
+        for &m in &methods {
+            let cfg = &cfgs[&m];
+            for (idx, stmt) in program.methods[m].body.iter_enumerated() {
+                if !stmt.is_call() {
+                    continue;
+                }
+                let Some(CallTarget::Internal(targets)) = cg.site(m, idx) else { continue };
+                let call_node = IcfgNodeRef { method: m, node: cfg.node_of(idx) };
+                for &callee in targets {
+                    let callee_cfg = &cfgs[&callee];
+                    call_edges
+                        .entry(call_node)
+                        .or_default()
+                        .push(IcfgNodeRef { method: callee, node: callee_cfg.entry() });
+                    let exit = IcfgNodeRef { method: callee, node: callee_cfg.exit() };
+                    // Return flows to the call's intra-procedural successors.
+                    for &succ in cfg.succ(call_node.node) {
+                        return_edges
+                            .entry(exit)
+                            .or_default()
+                            .push(IcfgNodeRef { method: m, node: succ });
+                    }
+                }
+            }
+        }
+
+        let layers = CallLayers::compute(cg, &[env.method]);
+        ComponentIcfg { root: env.method, methods, cfgs, call_edges, return_edges, layers }
+    }
+
+    /// Total node count (statement + entry/exit nodes of every method).
+    pub fn node_count(&self) -> usize {
+        self.cfgs.values().map(Cfg::len).sum()
+    }
+
+    /// Statement-node count — the paper's "CFG nodes" metric.
+    pub fn stmt_node_count(&self) -> usize {
+        self.cfgs.values().map(Cfg::stmt_count).sum()
+    }
+
+    /// Intra-procedural edge count plus call/return edges.
+    pub fn edge_count(&self) -> usize {
+        let intra: usize = self.cfgs.values().map(|c| c.succs.iter().map(Vec::len).sum::<usize>()).sum();
+        let call: usize = self.call_edges.values().map(Vec::len).sum();
+        let ret: usize = self.return_edges.values().map(Vec::len).sum();
+        intra + call + ret
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// The statement of an ICFG node, if it is a statement node.
+    pub fn stmt_of(&self, node: IcfgNodeRef) -> Option<StmtIdx> {
+        self.cfgs[&node.method].stmt_of(node.node)
+    }
+}
+
+/// Builds the ICFGs of every component of a prepared app.
+pub fn build_all(
+    program: &Program,
+    cg: &CallGraph,
+    envs: &[EnvironmentInfo],
+) -> Vec<ComponentIcfg> {
+    envs.iter().map(|e| ComponentIcfg::build(program, cg, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::prepare_app;
+    use gdroid_apk::{generate_app, GenConfig};
+
+    fn build_first(seed: u64) -> (gdroid_apk::App, ComponentIcfg) {
+        let mut app = generate_app(0, seed, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let icfg = ComponentIcfg::build(&app.program, &cg, &envs[0]);
+        (app, icfg)
+    }
+
+    #[test]
+    fn icfg_includes_root_and_callbacks() {
+        let (_, icfg) = build_first(100);
+        assert!(icfg.methods.contains(&icfg.root));
+        assert!(icfg.method_count() >= 2);
+        assert!(icfg.node_count() > icfg.stmt_node_count());
+        assert_eq!(
+            icfg.node_count() - icfg.stmt_node_count(),
+            2 * icfg.method_count(),
+            "every method contributes exactly one entry and one exit"
+        );
+    }
+
+    #[test]
+    fn call_edges_target_entries_and_returns_target_successors() {
+        let (_, icfg) = build_first(101);
+        assert!(!icfg.call_edges.is_empty(), "environment must call callbacks");
+        for (call, entries) in &icfg.call_edges {
+            let cfg = &icfg.cfgs[&call.method];
+            assert!(cfg.stmt_of(call.node).is_some(), "call edge from non-stmt node");
+            for e in entries {
+                assert_eq!(e.node, icfg.cfgs[&e.method].entry());
+            }
+        }
+        for (exit, sites) in &icfg.return_edges {
+            assert_eq!(exit.node, icfg.cfgs[&exit.method].exit());
+            assert!(!sites.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_call_edge_has_matching_return_edge() {
+        let (_, icfg) = build_first(102);
+        for (call, entries) in &icfg.call_edges {
+            for e in entries {
+                let exit = IcfgNodeRef {
+                    method: e.method,
+                    node: icfg.cfgs[&e.method].exit(),
+                };
+                let rets = icfg.return_edges.get(&exit).expect("missing return edge");
+                assert!(rets.iter().any(|r| r.method == call.method));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_is_positive_and_bounded() {
+        let (_, icfg) = build_first(103);
+        let e = icfg.edge_count();
+        assert!(e > icfg.stmt_node_count(), "fewer edges than statements");
+        // CFGs are sparse: max out-degree is bounded by switch fan-out.
+        assert!(e < icfg.node_count() * 8);
+    }
+
+    #[test]
+    fn build_all_gives_one_icfg_per_component() {
+        let mut app = generate_app(1, 104, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let icfgs = build_all(&app.program, &cg, &envs);
+        assert_eq!(icfgs.len(), envs.len());
+        for (icfg, env) in icfgs.iter().zip(&envs) {
+            assert_eq!(icfg.root, env.method);
+        }
+    }
+}

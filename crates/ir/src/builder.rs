@@ -1,0 +1,341 @@
+//! Fluent builders for programs, classes, and method bodies.
+//!
+//! The synthetic app generator (`gdroid-apk`) and the hand-written test
+//! fixtures both construct IR through this API, so well-formedness
+//! conventions (e.g. `this` is always `v0` of instance methods) are encoded
+//! once, here.
+
+use crate::idx::{ClassId, FieldId, IndexVec, MethodId, StmtIdx, Symbol, VarId};
+use crate::method::{Method, MethodKind, ParamDecl, Signature, VarDecl, Visibility};
+use crate::program::{ClassDef, FieldDef, Program};
+use crate::stmt::Stmt;
+use crate::types::JType;
+
+/// Builds a [`Program`] incrementally.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates a fresh builder with an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resumes building on top of an existing program — used by the
+    /// environment synthesizer, which adds methods to already-generated
+    /// apps.
+    pub fn from_program(program: Program) -> Self {
+        Self { program }
+    }
+
+    /// Interns a string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.program.interner.intern(s)
+    }
+
+    /// Starts a class. `superclass` must already exist if given by name.
+    pub fn class(&mut self, name: &str) -> ClassBuilder<'_> {
+        let name = self.intern(name);
+        ClassBuilder { pb: self, name, superclass: None, is_interface: false }
+    }
+
+    /// Looks up a previously added class.
+    pub fn find_class(&self, name: Symbol) -> Option<ClassId> {
+        self.program.class_by_name(name)
+    }
+
+    /// Adds a field to an existing class, returning its id.
+    pub fn field(&mut self, class: ClassId, name: &str, ty: JType, is_static: bool) -> FieldId {
+        let name = self.intern(name);
+        let fid = self.program.fields.push(FieldDef { class, name, ty, is_static });
+        self.program.classes[class].fields.push(fid);
+        fid
+    }
+
+    /// Starts a method on an existing class.
+    pub fn method(&mut self, class: ClassId, name: &str) -> MethodBuilder<'_> {
+        let name_sym = self.intern(name);
+        let class_name = self.program.classes[class].name;
+        MethodBuilder {
+            pb: self,
+            class,
+            sig: Signature::new(class_name, name_sym, Vec::new(), JType::Void),
+            kind: MethodKind::Instance,
+            visibility: Visibility::Public,
+            this_var: None,
+            params: Vec::new(),
+            vars: IndexVec::new(),
+            body: IndexVec::new(),
+            auto_this: true,
+        }
+    }
+
+    /// Finishes, returning the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Read-only access to the program under construction.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Builds one class.
+pub struct ClassBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    name: Symbol,
+    superclass: Option<ClassId>,
+    is_interface: bool,
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// Sets the superclass (by id).
+    pub fn extends(mut self, superclass: ClassId) -> Self {
+        self.superclass = Some(superclass);
+        self
+    }
+
+    /// Marks the class as an interface.
+    pub fn interface(mut self) -> Self {
+        self.is_interface = true;
+        self
+    }
+
+    /// Finalizes the class and returns its id.
+    pub fn build(self) -> ClassId {
+        let id = self.pb.program.classes.push(ClassDef {
+            name: self.name,
+            superclass: self.superclass,
+            fields: Vec::new(),
+            methods: Vec::new(),
+            is_interface: self.is_interface,
+        });
+        self.pb.program.index_class(id);
+        id
+    }
+}
+
+/// Builds one method body.
+pub struct MethodBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    class: ClassId,
+    sig: Signature,
+    kind: MethodKind,
+    visibility: Visibility,
+    this_var: Option<VarId>,
+    params: Vec<ParamDecl>,
+    vars: IndexVec<VarId, VarDecl>,
+    body: IndexVec<StmtIdx, Stmt>,
+    auto_this: bool,
+}
+
+impl<'a> MethodBuilder<'a> {
+    /// Sets the method kind. `Static` suppresses the implicit `this`.
+    pub fn kind(mut self, kind: MethodKind) -> Self {
+        self.kind = kind;
+        if matches!(kind, MethodKind::Static | MethodKind::Environment) {
+            self.auto_this = false;
+        }
+        self
+    }
+
+    /// Sets visibility.
+    pub fn visibility(mut self, v: Visibility) -> Self {
+        self.visibility = v;
+        self
+    }
+
+    /// Sets the return type.
+    pub fn returns(mut self, ty: JType) -> Self {
+        self.sig.ret = ty;
+        self
+    }
+
+    /// Sets the return type without consuming the builder (for use after
+    /// body generation has started).
+    pub fn set_returns(&mut self, ty: JType) {
+        self.sig.ret = ty;
+    }
+
+    /// Interns a string via the underlying program builder.
+    pub fn intern(&mut self, s: &str) -> crate::idx::Symbol {
+        self.pb.intern(s)
+    }
+
+    /// Read access to the program under construction (classes declared so
+    /// far, etc.).
+    pub fn pb_program(&self) -> &crate::program::Program {
+        self.pb.program()
+    }
+
+    /// Replaces a previously appended `Switch` statement wholesale — used
+    /// by generators that know the case targets only after emitting the
+    /// case blocks.
+    pub fn replace_switch(
+        &mut self,
+        at: StmtIdx,
+        var: VarId,
+        targets: Vec<StmtIdx>,
+        default: StmtIdx,
+    ) {
+        match &self.body[at] {
+            Stmt::Switch { .. } => {
+                self.body[at] = Stmt::Switch { var, targets, default };
+            }
+            other => panic!("replace_switch on {:?}", other.kind()),
+        }
+    }
+
+    fn ensure_this(&mut self) {
+        if self.auto_this && self.this_var.is_none() {
+            let name = self.pb.intern("this");
+            let class_name = self.pb.program.classes[self.class].name;
+            let v = self.vars.push(VarDecl { name, ty: JType::Object(class_name) });
+            self.this_var = Some(v);
+        }
+    }
+
+    /// Declares a parameter; returns its variable.
+    pub fn param(&mut self, name: &str, ty: JType) -> VarId {
+        self.ensure_this();
+        let name = self.pb.intern(name);
+        let v = self.vars.push(VarDecl { name, ty });
+        self.params.push(ParamDecl { var: v, ty });
+        self.sig.params.push(ty);
+        v
+    }
+
+    /// Declares a local variable; returns its id.
+    pub fn local(&mut self, name: &str, ty: JType) -> VarId {
+        self.ensure_this();
+        let name = self.pb.intern(name);
+        self.vars.push(VarDecl { name, ty })
+    }
+
+    /// The receiver variable, declaring it if needed.
+    pub fn this(&mut self) -> VarId {
+        self.ensure_this();
+        self.this_var.expect("static methods have no `this`")
+    }
+
+    /// Appends a statement; returns its index.
+    pub fn stmt(&mut self, s: Stmt) -> StmtIdx {
+        self.ensure_this();
+        self.body.push(s)
+    }
+
+    /// Index that the *next* appended statement will get — for forward
+    /// branch targets.
+    pub fn next_idx(&self) -> StmtIdx {
+        StmtIdx::new(self.body.len())
+    }
+
+    /// Patches a previously appended `Goto`/`If` statement's target.
+    pub fn patch_target(&mut self, at: StmtIdx, target: StmtIdx) {
+        match &mut self.body[at] {
+            Stmt::Goto { target: t } | Stmt::If { target: t, .. } => *t = target,
+            Stmt::Switch { default, .. } => *default = target,
+            other => panic!("cannot patch target of {:?}", other.kind()),
+        }
+    }
+
+    /// Finalizes the method, registering it on its class; returns its id.
+    pub fn build(mut self) -> MethodId {
+        self.ensure_this();
+        let method = Method {
+            sig: self.sig,
+            kind: self.kind,
+            visibility: self.visibility,
+            this_var: self.this_var,
+            params: self.params,
+            vars: self.vars,
+            body: self.body,
+        };
+        let mid = self.pb.program.methods.push(method);
+        self.pb.program.classes[self.class].methods.push(mid);
+        self.pb.program.index_method(mid);
+        mid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::stmt::Lhs;
+
+    #[test]
+    fn builds_class_with_method() {
+        let mut pb = ProgramBuilder::new();
+        let obj = pb.class("java/lang/Object").build();
+        let cls = pb.class("com/example/A").extends(obj).build();
+        let f = pb.field(cls, "data", JType::Object(pb.program().classes[obj].name), false);
+
+        let mut mb = pb.method(cls, "run");
+        let this = mb.this();
+        let tmp = mb.local("tmp", JType::Object(Symbol(0)));
+        mb.stmt(Stmt::Assign { lhs: Lhs::Var(tmp), rhs: Expr::Access { base: this, field: f } });
+        mb.stmt(Stmt::Return { var: None });
+        let mid = mb.build();
+
+        let p = pb.finish();
+        assert_eq!(p.classes.len(), 2);
+        assert_eq!(p.methods.len(), 1);
+        let m = &p.methods[mid];
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.this_var, Some(VarId(0)));
+        assert_eq!(m.var_count(), 2);
+        assert!(p.method_by_sig(&m.sig).is_some());
+    }
+
+    #[test]
+    fn static_method_has_no_this() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("com/example/B").build();
+        let mut mb = pb.method(cls, "main").kind(MethodKind::Static);
+        let p0 = mb.param("args", JType::Int);
+        mb.stmt(Stmt::Return { var: None });
+        let mid = mb.build();
+        let p = pb.finish();
+        let m = &p.methods[mid];
+        assert_eq!(m.this_var, None);
+        assert_eq!(p0, VarId(0));
+        assert_eq!(m.sig.params, vec![JType::Int]);
+    }
+
+    #[test]
+    fn forward_patching() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("com/example/C").build();
+        let mut mb = pb.method(cls, "loopy").kind(MethodKind::Static);
+        let c = mb.local("c", JType::Int);
+        let g = mb.stmt(Stmt::If { cond: c, target: StmtIdx(0) });
+        mb.stmt(Stmt::Empty);
+        let end = mb.next_idx();
+        mb.patch_target(g, end);
+        mb.stmt(Stmt::Return { var: None });
+        let mid = mb.build();
+        let p = pb.finish();
+        match &p.methods[mid].body[g] {
+            Stmt::If { target, .. } => assert_eq!(*target, end),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn resolve_walks_superclass_chain() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        let derived = pb.class("Derived").extends(base).build();
+        let mut mb = pb.method(base, "m");
+        mb.stmt(Stmt::Return { var: None });
+        let base_m = mb.build();
+        let p = pb.finish();
+        let sig = p.methods[base_m].sig.clone();
+        // Resolution from Derived finds Base::m.
+        assert_eq!(p.resolve_method(derived, &sig), Some(base_m));
+    }
+}

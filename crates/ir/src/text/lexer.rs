@@ -1,0 +1,453 @@
+//! Tokenizer for the `.jil` format.
+
+use std::fmt;
+
+/// A token kind with its payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier, including `/`-separated class paths and
+    /// leading-dot directives (`.class`, `.method`, …).
+    Ident(String),
+    /// Variable reference `v<N>`.
+    Var(u32),
+    /// Integer literal (decimal, optionally negative).
+    Int(i64),
+    /// Floating literal with a trailing `f` (e.g. `1.5f`).
+    Float(f64),
+    /// Double-quoted string literal with `\"` and `\\` escapes.
+    Str(String),
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.` (only when not starting a directive ident)
+    Dot,
+    /// `_` (used for "no variable")
+    Underscore,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer. Usually used via [`Lexer::tokenize`].
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'$'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'/' || b == b'$' || b == b'<' || b == b'>'
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(tok) = lx.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), line: self.line }
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_ws_and_comments();
+        let line = self.line;
+        let Some(b) = self.peek() else { return Ok(None) };
+        let kind = match b {
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            other => {
+                                return Err(self.err(format!(
+                                    "invalid string escape: {:?}",
+                                    other.map(|c| c as char)
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.err("unterminated string literal")),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'.' => {
+                // Either a directive (`.class`) or a field-access dot.
+                self.bump();
+                if self.peek().map(is_ident_start).unwrap_or(false) {
+                    let ident = self.lex_ident_body();
+                    TokenKind::Ident(format!(".{ident}"))
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            b'_' => {
+                self.bump();
+                // Bare underscore is the "no var" marker; `_foo` is an ident.
+                if self.peek().map(is_ident_cont).unwrap_or(false) {
+                    let rest = self.lex_ident_body();
+                    TokenKind::Ident(format!("_{rest}"))
+                } else {
+                    TokenKind::Underscore
+                }
+            }
+            b'-' => {
+                self.bump();
+                self.lex_number(true)?
+            }
+            b if b.is_ascii_digit() => self.lex_number(false)?,
+            b'v' => {
+                // `v<digits>` is a var ref; `v<alpha>` is an ident.
+                let start = self.pos;
+                self.bump();
+                if self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    let mut n: u64 = 0;
+                    while let Some(c) = self.peek() {
+                        if !c.is_ascii_digit() {
+                            break;
+                        }
+                        n = n * 10 + u64::from(c - b'0');
+                        if n > u64::from(u32::MAX) {
+                            return Err(self.err("variable index overflow"));
+                        }
+                        self.bump();
+                    }
+                    // `v12abc` would be malformed; treat as ident.
+                    if self.peek().map(is_ident_cont).unwrap_or(false) {
+                        self.pos = start;
+                        let ident = self.lex_ident_body();
+                        TokenKind::Ident(ident)
+                    } else {
+                        TokenKind::Var(n as u32)
+                    }
+                } else {
+                    self.pos = start;
+                    let ident = self.lex_ident_body();
+                    TokenKind::Ident(ident)
+                }
+            }
+            b if is_ident_start(b) => {
+                let ident = self.lex_ident_body();
+                match ident.as_str() {
+                    "true" => TokenKind::Int(1),
+                    "false" => TokenKind::Int(0),
+                    _ => TokenKind::Ident(ident),
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(Some(Token { kind, line }))
+    }
+
+    fn lex_ident_body(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if !is_ident_cont(b) {
+                break;
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_number(&mut self, negative: bool) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            // Lookahead: digit after the dot makes it a float literal.
+            if self.src.get(self.pos + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                is_float = true;
+                self.bump(); // '.'
+                while let Some(b) = self.peek() {
+                    if !b.is_ascii_digit() {
+                        break;
+                    }
+                    self.bump();
+                }
+                if self.peek() == Some(b'e') || self.peek() == Some(b'E') {
+                    self.bump();
+                    if self.peek() == Some(b'-') || self.peek() == Some(b'+') {
+                        self.bump();
+                    }
+                    while let Some(b) = self.peek() {
+                        if !b.is_ascii_digit() {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        // Trailing `f` marks floats explicitly; an integer part with `.` also
+        // parses as float.
+        if self.peek() == Some(b'f') {
+            self.bump();
+            is_float = true;
+        }
+        if is_float {
+            let v: f64 =
+                text.parse().map_err(|e| self.err(format!("bad float literal {text:?}: {e}")))?;
+            Ok(TokenKind::Float(if negative { -v } else { v }))
+        } else {
+            let v: i64 =
+                text.parse().map_err(|e| self.err(format!("bad int literal {text:?}: {e}")))?;
+            Ok(TokenKind::Int(if negative { -v } else { v }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_directives_and_idents() {
+        assert_eq!(
+            kinds(".class com/example/A : java/lang/Object"),
+            vec![
+                TokenKind::Ident(".class".into()),
+                TokenKind::Ident("com/example/A".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("java/lang/Object".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_vars_and_numbers() {
+        assert_eq!(
+            kinds("v0 v12 42 -7 1.5f 2.25 vx"),
+            vec![
+                TokenKind::Var(0),
+                TokenKind::Var(12),
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(1.5),
+                TokenKind::Float(2.25),
+                TokenKind::Ident("vx".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello \"w\\orld\n""#),
+            vec![TokenKind::Str("hello \"w\\orld\n".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_punctuation_and_underscore() {
+        assert_eq!(
+            kinds("( ) { } [ ] = . _ _tmp"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Eq,
+                TokenKind::Dot,
+                TokenKind::Underscore,
+                TokenKind::Ident("_tmp".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = Lexer::tokenize("# header\nfoo # trailing\nbar").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn booleans_lex_as_ints() {
+        assert_eq!(kinds("true false"), vec![TokenKind::Int(1), TokenKind::Int(0)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn angle_brackets_in_idents_for_ctors() {
+        // '<' cannot start an identifier — constructors are written `init`.
+        assert!(Lexer::tokenize("<init>").is_err());
+        // But '<'/'>' are allowed inside an identifier body.
+        assert_eq!(kinds("init$<clinit>"), vec![TokenKind::Ident("init$<clinit>".into())]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lexer never panics: any input either tokenizes or returns a
+        /// structured error.
+        #[test]
+        fn lexer_is_total(src in "\\PC*") {
+            let _ = Lexer::tokenize(&src);
+        }
+
+        /// Tokenizing twice is deterministic.
+        #[test]
+        fn lexer_is_deterministic(src in "[a-z0-9 .(){}\\[\\]=_\"\\\\#\n-]*") {
+            let a = Lexer::tokenize(&src);
+            let b = Lexer::tokenize(&src);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                _ => prop_assert!(false, "tokenize nondeterministic"),
+            }
+        }
+
+        /// Integer and variable tokens roundtrip through their textual form.
+        #[test]
+        fn numbers_and_vars_roundtrip(n in 0u32..1_000_000) {
+            let toks = Lexer::tokenize(&format!("v{n} {n} -{n}")).unwrap();
+            prop_assert_eq!(toks.len(), 3);
+            prop_assert_eq!(&toks[0].kind, &TokenKind::Var(n));
+            prop_assert_eq!(&toks[1].kind, &TokenKind::Int(i64::from(n)));
+            prop_assert_eq!(&toks[2].kind, &TokenKind::Int(-i64::from(n)));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Pretty-printer emitting the `.jil` format. Inverse of the parser.
+
+use crate::expr::{BinOp, CmpKind, Expr, Literal, UnOp};
+use crate::idx::FieldId;
+use crate::method::MethodKind;
+use crate::method::Visibility;
+use crate::program::Program;
+use crate::stmt::{CallKind, Lhs, MonitorOp, Stmt};
+use crate::types::{ArrayElem, JType, PrimKind};
+use std::fmt::Write;
+
+/// Prints a whole program in `.jil` syntax.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let mut pr = Printer { p, out: &mut out };
+    pr.program();
+    out
+}
+
+struct Printer<'a> {
+    p: &'a Program,
+    out: &'a mut String,
+}
+
+impl<'a> Printer<'a> {
+    fn program(&mut self) {
+        for class in self.p.classes.iter() {
+            write!(self.out, ".class {}", self.p.interner.resolve(class.name)).unwrap();
+            if let Some(sup) = class.superclass {
+                write!(self.out, " : {}", self.p.interner.resolve(self.p.classes[sup].name))
+                    .unwrap();
+            }
+            if class.is_interface {
+                self.out.push_str(" interface");
+            }
+            self.out.push('\n');
+            for &fid in &class.fields {
+                let f = &self.p.fields[fid];
+                write!(self.out, ".field {} ", self.p.interner.resolve(f.name)).unwrap();
+                self.ty(f.ty);
+                self.out.push_str(if f.is_static { " static\n" } else { " instance\n" });
+            }
+            for &mid in &class.methods {
+                self.method(mid);
+            }
+            self.out.push_str(".endclass\n");
+        }
+    }
+
+    fn method(&mut self, mid: crate::idx::MethodId) {
+        let m = &self.p.methods[mid];
+        write!(self.out, ".method {} (", self.p.interner.resolve(m.sig.name)).unwrap();
+        for &ty in &m.sig.params {
+            self.out.push(' ');
+            self.ty(ty);
+        }
+        self.out.push_str(" ) ");
+        self.ty(m.sig.ret);
+        let kind = match m.kind {
+            MethodKind::Instance => "instance",
+            MethodKind::Static => "static",
+            MethodKind::Constructor => "ctor",
+            MethodKind::LifecycleCallback => "lifecycle",
+            MethodKind::Environment => "environment",
+        };
+        let vis = match m.visibility {
+            Visibility::Public => "public",
+            Visibility::Protected => "protected",
+            Visibility::Private => "private",
+        };
+        writeln!(self.out, " {kind} {vis}").unwrap();
+        for v in m.vars.iter() {
+            write!(self.out, ".var {} ", self.p.interner.resolve(v.name)).unwrap();
+            self.ty(v.ty);
+            self.out.push('\n');
+        }
+        for (idx, s) in m.body.iter_enumerated() {
+            write!(self.out, "  # {idx}\n  ").unwrap();
+            self.stmt(s);
+            self.out.push('\n');
+        }
+        self.out.push_str(".end\n");
+    }
+
+    fn ty(&mut self, ty: JType) {
+        match ty {
+            JType::Void => self.out.push_str("void"),
+            JType::Boolean => self.out.push_str("bool"),
+            JType::Byte => self.out.push_str("byte"),
+            JType::Char => self.out.push_str("char"),
+            JType::Short => self.out.push_str("short"),
+            JType::Int => self.out.push_str("int"),
+            JType::Long => self.out.push_str("long"),
+            JType::Float => self.out.push_str("float"),
+            JType::Double => self.out.push_str("double"),
+            JType::Object(s) => {
+                write!(self.out, "obj {}", self.p.interner.resolve(s)).unwrap();
+            }
+            JType::Array(e) => {
+                self.out.push_str("arr ");
+                match e {
+                    ArrayElem::Object(s) => self.out.push_str(self.p.interner.resolve(s)),
+                    ArrayElem::Prim(pk) => self.out.push_str(match pk {
+                        PrimKind::Boolean => "bool",
+                        PrimKind::Byte => "byte",
+                        PrimKind::Char => "char",
+                        PrimKind::Short => "short",
+                        PrimKind::Int => "int",
+                        PrimKind::Long => "long",
+                        PrimKind::Float => "float",
+                        PrimKind::Double => "double",
+                    }),
+                }
+            }
+        }
+    }
+
+    fn field_ref(&mut self, fid: FieldId) {
+        let f = &self.p.fields[fid];
+        let cls = self.p.classes[f.class].name;
+        write!(
+            self.out,
+            "{{ {} {} }}",
+            self.p.interner.resolve(cls),
+            self.p.interner.resolve(f.name)
+        )
+        .unwrap();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Empty => self.out.push_str("nop"),
+            Stmt::Monitor { op, var } => {
+                let op = match op {
+                    MonitorOp::Enter => "enter",
+                    MonitorOp::Exit => "exit",
+                };
+                write!(self.out, "monitor {op} {var}").unwrap();
+            }
+            Stmt::Throw { var } => write!(self.out, "throw {var}").unwrap(),
+            Stmt::Goto { target } => write!(self.out, "goto {}", target.0).unwrap(),
+            Stmt::If { cond, target } => {
+                write!(self.out, "if {cond} goto {}", target.0).unwrap()
+            }
+            Stmt::Return { var } => match var {
+                Some(v) => write!(self.out, "return {v}").unwrap(),
+                None => self.out.push_str("return _"),
+            },
+            Stmt::Switch { var, targets, default } => {
+                write!(self.out, "switch {var} (").unwrap();
+                for t in targets {
+                    write!(self.out, " {}", t.0).unwrap();
+                }
+                write!(self.out, " ) default {}", default.0).unwrap();
+            }
+            Stmt::Call { ret, kind, sig, args } => {
+                let kind = match kind {
+                    CallKind::Virtual => "virtual",
+                    CallKind::Static => "static",
+                    CallKind::Direct => "direct",
+                    CallKind::Interface => "interface",
+                };
+                write!(
+                    self.out,
+                    "call {kind} {} {} (",
+                    self.p.interner.resolve(sig.class),
+                    self.p.interner.resolve(sig.name)
+                )
+                .unwrap();
+                for &ty in &sig.params {
+                    self.out.push(' ');
+                    self.ty(ty);
+                }
+                self.out.push_str(" ) ");
+                self.ty(sig.ret);
+                self.out.push_str(" args (");
+                for a in args {
+                    write!(self.out, " {a}").unwrap();
+                }
+                self.out.push_str(" ) ret ");
+                match ret {
+                    Some(v) => write!(self.out, "{v}").unwrap(),
+                    None => self.out.push('_'),
+                }
+            }
+            Stmt::Assign { lhs, rhs } => {
+                match lhs {
+                    Lhs::Var(v) => write!(self.out, "{v}").unwrap(),
+                    Lhs::Field { base, field } => {
+                        write!(self.out, "{base} . ").unwrap();
+                        self.field_ref(*field);
+                    }
+                    Lhs::StaticField { field } => self.field_ref(*field),
+                    Lhs::ArrayElem { base, index } => {
+                        write!(self.out, "{base} [ {index} ]").unwrap();
+                    }
+                }
+                self.out.push_str(" = ");
+                self.expr(rhs);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Access { base, field } => {
+                write!(self.out, "{base} . ").unwrap();
+                self.field_ref(*field);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let op = match op {
+                    BinOp::Add => "add",
+                    BinOp::Sub => "sub",
+                    BinOp::Mul => "mul",
+                    BinOp::Div => "div",
+                    BinOp::Rem => "rem",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Xor => "xor",
+                    BinOp::Shl => "shl",
+                    BinOp::Shr => "shr",
+                };
+                write!(self.out, "{lhs} {op} {rhs}").unwrap();
+            }
+            Expr::CallRhs { ret } => write!(self.out, "callrhs {ret}").unwrap(),
+            Expr::Cast { ty, operand } => {
+                self.out.push_str("cast ");
+                self.ty(*ty);
+                write!(self.out, " {operand}").unwrap();
+            }
+            Expr::Cmp { kind, lhs, rhs } => {
+                let k = match kind {
+                    CmpKind::Cmp => "cmp",
+                    CmpKind::Cmpl => "cmpl",
+                    CmpKind::Cmpg => "cmpg",
+                };
+                write!(self.out, "{k} {lhs} {rhs}").unwrap();
+            }
+            Expr::ConstClass { ty } => {
+                self.out.push_str("constclass ");
+                self.ty(*ty);
+            }
+            Expr::Exception => self.out.push_str("exception"),
+            Expr::Indexing { base, index } => {
+                write!(self.out, "{base} [ {index} ]").unwrap();
+            }
+            Expr::InstanceOf { operand, ty } => {
+                write!(self.out, "instanceof {operand} ").unwrap();
+                self.ty(*ty);
+            }
+            Expr::Length { base } => write!(self.out, "length {base}").unwrap(),
+            Expr::Lit(lit) => {
+                self.out.push_str("lit ");
+                match lit {
+                    Literal::Int(v) => write!(self.out, "{v}").unwrap(),
+                    Literal::Float(v) => {
+                        // Always include a decimal point + `f` suffix so the
+                        // lexer reads it back as a float.
+                        if v.fract() == 0.0 && v.is_finite() {
+                            write!(self.out, "{v:.1}f").unwrap();
+                        } else {
+                            write!(self.out, "{v}f").unwrap();
+                        }
+                    }
+                    Literal::Str(s) => {
+                        let raw = self.p.interner.resolve(*s);
+                        let escaped =
+                            raw.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+                        write!(self.out, "\"{escaped}\"").unwrap();
+                    }
+                    Literal::Bool(b) => write!(self.out, "{b}").unwrap(),
+                }
+            }
+            Expr::Var(v) => write!(self.out, "{v}").unwrap(),
+            Expr::StaticField { field } => self.field_ref(*field),
+            Expr::New { ty } => {
+                self.out.push_str("new ");
+                self.ty(*ty);
+            }
+            Expr::Null => self.out.push_str("null"),
+            Expr::Tuple { elems } => {
+                self.out.push_str("tuple (");
+                for v in elems {
+                    write!(self.out, " {v}").unwrap();
+                }
+                self.out.push_str(" )");
+            }
+            Expr::Unary { op, operand } => {
+                let op = match op {
+                    UnOp::Neg => "neg",
+                    UnOp::Not => "not",
+                };
+                write!(self.out, "{op} {operand}").unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::idx::{StmtIdx, VarId};
+    use crate::method::MethodKind;
+    use crate::text::parse_program;
+
+    fn fixture() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let obj = pb.class("java/lang/Object").build();
+        let cls = pb.class("com/example/A").extends(obj).build();
+        let obj_name = pb.intern("java/lang/Object");
+        let f = pb.field(cls, "data", JType::Object(obj_name), false);
+        let sf = pb.field(cls, "count", JType::Int, true);
+
+        let mut mb = pb.method(cls, "run");
+        let this = mb.this();
+        let x = mb.param("x", JType::Int);
+        let t = mb.local("t", JType::Object(obj_name));
+        mb.stmt(Stmt::Assign { lhs: Lhs::Var(t), rhs: Expr::New { ty: JType::Object(obj_name) } });
+        mb.stmt(Stmt::Assign { lhs: Lhs::Field { base: this, field: f }, rhs: Expr::Var(t) });
+        mb.stmt(Stmt::Assign { lhs: Lhs::StaticField { field: sf }, rhs: Expr::Var(x) });
+        mb.stmt(Stmt::Assign { lhs: Lhs::Var(t), rhs: Expr::Access { base: this, field: f } });
+        mb.stmt(Stmt::If { cond: x, target: StmtIdx(6) });
+        mb.stmt(Stmt::Switch { var: x, targets: vec![StmtIdx(6)], default: StmtIdx(6) });
+        mb.stmt(Stmt::Return { var: None });
+        mb.build();
+
+        let mut mb = pb.method(cls, "helper").kind(MethodKind::Static);
+        let a = mb.local("a", JType::Int);
+        mb.stmt(Stmt::Assign {
+            lhs: Lhs::Var(a),
+            rhs: Expr::Binary { op: BinOp::Add, lhs: a, rhs: a },
+        });
+        mb.stmt(Stmt::Return { var: Some(a) });
+        mb.build();
+
+        pb.finish()
+    }
+
+    #[test]
+    fn roundtrip_structural_equality() {
+        let p = fixture();
+        let text = print_program(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p.classes.len(), p2.classes.len());
+        assert_eq!(p.fields.len(), p2.fields.len());
+        assert_eq!(p.methods.len(), p2.methods.len());
+        for (m1, m2) in p.methods.iter().zip(p2.methods.iter()) {
+            assert_eq!(m1.body.as_slice(), m2.body.as_slice(), "bodies differ");
+            assert_eq!(m1.kind, m2.kind);
+            assert_eq!(m1.this_var, m2.this_var);
+            assert_eq!(m1.params.len(), m2.params.len());
+        }
+        // Interned names survive the trip.
+        for (c1, c2) in p.classes.iter().zip(p2.classes.iter()) {
+            assert_eq!(p.interner.resolve(c1.name), p2.interner.resolve(c2.name));
+        }
+    }
+
+    #[test]
+    fn printed_form_mentions_all_sections() {
+        let text = print_program(&fixture());
+        assert!(text.contains(".class com/example/A : java/lang/Object"));
+        assert!(text.contains(".field data obj java/lang/Object instance"));
+        assert!(text.contains(".field count int static"));
+        assert!(text.contains(".method run ( int ) void instance public"));
+        assert!(text.contains("new obj java/lang/Object"));
+        assert!(text.contains(".endclass"));
+    }
+
+    #[test]
+    fn float_literals_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("F").build();
+        let mut mb = pb.method(cls, "m").kind(MethodKind::Static);
+        let a = mb.local("a", JType::Float);
+        mb.stmt(Stmt::Assign { lhs: Lhs::Var(a), rhs: Expr::Lit(Literal::Float(2.0)) });
+        mb.stmt(Stmt::Assign { lhs: Lhs::Var(a), rhs: Expr::Lit(Literal::Float(-0.125)) });
+        mb.stmt(Stmt::Return { var: None });
+        mb.build();
+        let p = pb.finish();
+        let p2 = parse_program(&print_program(&p)).unwrap();
+        assert_eq!(
+            p.methods[crate::idx::MethodId(0)].body.as_slice(),
+            p2.methods[crate::idx::MethodId(0)].body.as_slice()
+        );
+        let _ = VarId(0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # gdroid-vetting — app vetting on top of the IDFG
+//!
+//! The paper's motivating application: fast Android app security vetting.
+//! This crate adds the Amandroid-style plugin layer over the IDFG the
+//! other crates construct:
+//!
+//! * [`registry`] — taint roles of the modeled Android API surface;
+//! * [`taint`] — instance-labeling taint propagation over the node-wise
+//!   points-to facts, intra- and inter-procedural;
+//! * [`report`] — leak reports and verdicts;
+//! * [`pipeline`] — the end-to-end vetting run (environment → call graph →
+//!   IDFG → taint) with the per-stage timing behind Fig. 1, runnable
+//!   against any engine: sequential Amandroid-style CPU, the
+//!   multithreaded-C baseline, or the simulated GPU with any optimization
+//!   ladder rung;
+//! * [`plugins`] — further IDFG-reuse plugins in the Amandroid style:
+//!   intent exposure, hardcoded payloads, permission audit;
+//! * [`assess`] — the composite, reviewer-auditable risk assessment
+//!   aggregating every plugin into one scored verdict.
+
+pub mod assess;
+pub mod pipeline;
+pub mod plugins;
+pub mod registry;
+pub mod report;
+pub mod taint;
+
+pub use assess::{assess_app, Assessment, RiskBand, Signal};
+pub use pipeline::{vet_app, Engine, VettingOutcome, VettingTiming};
+pub use plugins::{
+    hardcoded_payloads, intent_exposure, permission_audit, ExposureFinding, HardcodedFinding,
+    PermissionAudit,
+};
+pub use registry::{SourceId, SourceSinkRegistry};
+pub use report::{Leak, Verdict, VettingReport};
+pub use taint::{TaintAnalysis, TaintStats};

@@ -1,0 +1,182 @@
+//! The end-to-end vetting pipeline — the "Amandroid run" of Fig. 1.
+//!
+//! One app flows through: environment synthesis → call graph → **IDFG
+//! construction** (the worklist analysis — the part GDroid accelerates) →
+//! taint plugin → report. The pipeline records a modeled time for each
+//! stage so Fig. 1's total-vs-IDFG breakdown can be regenerated; per the
+//! paper, IDFG construction takes 58–96% of the total.
+
+use crate::registry::SourceSinkRegistry;
+use crate::report::VettingReport;
+use crate::taint::TaintAnalysis;
+use gdroid_analysis::{analyze_app, AppAnalysis, CpuCostModel, StoreKind};
+use gdroid_apk::App;
+use gdroid_core::{gpu_analyze_app, GpuAnalysis, OptConfig};
+use gdroid_gpusim::DeviceConfig;
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+use serde::{Deserialize, Serialize};
+
+/// Which engine constructs the IDFG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Sequential Amandroid-style CPU run (Fig. 1).
+    AmandroidCpu,
+    /// The multithreaded-C CPU baseline (Fig. 4's CPU side).
+    MultithreadedCpu,
+    /// Simulated GPU with the given optimizations.
+    Gpu(OptConfig),
+}
+
+/// Modeled per-stage times, nanoseconds.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct VettingTiming {
+    /// Environment synthesis + manifest handling.
+    pub envgen_ns: f64,
+    /// Call-graph construction and IR loading.
+    pub callgraph_ns: f64,
+    /// IDFG construction — the worklist analysis.
+    pub idfg_ns: f64,
+    /// Taint plugin.
+    pub taint_ns: f64,
+}
+
+impl VettingTiming {
+    /// Total pipeline time.
+    pub fn total_ns(&self) -> f64 {
+        self.envgen_ns + self.callgraph_ns + self.idfg_ns + self.taint_ns
+    }
+
+    /// IDFG share of the total — the Fig. 1 ratio.
+    pub fn idfg_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.idfg_ns / total
+        }
+    }
+}
+
+/// Everything one vetting run produces.
+pub struct VettingOutcome {
+    /// The security report.
+    pub report: VettingReport,
+    /// Modeled stage times.
+    pub timing: VettingTiming,
+    /// Aggregate worklist telemetry of the IDFG stage.
+    pub telemetry: gdroid_analysis::WorklistTelemetry,
+    /// Fact-store bytes (Fig. 10's metric) for CPU engines.
+    pub store_bytes: usize,
+}
+
+/// Per-operation costs of the non-IDFG stages, Scala-calibrated (the
+/// frontend stages run in the original Amandroid regardless of the IDFG
+/// engine).
+const ENVGEN_NS_PER_COMPONENT: f64 = 2.5e6;
+const FRONTEND_NS_PER_STMT: f64 = 60.0e3;
+const FRONTEND_NS_PER_METHOD: f64 = 2.5e6;
+const TAINT_NS_PER_ROW: f64 = 280.0;
+
+/// Vets one app end to end. The `app` must be freshly generated (not yet
+/// prepared); the pipeline synthesizes environments itself.
+pub fn vet_app(mut app: App, engine: Engine) -> VettingOutcome {
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+
+    let mut timing = VettingTiming {
+        envgen_ns: ENVGEN_NS_PER_COMPONENT * envs.len() as f64,
+        callgraph_ns: FRONTEND_NS_PER_STMT * app.program.total_statements() as f64
+            + FRONTEND_NS_PER_METHOD * app.program.methods.len() as f64,
+        ..Default::default()
+    };
+
+    enum Run {
+        Cpu(AppAnalysis),
+        Gpu(GpuAnalysis),
+    }
+
+    let run = match engine {
+        Engine::AmandroidCpu => {
+            let analysis = analyze_app(&app.program, &cg, &roots, StoreKind::Set);
+            timing.idfg_ns = CpuCostModel::amandroid().sequential_ns(&analysis);
+            Run::Cpu(analysis)
+        }
+        Engine::MultithreadedCpu => {
+            let analysis = gdroid_analysis::analyze_app_parallel(
+                &app.program,
+                &cg,
+                &roots,
+                StoreKind::Set,
+            );
+            timing.idfg_ns = CpuCostModel::multithreaded_c().parallel_ns(&analysis);
+            Run::Cpu(analysis)
+        }
+        Engine::Gpu(opts) => {
+            let analysis =
+                gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), opts);
+            timing.idfg_ns = analysis.stats.total_ns;
+            Run::Gpu(analysis)
+        }
+    };
+
+    let registry = SourceSinkRegistry::for_program(&app.program);
+    let (facts, spaces, cfgs, telemetry, store_bytes) = match &run {
+        Run::Cpu(a) => (&a.facts, &a.spaces, &a.cfgs, a.telemetry.clone(), a.store_bytes),
+        Run::Gpu(a) => (&a.facts, &a.spaces, &a.cfgs, a.telemetry.clone(), 0),
+    };
+    let engine_taint = TaintAnalysis::new(&app.program, &cg, facts, spaces, cfgs, &registry);
+    let (report, taint_stats) = engine_taint.run();
+    timing.taint_ns = TAINT_NS_PER_ROW * taint_stats.rows_read as f64;
+
+    VettingOutcome { report, timing, telemetry, store_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_apk::{generate_app, GenConfig};
+
+    #[test]
+    fn pipeline_produces_report_and_timing() {
+        let app = generate_app(0, 6100, &GenConfig::tiny());
+        let outcome = vet_app(app, Engine::AmandroidCpu);
+        assert!(outcome.timing.total_ns() > 0.0);
+        assert!(outcome.timing.idfg_ns > 0.0);
+        assert!(outcome.telemetry.nodes_processed > 0);
+        assert!(outcome.store_bytes > 0);
+        let f = outcome.timing.idfg_fraction();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn engines_agree_on_verdict() {
+        for seed in [6200u64, 6201, 6202] {
+            let verdicts: Vec<_> = [
+                Engine::AmandroidCpu,
+                Engine::MultithreadedCpu,
+                Engine::Gpu(OptConfig::gdroid()),
+                Engine::Gpu(OptConfig::plain()),
+            ]
+            .into_iter()
+            .map(|e| {
+                let app = generate_app(0, seed, &GenConfig::tiny());
+                let o = vet_app(app, e);
+                (o.report.verdict, o.report.leaks.len())
+            })
+            .collect();
+            for pair in verdicts.windows(2) {
+                assert_eq!(pair[0], pair[1], "engines disagree on seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_cpu_is_faster_than_amandroid() {
+        let app = generate_app(0, 6300, &GenConfig::small());
+        let scala = vet_app(app, Engine::AmandroidCpu).timing.idfg_ns;
+        let app = generate_app(0, 6300, &GenConfig::small());
+        let mt = vet_app(app, Engine::MultithreadedCpu).timing.idfg_ns;
+        assert!(mt < scala, "mt {mt} >= scala {scala}");
+    }
+}

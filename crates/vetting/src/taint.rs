@@ -1,0 +1,316 @@
+//! Taint analysis over the IDFG — the vetting plugin.
+//!
+//! This is the "low-cost plugin on top of the IDFG" architecture the paper
+//! attributes to Amandroid (§II-A): the expensive points-to reasoning is
+//! already in the node-wise fact sets; taint tracking just labels
+//! instances and follows the existing flows.
+//!
+//! * An instance is *tainted* when it is the [`CallRet`] of a source-API
+//!   call site, or a callee formal fed a tainted argument, or a caller's
+//!   `CallRet` whose callee returns tainted data.
+//! * Intra-procedural flows (copies, casts, field stores/loads, arrays)
+//!   need no extra work — the points-to facts already carry the instance
+//!   through them.
+//! * A *leak* is a sink-API call site where some reference argument may
+//!   point to a tainted instance.
+//!
+//! [`CallRet`]: gdroid_analysis::Instance::CallRet
+
+use crate::registry::{SourceId, SourceSinkRegistry};
+use crate::report::{Leak, VettingReport};
+use gdroid_analysis::{Instance, MatrixStore, MethodSpace, Slot};
+use gdroid_icfg::{CallGraph, CallTarget, Cfg};
+use gdroid_ir::{MethodId, Program, Stmt};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-method taint labels: instance index → set of source labels.
+type MethodTaint = HashMap<u16, BTreeSet<SourceId>>;
+
+/// Counters for the vetting cost model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaintStats {
+    /// Fact-row reads performed.
+    pub rows_read: usize,
+    /// Cross-method propagation passes until fixed point.
+    pub passes: usize,
+    /// Labeled (instance, method) pairs at the end.
+    pub tainted_instances: usize,
+}
+
+/// The taint engine.
+pub struct TaintAnalysis<'a> {
+    program: &'a Program,
+    cg: &'a CallGraph,
+    facts: &'a HashMap<MethodId, MatrixStore>,
+    spaces: &'a HashMap<MethodId, MethodSpace>,
+    cfgs: &'a HashMap<MethodId, Cfg>,
+    registry: &'a SourceSinkRegistry,
+    taint: HashMap<MethodId, MethodTaint>,
+    /// Cost counters.
+    pub stats: TaintStats,
+}
+
+impl<'a> TaintAnalysis<'a> {
+    /// Creates the engine over a finished analysis.
+    pub fn new(
+        program: &'a Program,
+        cg: &'a CallGraph,
+        facts: &'a HashMap<MethodId, MatrixStore>,
+        spaces: &'a HashMap<MethodId, MethodSpace>,
+        cfgs: &'a HashMap<MethodId, Cfg>,
+        registry: &'a SourceSinkRegistry,
+    ) -> Self {
+        TaintAnalysis {
+            program,
+            cg,
+            facts,
+            spaces,
+            cfgs,
+            registry,
+            taint: HashMap::new(),
+            stats: TaintStats::default(),
+        }
+    }
+
+    /// Runs the analysis and produces the vetting report.
+    pub fn run(mut self) -> (VettingReport, TaintStats) {
+        self.seed_sources();
+        self.propagate();
+        let leaks = self.find_leaks();
+        self.stats.tainted_instances =
+            self.taint.values().map(|m| m.values().filter(|s| !s.is_empty()).count()).sum();
+        let report = VettingReport::new(leaks, &self.registry.source_names);
+        (report, self.stats)
+    }
+
+    /// Labels the `CallRet` instances of source call sites.
+    fn seed_sources(&mut self) {
+        for (&mid, space) in self.spaces {
+            for (idx, stmt) in self.program.methods[mid].body.iter_enumerated() {
+                let Stmt::Call { sig, .. } = stmt else { continue };
+                let Some(source) = self.registry.source_of(sig) else { continue };
+                if let Some(inst) = space.instance(Instance::CallRet(idx)) {
+                    self.taint
+                        .entry(mid)
+                        .or_default()
+                        .entry(inst)
+                        .or_default()
+                        .insert(source);
+                }
+            }
+        }
+    }
+
+    /// Labels on the instances a variable may point to at a node.
+    fn labels_at(
+        &mut self,
+        mid: MethodId,
+        node: u32,
+        var: gdroid_ir::VarId,
+    ) -> BTreeSet<SourceId> {
+        let mut labels = BTreeSet::new();
+        let Some(slot) = self.spaces[&mid].slot(Slot::Local(var)) else { return labels };
+        self.stats.rows_read += 1;
+        for inst in self.facts[&mid].node(node as usize).row(slot) {
+            if let Some(l) = self.taint.get(&mid).and_then(|t| t.get(&inst)) {
+                labels.extend(l.iter().copied());
+            }
+        }
+        labels
+    }
+
+    /// Tainted labels flowing out of a callee's returns.
+    fn return_labels(&mut self, callee: MethodId) -> BTreeSet<SourceId> {
+        let mut labels = BTreeSet::new();
+        let cfg = &self.cfgs[&callee];
+        for (idx, stmt) in self.program.methods[callee].body.iter_enumerated() {
+            if let Stmt::Return { var: Some(v) } = stmt {
+                let node = cfg.node_of(idx);
+                labels.extend(self.labels_at(callee, node, *v));
+            }
+        }
+        labels
+    }
+
+    /// Cross-method propagation to a fixed point: tainted arguments label
+    /// callee formals; tainted callee returns label caller `CallRet`s.
+    fn propagate(&mut self) {
+        loop {
+            self.stats.passes += 1;
+            let mut changed = false;
+            let methods: Vec<MethodId> = self.spaces.keys().copied().collect();
+            for &mid in &methods {
+                let body_calls: Vec<(gdroid_ir::StmtIdx, Vec<gdroid_ir::VarId>)> = self
+                    .program
+                    .methods[mid]
+                    .body
+                    .iter_enumerated()
+                    .filter_map(|(idx, s)| match s {
+                        Stmt::Call { args, .. } => Some((idx, args.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                for (idx, args) in body_calls {
+                    let Some(CallTarget::Internal(targets)) = self.cg.site(mid, idx) else {
+                        continue;
+                    };
+                    let targets = targets.clone();
+                    let node = self.cfgs[&mid].node_of(idx);
+                    // Arguments → formals.
+                    for (k, &arg) in args.iter().enumerate() {
+                        let labels = self.labels_at(mid, node, arg);
+                        if labels.is_empty() {
+                            continue;
+                        }
+                        for &t in &targets {
+                            let Some(formal) =
+                                self.spaces[&t].instance(Instance::Formal(k as u8))
+                            else {
+                                continue;
+                            };
+                            let entry =
+                                self.taint.entry(t).or_default().entry(formal).or_default();
+                            let before = entry.len();
+                            entry.extend(labels.iter().copied());
+                            changed |= entry.len() != before;
+                        }
+                    }
+                    // Returns → CallRet.
+                    let mut ret_labels = BTreeSet::new();
+                    for &t in &targets {
+                        ret_labels.extend(self.return_labels(t));
+                    }
+                    if !ret_labels.is_empty() {
+                        if let Some(inst) =
+                            self.spaces[&mid].instance(Instance::CallRet(idx))
+                        {
+                            let entry =
+                                self.taint.entry(mid).or_default().entry(inst).or_default();
+                            let before = entry.len();
+                            entry.extend(ret_labels);
+                            changed |= entry.len() != before;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Scans sink call sites for tainted arguments.
+    fn find_leaks(&mut self) -> Vec<Leak> {
+        let mut leaks = Vec::new();
+        let methods: Vec<MethodId> = self.spaces.keys().copied().collect();
+        for &mid in &methods {
+            let calls: Vec<(gdroid_ir::StmtIdx, String, Vec<gdroid_ir::VarId>)> = self
+                .program
+                .methods[mid]
+                .body
+                .iter_enumerated()
+                .filter_map(|(idx, s)| match s {
+                    Stmt::Call { sig, args, .. } => self
+                        .registry
+                        .sink_of(sig)
+                        .map(|sink| (idx, sink.to_owned(), args.clone())),
+                    _ => None,
+                })
+                .collect();
+            for (idx, sink, args) in calls {
+                let node = self.cfgs[&mid].node_of(idx);
+                let mut labels = BTreeSet::new();
+                for &arg in &args {
+                    labels.extend(self.labels_at(mid, node, arg));
+                }
+                if !labels.is_empty() {
+                    leaks.push(Leak {
+                        method: mid,
+                        stmt: idx,
+                        sink,
+                        sources: labels.into_iter().collect(),
+                    });
+                }
+            }
+        }
+        leaks.sort_by_key(|l| (l.method, l.stmt));
+        leaks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_analysis::{analyze_app, StoreKind};
+    use gdroid_apk::{generate_app, GenConfig, Permission};
+    use gdroid_icfg::prepare_app;
+
+    fn vet(seed: u64) -> (gdroid_apk::App, VettingReport) {
+        let mut app = generate_app(0, seed, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+        let analysis = analyze_app(&app.program, &cg, &roots, StoreKind::Matrix);
+        let registry = SourceSinkRegistry::for_program(&app.program);
+        let engine = TaintAnalysis::new(
+            &app.program,
+            &cg,
+            &analysis.facts,
+            &analysis.spaces,
+            &analysis.cfgs,
+            &registry,
+        );
+        let (report, stats) = engine.run();
+        assert!(stats.passes >= 1);
+        (app, report)
+    }
+
+    #[test]
+    fn planted_leaks_are_detected() {
+        // Scan seeds until we hit apps with and without planted leaks;
+        // the generator plants source→sink flows in ~35% of apps.
+        let mut leaky_found = false;
+        let mut clean_found = false;
+        for seed in 0..12 {
+            let (app, report) = vet(3000 + seed);
+            let planted = app.manifest.has_permission(Permission::ReadPhoneState);
+            if planted {
+                // A planted leak calls source + sink on a shared value.
+                if !report.leaks.is_empty() {
+                    leaky_found = true;
+                }
+            } else if report.leaks.is_empty() {
+                clean_found = true;
+            }
+        }
+        assert!(leaky_found, "no planted leak was ever detected");
+        assert!(clean_found, "every clean app was flagged");
+    }
+
+    #[test]
+    fn leak_reports_name_source_and_sink() {
+        for seed in 0..20 {
+            let (_, report) = vet(3100 + seed);
+            for leak in &report.leaks {
+                assert!(!leak.sink.is_empty());
+                assert!(!leak.sources.is_empty());
+            }
+            if !report.leaks.is_empty() {
+                assert!(!report.source_names.is_empty());
+                return;
+            }
+        }
+        panic!("no leaks in 20 apps");
+    }
+
+    #[test]
+    fn taint_is_deterministic() {
+        let (_, r1) = vet(3200);
+        let (_, r2) = vet(3200);
+        assert_eq!(r1.leaks.len(), r2.leaks.len());
+        for (a, b) in r1.leaks.iter().zip(&r2.leaks) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.stmt, b.stmt);
+            assert_eq!(a.sources, b.sources);
+        }
+    }
+}

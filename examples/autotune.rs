@@ -1,0 +1,39 @@
+//! Launch-parameter auto-tuning — the paper's "future work" knob (§V says
+//! 4–5 blocks/SM were found empirically by manual tuning).
+//!
+//! ```text
+//! cargo run --release --example autotune [seed]
+//! ```
+
+use gdroid::apk::{generate_app, GenConfig};
+use gdroid::core::{tune_blocks_per_sm, OptConfig};
+use gdroid::gpusim::DeviceConfig;
+use gdroid::icfg::prepare_app;
+use gdroid::ir::MethodId;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(23);
+    let mut app = generate_app(0, seed, &GenConfig::default());
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+
+    for opts in [OptConfig::plain(), OptConfig::gdroid()] {
+        let result = tune_blocks_per_sm(
+            &app.program,
+            &cg,
+            &roots,
+            DeviceConfig::tesla_p40(),
+            opts,
+            8,
+        );
+        println!("== {opts} ==");
+        for (i, ns) in result.candidate_ns.iter().enumerate() {
+            let marker = if i + 1 == result.blocks_per_sm { "  <- best" } else { "" };
+            println!("  {} blocks/SM: {:9.3} ms{marker}", i + 1, ns / 1e6);
+        }
+        println!(
+            "  tuned: {} blocks/SM (paper's manual pick: 4-5); worst/best spread {:.2}x\n",
+            result.blocks_per_sm, result.spread
+        );
+    }
+}

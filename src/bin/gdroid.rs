@@ -1,0 +1,188 @@
+//! `gdroid` — command-line front end for the analysis stack.
+//!
+//! ```text
+//! gdroid gen   <seed> [out.jil]       generate a synthetic app (.jil to stdout or file)
+//! gdroid vet   <app.jil|seed> [--engine plain|mat|matgrp|gdroid|cpu|amandroid]
+//! gdroid stats <app.jil|seed>         structural statistics (Table I row)
+//! gdroid corpus <n>                   dataset statistics over the first n corpus apps
+//! gdroid dot   <app.jil|seed> [out]   Graphviz call graph (reachable part)
+//! gdroid export <n> <dir>             write the first n corpus apps as bundles
+//! gdroid assess <app.jil|seed>        composite risk assessment (all plugins)
+//! ```
+//!
+//! Apps can come from a `.jil` file (the textual IR) or be generated on
+//! the fly from a numeric seed.
+
+use gdroid::analysis::{analyze_app, StoreKind};
+use gdroid::apk::{generate_app, App, AppStats, Category, Corpus, CorpusStats, GenConfig, Manifest};
+use gdroid::core::OptConfig;
+use gdroid::icfg::prepare_app;
+use gdroid::ir::text::{parse_program, print_program};
+use gdroid::ir::MethodId;
+use gdroid::vetting::{vet_app, Engine};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid]\n  gdroid stats <app.jil|seed>\n  \
+         gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  gdroid assess <app.jil|seed>"
+    );
+    exit(2)
+}
+
+/// Loads an app from a `.jil` path or generates one from a numeric seed.
+fn load_app(arg: &str) -> App {
+    if let Ok(seed) = arg.parse::<u64>() {
+        return generate_app(0, seed, &GenConfig::small());
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("cannot read {arg}: {e}");
+        exit(1)
+    });
+    let program = parse_program(&text).unwrap_or_else(|e| {
+        eprintln!("parse error in {arg}: {e}");
+        exit(1)
+    });
+    // A .jil file carries no manifest; every class that extends a
+    // component base is treated as an exported component.
+    let mut manifest = Manifest { package: arg.to_owned(), ..Default::default() };
+    for kind in gdroid::apk::ComponentKind::ALL {
+        let Some(base_sym) = program.interner.get(kind.base_class()) else { continue };
+        let Some(base) = program.class_by_name(base_sym) else { continue };
+        for class in program.subtree_of(base) {
+            if class != base {
+                manifest.components.push(gdroid::apk::Component {
+                    class: program.classes[class].name,
+                    kind,
+                    exported: true,
+                    intent_filters: vec![],
+                });
+            }
+        }
+    }
+    App { name: arg.to_owned(), category: Category::Tools, seed: 0, program, manifest }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "gen" => {
+            let Some(seed) = args.get(1).and_then(|s| s.parse::<u64>().ok()) else { usage() };
+            let app = generate_app(0, seed, &GenConfig::small());
+            let text = print_program(&app.program);
+            match args.get(2) {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!(
+                        "wrote {} ({} methods, {} statements)",
+                        path,
+                        app.program.methods.len(),
+                        app.program.total_statements()
+                    );
+                }
+                None => print!("{text}"),
+            }
+        }
+        "vet" => {
+            let Some(target) = args.get(1) else { usage() };
+            let engine = match args.iter().position(|a| a == "--engine") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("plain") => Engine::Gpu(OptConfig::plain()),
+                    Some("mat") => Engine::Gpu(OptConfig::mat()),
+                    Some("matgrp") => Engine::Gpu(OptConfig::mat_grp()),
+                    Some("gdroid") => Engine::Gpu(OptConfig::gdroid()),
+                    Some("cpu") => Engine::MultithreadedCpu,
+                    Some("amandroid") => Engine::AmandroidCpu,
+                    _ => usage(),
+                },
+                None => Engine::Gpu(OptConfig::gdroid()),
+            };
+            let app = load_app(target);
+            let outcome = vet_app(app, engine);
+            print!("{}", outcome.report.render());
+            println!(
+                "IDFG {:.3} ms | total {:.3} ms | {} node processings",
+                outcome.timing.idfg_ns / 1e6,
+                outcome.timing.total_ns() / 1e6,
+                outcome.telemetry.nodes_processed
+            );
+        }
+        "stats" => {
+            let Some(target) = args.get(1) else { usage() };
+            let mut app = load_app(target);
+            let stats = AppStats::of(&app);
+            println!("app:              {}", app.name);
+            println!("classes:          {}", stats.app_classes);
+            println!("methods:          {}", stats.methods);
+            println!("statements:       {}", stats.cfg_nodes);
+            println!("variables:        {} ({} reference)", stats.variables, stats.ref_variables);
+            println!("allocation sites: {}", stats.allocation_sites);
+            println!("call sites:       {}", stats.call_sites);
+            println!("branches:         {} ({} back edges)", stats.branches, stats.back_edges);
+            let (envs, cg) = prepare_app(&mut app);
+            let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+            let analysis = analyze_app(&app.program, &cg, &roots, StoreKind::Matrix);
+            println!("reachable:        {} methods", analysis.spaces.len());
+            println!("facts at fixpoint: {}", analysis.total_facts());
+            println!("max worklist:     {}", analysis.telemetry.max_worklist);
+        }
+        "dot" => {
+            let Some(target) = args.get(1) else { usage() };
+            let mut app = load_app(target);
+            let (envs, cg) = prepare_app(&mut app);
+            let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+            let dot = gdroid::icfg::callgraph_to_dot(&app.program, &cg, &roots);
+            match args.get(2) {
+                Some(path) => {
+                    std::fs::write(path, &dot).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{dot}"),
+            }
+        }
+        "assess" => {
+            let Some(target) = args.get(1) else { usage() };
+            let app = load_app(target);
+            let assessment = gdroid::vetting::assess_app(app);
+            print!("{}", assessment.render());
+        }
+        "export" => {
+            let (Some(n), Some(dir)) = (
+                args.get(1).and_then(|s| s.parse::<usize>().ok()),
+                args.get(2),
+            ) else {
+                usage()
+            };
+            let corpus = Corpus::paper_sized(n);
+            match gdroid::apk::export_corpus(&corpus, n, std::path::Path::new(dir)) {
+                Ok(dirs) => eprintln!("wrote {} bundle(s) under {dir}", dirs.len()),
+                Err(e) => {
+                    eprintln!("export failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "corpus" => {
+            let Some(n) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else { usage() };
+            let corpus = Corpus::paper_sized(n);
+            let stats: Vec<AppStats> = corpus.iter().map(|a| AppStats::of(&a)).collect();
+            let agg = CorpusStats::aggregate(&stats);
+            println!("apps:            {}", agg.apps);
+            println!("mean CFG nodes:  {:.0}", agg.mean_cfg_nodes);
+            println!("mean methods:    {:.0}", agg.mean_methods);
+            println!("max CFG nodes:   {}", agg.max_cfg_nodes);
+            println!("mean alloc sites: {:.0}", agg.mean_alloc_sites);
+            println!("mean call sites: {:.0}", agg.mean_call_sites);
+            println!("mean back edges: {:.0}", agg.mean_back_edges);
+        }
+        _ => usage(),
+    }
+}
