@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, bench compilation, and the tier-1 suite.
+#
+# Runs entirely offline — all third-party crates are vendored under
+# vendor/ (see README.md, "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo check --benches"
+cargo check --workspace --benches
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "ci/check.sh: all green"

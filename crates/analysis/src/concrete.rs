@@ -214,8 +214,7 @@ impl<'a> Interpreter<'a> {
                     pc += 1;
                 }
                 Stmt::Call { ret, args: call_args, .. } => {
-                    let argv: Vec<Value> =
-                        call_args.iter().map(|a| locals[a.index()]).collect();
+                    let argv: Vec<Value> = call_args.iter().map(|a| locals[a.index()]).collect();
                     let result = match self.cg.site(mid, stmt_idx) {
                         Some(CallTarget::Internal(targets)) if !targets.is_empty() => {
                             // Dynamic dispatch: use the receiver's birth
@@ -247,11 +246,7 @@ impl<'a> Interpreter<'a> {
                 Stmt::Switch { targets, default, .. } => {
                     let n = targets.len() + 1;
                     let pick = (self.rng_next() as usize) % n;
-                    pc = if pick < targets.len() {
-                        targets[pick].index()
-                    } else {
-                        default.index()
-                    };
+                    pc = if pick < targets.len() { targets[pick].index() } else { default.index() };
                 }
                 Stmt::Goto { target } => pc = target.index(),
                 Stmt::Return { var } => {
@@ -300,15 +295,11 @@ impl<'a> Interpreter<'a> {
                 }
                 _ => Value::Null,
             },
-            Expr::StaticField { field } => {
-                self.statics.get(field).copied().unwrap_or(Value::Null)
-            }
+            Expr::StaticField { field } => self.statics.get(field).copied().unwrap_or(Value::Null),
             Expr::Indexing { base, .. } => match locals[base.index()] {
-                Value::Ref(o) => self.heap[o.0 as usize]
-                    .elem
-                    .as_deref()
-                    .copied()
-                    .unwrap_or(Value::Null),
+                Value::Ref(o) => {
+                    self.heap[o.0 as usize].elem.as_deref().copied().unwrap_or(Value::Null)
+                }
                 _ => Value::Null,
             },
             Expr::Tuple { elems } => elems
@@ -389,10 +380,7 @@ pub fn check_soundness(
         let Some(space) = analysis.spaces.get(&obs.method) else { continue };
         let Some(cfg) = analysis.cfgs.get(&obs.method) else { continue };
         let Some(slot) = space.slot(Slot::Local(obs.var)) else {
-            violations.push(Violation {
-                observation: obs,
-                birth: heap_births(obs.object),
-            });
+            violations.push(Violation { observation: obs, birth: heap_births(obs.object) });
             continue;
         };
         let node = cfg.node_of(obs.stmt);
@@ -510,8 +498,9 @@ mod tests {
         let (app, cg, roots, _) = setup(503);
         let a = Interpreter::new(&app.program, &cg, InterpConfig { seed: 1, ..Default::default() })
             .run(roots[0]);
-        let b = Interpreter::new(&app.program, &cg, InterpConfig { seed: 99, ..Default::default() })
-            .run(roots[0]);
+        let b =
+            Interpreter::new(&app.program, &cg, InterpConfig { seed: 99, ..Default::default() })
+                .run(roots[0]);
         // Branch oracles differ → traces almost surely differ.
         assert!(a.steps != b.steps || a.observations.len() != b.observations.len());
     }

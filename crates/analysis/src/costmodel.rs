@@ -61,11 +61,7 @@ impl CpuCostModel {
     /// operation. The factor is calibrated so corpus medians land in the
     /// minutes range the paper reports (see EXPERIMENTS.md).
     pub fn amandroid() -> CpuCostModel {
-        CpuCostModel {
-            cores: 1,
-            language_factor: 40.0,
-            ..CpuCostModel::multithreaded_c()
-        }
+        CpuCostModel { cores: 1, language_factor: 40.0, ..CpuCostModel::multithreaded_c() }
     }
 
     /// Time for one method's (or one aggregate's) counters, sequential.

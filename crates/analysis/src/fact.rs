@@ -95,11 +95,7 @@ impl MethodSpace {
     /// Scans a method body and pre-computes its pools.
     pub fn build(program: &Program, mid: MethodId) -> MethodSpace {
         let method = &program.methods[mid];
-        let mut sp = MethodSpace {
-            method: mid,
-            stmt_count: method.len(),
-            ..Default::default()
-        };
+        let mut sp = MethodSpace { method: mid, stmt_count: method.len(), ..Default::default() };
 
         // --- instances -----------------------------------------------------
         // Formals first (stable small indices), then allocation sites and
@@ -119,15 +115,16 @@ impl MethodSpace {
         }
         for (idx, stmt) in method.body.iter_enumerated() {
             match stmt {
-                Stmt::Assign { rhs, .. } => match rhs {
-                    Expr::New { .. }
-                    | Expr::Lit(Literal::Str(_))
-                    | Expr::ConstClass { .. }
-                    | Expr::Exception => {
-                        sp.add_instance(Instance::Alloc(idx));
-                    }
-                    _ => {}
-                },
+                Stmt::Assign {
+                    rhs:
+                        Expr::New { .. }
+                        | Expr::Lit(Literal::Str(_))
+                        | Expr::ConstClass { .. }
+                        | Expr::Exception,
+                    ..
+                } => {
+                    sp.add_instance(Instance::Alloc(idx));
+                }
                 // Every call site gets a fresh-object instance, even calls
                 // whose result is discarded: a void callee can still store
                 // a fresh object into an argument's field, and that object
@@ -146,21 +143,19 @@ impl MethodSpace {
                 match lhs {
                     Lhs::Field { field, .. } => sp.note_ref_field(program, *field),
                     Lhs::StaticField { field }
-                        if program.fields[*field].ty.is_reference()
-                            && !statics.contains(field)
-                        => {
-                            statics.push(*field);
-                        }
+                        if program.fields[*field].ty.is_reference() && !statics.contains(field) =>
+                    {
+                        statics.push(*field);
+                    }
                     _ => {}
                 }
                 match rhs {
                     Expr::Access { field, .. } => sp.note_ref_field(program, *field),
                     Expr::StaticField { field }
-                        if program.fields[*field].ty.is_reference()
-                            && !statics.contains(field)
-                        => {
-                            statics.push(*field);
-                        }
+                        if program.fields[*field].ty.is_reference() && !statics.contains(field) =>
+                    {
+                        statics.push(*field);
+                    }
                     _ => {}
                 }
             }
@@ -263,8 +258,7 @@ impl MethodSpace {
 
     /// Rebuilds the skipped lookup maps after deserialization.
     pub fn rebuild_lookups(&mut self) {
-        self.slot_idx =
-            self.slots.iter().enumerate().map(|(i, &s)| (s, i as SlotIdx)).collect();
+        self.slot_idx = self.slots.iter().enumerate().map(|(i, &s)| (s, i as SlotIdx)).collect();
         self.instance_idx =
             self.instances.iter().enumerate().map(|(i, &s)| (s, i as InstanceIdx)).collect();
     }
@@ -389,7 +383,10 @@ mod tests {
         let a = mb.local("a", JType::object_array(obj_sym));
         let x = mb.local("x", JType::Object(obj_sym));
         let i = mb.local("i", JType::Int);
-        mb.stmt(Stmt::Assign { lhs: Lhs::Var(a), rhs: Expr::New { ty: JType::object_array(obj_sym) } });
+        mb.stmt(Stmt::Assign {
+            lhs: Lhs::Var(a),
+            rhs: Expr::New { ty: JType::object_array(obj_sym) },
+        });
         mb.stmt(Stmt::Assign { lhs: Lhs::ArrayElem { base: a, index: i }, rhs: Expr::Var(x) });
         mb.stmt(Stmt::Return { var: None });
         let mid = mb.build();

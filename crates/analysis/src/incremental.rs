@@ -102,8 +102,7 @@ pub fn analyze_app_incremental(
                     let space = &spaces[&mid];
                     let cfg = &cfgs[&mid];
                     let mut store = MatrixStore::new(Geometry::of(space), cfg.len());
-                    let tele =
-                        solve_method(program, mid, space, cfg, &mut store, &summaries, cg);
+                    let tele = solve_method(program, mid, space, cfg, &mut store, &summaries, cg);
                     telemetry.absorb(&tele);
                     per_method.entry(mid).or_default().absorb(&tele);
                     let store_ref = &store;
@@ -171,12 +170,7 @@ mod tests {
             .find(|(_, d)| d.ty.is_reference())
             .map(|(v, _)| v)
             .expect("method has a ref var");
-        let ty = method
-            .vars
-            .iter()
-            .find(|d| d.ty.is_reference())
-            .map(|d| d.ty)
-            .unwrap();
+        let ty = method.vars.iter().find(|d| d.ty.is_reference()).map(|d| d.ty).unwrap();
         let body = &mut method.body;
         // Overwrite the return slot with the new statement and re-append
         // the return.
@@ -196,17 +190,13 @@ mod tests {
         let prev = analyze_app(&app.program, &cg, &roots, StoreKind::Matrix);
 
         // Update a leaf-ish method.
-        let victim = *prev
-            .schedule
-            .first()
-            .and_then(|l| l.first())
-            .expect("at least one scheduled method");
+        let victim =
+            *prev.schedule.first().and_then(|l| l.first()).expect("at least one scheduled method");
         let updated = update_one_method(&app, victim);
         let cg2 = gdroid_icfg::CallGraph::build(&updated);
 
         let full = analyze_app(&updated, &cg2, &roots, StoreKind::Matrix);
-        let (incr, stats) =
-            analyze_app_incremental(&updated, &cg2, &roots, &prev, &[victim]);
+        let (incr, stats) = analyze_app_incremental(&updated, &cg2, &roots, &prev, &[victim]);
 
         assert_eq!(incr.summaries, full.summaries, "summaries diverge");
         for (mid, f) in &full.facts {
@@ -257,8 +247,7 @@ mod tests {
         let updated = update_one_method(&app, victim);
         let cg2 = gdroid_icfg::CallGraph::build(&updated);
         let full = analyze_app(&updated, &cg2, &roots, StoreKind::Matrix);
-        let (incr, stats) =
-            analyze_app_incremental(&updated, &cg2, &roots, &prev, &[victim]);
+        let (incr, stats) = analyze_app_incremental(&updated, &cg2, &roots, &prev, &[victim]);
         assert_eq!(incr.summaries, full.summaries);
         // The victim was re-solved; callers only if its summary changed.
         assert!(stats.resolved >= 1);

@@ -74,7 +74,13 @@ pub fn analyze_app_parallel(
                             StoreKind::Matrix => {
                                 let mut s = MatrixStore::new(geometry, cfg.len());
                                 let t = solve_method(
-                                    program, mid, space, cfg, &mut s, &local_summaries, cg,
+                                    program,
+                                    mid,
+                                    space,
+                                    cfg,
+                                    &mut s,
+                                    &local_summaries,
+                                    cg,
                                 );
                                 let b = s.memory_bytes();
                                 (t, s, b)
@@ -82,7 +88,13 @@ pub fn analyze_app_parallel(
                             StoreKind::Set => {
                                 let mut s = SetStore::new(geometry, cfg.len());
                                 let t = solve_method(
-                                    program, mid, space, cfg, &mut s, &local_summaries, cg,
+                                    program,
+                                    mid,
+                                    space,
+                                    cfg,
+                                    &mut s,
+                                    &local_summaries,
+                                    cg,
                                 );
                                 let b = s.memory_bytes();
                                 let mut mat = MatrixStore::new(geometry, cfg.len());

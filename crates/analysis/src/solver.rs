@@ -8,7 +8,7 @@
 //! every callee summary is final — the SBDA property.
 
 use crate::fact::MethodSpace;
-use crate::store::{FactStore, MatrixStore, SetStore, Geometry, NodeFacts};
+use crate::store::{FactStore, Geometry, MatrixStore, NodeFacts, SetStore};
 use crate::summary::{derive_summary, MethodSummary, SummaryMap};
 use crate::transfer::{CallResolution, TransferCtx};
 use gdroid_icfg::{CallGraph, CallTarget, Cfg};
@@ -274,17 +274,15 @@ pub fn analyze_app(
                     let (tele, result_store, bytes) = match store_kind {
                         StoreKind::Matrix => {
                             let mut store = MatrixStore::new(geometry, cfg.len());
-                            let tele = solve_method(
-                                program, mid, space, cfg, &mut store, &summaries, cg,
-                            );
+                            let tele =
+                                solve_method(program, mid, space, cfg, &mut store, &summaries, cg);
                             let bytes = store.memory_bytes();
                             (tele, store, bytes)
                         }
                         StoreKind::Set => {
                             let mut store = SetStore::new(geometry, cfg.len());
-                            let tele = solve_method(
-                                program, mid, space, cfg, &mut store, &summaries, cg,
-                            );
+                            let tele =
+                                solve_method(program, mid, space, cfg, &mut store, &summaries, cg);
                             let bytes = store.memory_bytes();
                             // Convert to matrix form for the result
                             // container (facts are identical).
@@ -303,8 +301,7 @@ pub fn analyze_app(
                     let exit = cfg.exit() as usize;
                     let store_ref = &result_store;
                     let node_facts = |n: usize| store_ref.snapshot(n);
-                    let summary =
-                        derive_summary(&program.methods[mid], space, &node_facts, exit);
+                    let summary = derive_summary(&program.methods[mid], space, &node_facts, exit);
                     let prev = summaries.insert(mid, summary);
                     if prev.as_ref() != summaries.get(&mid) {
                         changed = true;

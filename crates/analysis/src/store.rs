@@ -22,8 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Matrix geometry of one method: rows × columns and derived word counts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Geometry {
     /// Slot count (rows).
     pub slots: usize,
@@ -160,7 +159,10 @@ impl NodeFacts {
                 let tz = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let bit = wi * 64 + tz;
-                Some(Fact { slot: (bit / insts) as SlotIdx, instance: (bit % insts) as InstanceIdx })
+                Some(Fact {
+                    slot: (bit / insts) as SlotIdx,
+                    instance: (bit % insts) as InstanceIdx,
+                })
             })
         })
     }
@@ -206,7 +208,6 @@ pub struct SetStore {
     /// Cumulative reallocation events across the store's lifetime.
     pub total_reallocations: usize,
 }
-
 
 impl SetStore {
     /// Creates a store for `nodes` nodes.
@@ -265,10 +266,7 @@ impl FactStore for SetStore {
         // header (16 B) + tuple (24 B) + hash-table entry (~8 B) per
         // element of *capacity* (power-of-two growth leaves slack), plus
         // per-set table overhead.
-        self.sets
-            .iter()
-            .map(|s| 640 + s.capacity().max(s.len()) * 64)
-            .sum()
+        self.sets.iter().map(|s| 640 + s.capacity().max(s.len()) * 64).sum()
     }
 }
 
@@ -307,11 +305,7 @@ impl FactStore for MatrixStore {
     fn union_into(&mut self, node: usize, facts: &NodeFacts) -> UnionOutcome {
         let before = self.nodes[node].count();
         let changed = self.nodes[node].union(facts);
-        UnionOutcome {
-            changed,
-            inserted: self.nodes[node].count() - before,
-            reallocations: 0,
-        }
+        UnionOutcome { changed, inserted: self.nodes[node].count() - before, reallocations: 0 }
     }
 
     fn seed(&mut self, node: usize, facts: &[Fact]) {
@@ -375,8 +369,11 @@ mod tests {
     #[test]
     fn bitmap_iter_matches_sets() {
         let mut bm = NodeFacts::empty(geo());
-        let facts =
-            [Fact { slot: 0, instance: 0 }, Fact { slot: 6, instance: 6 }, Fact { slot: 9, instance: 1 }];
+        let facts = [
+            Fact { slot: 0, instance: 0 },
+            Fact { slot: 6, instance: 6 },
+            Fact { slot: 9, instance: 1 },
+        ];
         for f in facts {
             bm.set(f);
         }

@@ -222,9 +222,6 @@ mod tests {
 
         let summary = derive_summary(method, &space, &node_facts, 3);
         assert!(summary.returns.contains(&Token::Formal(1)), "{summary:?}");
-        assert!(
-            summary.field_writes.contains(&(Token::Formal(0), f, Token::Fresh)),
-            "{summary:?}"
-        );
+        assert!(summary.field_writes.contains(&(Token::Formal(0), f, Token::Fresh)), "{summary:?}");
     }
 }

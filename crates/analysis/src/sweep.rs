@@ -141,7 +141,10 @@ mod tests {
             mb.stmt(Stmt::Assign { lhs: Lhs::Var(chain[i]), rhs: Expr::Var(chain[i + 1]) });
         }
         let lastv = *chain.last().unwrap();
-        mb.stmt(Stmt::Assign { lhs: Lhs::Var(lastv), rhs: Expr::New { ty: JType::Object(obj_sym) } });
+        mb.stmt(Stmt::Assign {
+            lhs: Lhs::Var(lastv),
+            rhs: Expr::New { ty: JType::Object(obj_sym) },
+        });
         mb.stmt(Stmt::Goto { target: head });
         let end = mb.next_idx();
         mb.patch_target(exit, end);
@@ -178,8 +181,7 @@ mod tests {
         let cfg = Cfg::build(&app.program.methods[mid]);
         let mut store = MatrixStore::new(Geometry::of(&space), cfg.len());
         let summaries = SummaryMap::new();
-        let tele =
-            solve_method_sweep(&app.program, mid, &space, &cfg, &mut store, &summaries, &cg);
+        let tele = solve_method_sweep(&app.program, mid, &space, &cfg, &mut store, &summaries, &cg);
         assert!(tele.rounds >= 2, "needs at least a change sweep and a quiescent sweep");
         assert!(tele.round_sizes.iter().all(|&s| s as usize == cfg.len()));
         assert_eq!(tele.nodes_processed, tele.rounds * cfg.len());

@@ -61,7 +61,9 @@ impl<'a> TransferCtx<'a> {
         let stmt = &self.method.body[stmt_idx];
 
         match stmt {
-            Stmt::Assign { lhs, rhs } => self.transfer_assign(stmt_idx, lhs, rhs, input, &mut out, &mut effort),
+            Stmt::Assign { lhs, rhs } => {
+                self.transfer_assign(stmt_idx, lhs, rhs, input, &mut out, &mut effort)
+            }
             Stmt::Call { ret, args, .. } => {
                 let summary_storage;
                 let summary: &MethodSummary = match (self.resolve_call)(stmt_idx) {
@@ -97,7 +99,10 @@ impl<'a> TransferCtx<'a> {
         // Evaluate the RHS to a set of instances (for reference-producing
         // expressions) while tracking effort.
         let rhs_instances: Option<Vec<u16>> = match rhs {
-            Expr::New { .. } | Expr::Lit(Literal::Str(_)) | Expr::ConstClass { .. } | Expr::Exception => {
+            Expr::New { .. }
+            | Expr::Lit(Literal::Str(_))
+            | Expr::ConstClass { .. }
+            | Expr::Exception => {
                 effort.facts_written += 1;
                 self.space.instance(Instance::Alloc(stmt_idx)).map(|i| vec![i])
             }
@@ -357,7 +362,8 @@ mod tests {
         let obj_sym = pb.program().classes[obj].name;
         let cls = pb.class("A").extends(obj).build();
         let f = pb.field(cls, "f", JType::Object(obj_sym), false);
-        let ext = Signature::new(pb.intern("Ext"), pb.intern("get"), vec![], JType::Object(obj_sym));
+        let ext =
+            Signature::new(pb.intern("Ext"), pb.intern("get"), vec![], JType::Object(obj_sym));
         let mut mb = pb.method(cls, "m");
         let this = mb.this();
         let _p = mb.param("p", JType::Object(obj_sym));
@@ -389,7 +395,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         let (out, effort) = ctx.transfer(StmtIdx(0), &entry);
         let slot = space.slot(Slot::Local(fx.r)).unwrap();
         let alloc = space.instance(Instance::Alloc(StmtIdx(0))).unwrap();
@@ -402,7 +412,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         // L0 then L1 then L2.
         let (f0, _) = ctx.transfer(StmtIdx(0), &entry);
         let (f1, e1) = ctx.transfer(StmtIdx(1), &f0);
@@ -423,7 +437,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         let (f0, _) = ctx.transfer(StmtIdx(0), &entry);
         let (f1, _) = ctx.transfer(StmtIdx(1), &f0);
         let (f2, _) = ctx.transfer(StmtIdx(2), &f1);
@@ -437,7 +455,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         let (out, _) = ctx.transfer(StmtIdx(4), &entry);
         let s_slot = space.slot(Slot::Local(fx.s)).unwrap();
         let ret = space.instance(Instance::CallRet(StmtIdx(4))).unwrap();
@@ -465,7 +487,15 @@ mod tests {
         // Apply the summary manually with explicit args.
         let mut out = entry.clone();
         let mut effort = TransferEffort::default();
-        ctx.apply_summary(StmtIdx(4), &summary, Some(fx.s), &[fx.this, fx.r], &entry, &mut out, &mut effort);
+        ctx.apply_summary(
+            StmtIdx(4),
+            &summary,
+            Some(fx.s),
+            &[fx.this, fx.r],
+            &entry,
+            &mut out,
+            &mut effort,
+        );
         let s_slot = space.slot(Slot::Local(fx.s)).unwrap();
         assert_eq!(out.row(s_slot), vec![alloc], "arg r's points-to flows to the return");
     }
@@ -494,7 +524,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         let (out, effort) = ctx.transfer(StmtIdx(5), &entry); // return
         assert_eq!(out, entry);
         assert_eq!(effort, TransferEffort::default());
@@ -506,7 +540,11 @@ mod tests {
         let fx = fixture();
         let (space, entry) = ctx_and_entry(&fx);
         let resolve = |_: StmtIdx| CallResolution::External;
-        let ctx = TransferCtx { method: &fx.program.methods[fx.mid], space: &space, resolve_call: &resolve };
+        let ctx = TransferCtx {
+            method: &fx.program.methods[fx.mid],
+            space: &space,
+            resolve_call: &resolve,
+        };
         let (small_out, _) = ctx.transfer(StmtIdx(2), &entry);
         let mut bigger = entry.clone();
         // Add heap facts the load at L2 will pick up.

@@ -26,11 +26,8 @@ pub fn manifest_to_text(app: &App) -> String {
     writeln!(out, "seed {}", app.seed).unwrap();
     for c in &app.manifest.components {
         let class = app.program.interner.resolve(c.class);
-        let main = if c.intent_filters.iter().any(|f| f.action.ends_with("MAIN")) {
-            " MAIN"
-        } else {
-            ""
-        };
+        let main =
+            if c.intent_filters.iter().any(|f| f.action.ends_with("MAIN")) { " MAIN" } else { "" };
         writeln!(
             out,
             "component {class} {:?} {}{main}",
@@ -54,6 +51,8 @@ pub enum BundleError {
     Jil(gdroid_ir::text::ParseError),
     /// Malformed manifest line.
     Manifest(String),
+    /// Parsed, but structurally invalid IR (see [`gdroid_ir::validate`]).
+    Invalid(String),
 }
 
 impl std::fmt::Display for BundleError {
@@ -62,6 +61,7 @@ impl std::fmt::Display for BundleError {
             BundleError::Io(e) => write!(f, "bundle io error: {e}"),
             BundleError::Jil(e) => write!(f, "bundle jil error: {e}"),
             BundleError::Manifest(m) => write!(f, "bundle manifest error: {m}"),
+            BundleError::Invalid(m) => write!(f, "bundle holds invalid IR: {m}"),
         }
     }
 }
@@ -86,6 +86,12 @@ pub fn save_bundle(app: &App, dir: &Path) -> Result<(), BundleError> {
 pub fn load_bundle(dir: &Path) -> Result<App, BundleError> {
     let jil = std::fs::read_to_string(dir.join("app.jil"))?;
     let program = parse_program(&jil).map_err(BundleError::Jil)?;
+    // Bundles are external input: unlike generator output, they get the
+    // full structural validation before any analysis may index them.
+    let errors = gdroid_ir::validate_program(&program);
+    if let Some(first) = errors.first() {
+        return Err(BundleError::Invalid(format!("{first} (+{} more)", errors.len() - 1)));
+    }
     let manifest_text = std::fs::read_to_string(dir.join("manifest.txt"))?;
 
     let mut package = String::new();
@@ -111,10 +117,7 @@ pub fn load_bundle(dir: &Path) -> Result<App, BundleError> {
                     .ok_or_else(|| err("unknown category"))?;
             }
             "seed" => {
-                seed = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("bad seed"))?;
+                seed = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| err("bad seed"))?;
             }
             "component" => {
                 let class = parts.next().ok_or_else(|| err("missing class"))?;

@@ -33,7 +33,11 @@ pub struct Corpus {
 impl Corpus {
     /// The full paper-scale corpus (1000 apps, Table I calibration).
     pub fn paper() -> Self {
-        Self { master_seed: PAPER_MASTER_SEED, size: PAPER_CORPUS_SIZE, config: GenConfig::default() }
+        Self {
+            master_seed: PAPER_MASTER_SEED,
+            size: PAPER_CORPUS_SIZE,
+            config: GenConfig::default(),
+        }
     }
 
     /// A corpus with the paper's generator profile but a custom size —

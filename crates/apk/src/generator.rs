@@ -88,10 +88,8 @@ impl<'a> AppGen<'a> {
                 } else {
                     *self.rng.pick(&ComponentKind::ALL)
                 };
-                let base = fw.component_bases[ComponentKind::ALL
-                    .iter()
-                    .position(|&k| k == kind)
-                    .expect("kind in ALL")];
+                let base = fw.component_bases
+                    [ComponentKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")];
                 let c = pb.class(&name).extends(base).build();
                 component_info.push((c, kind));
                 c
@@ -196,16 +194,27 @@ impl<'a> AppGen<'a> {
         // --- generate bodies ----------------------------------------------
         let mut uses_source_api = false;
         for (i, pm) in plan.iter().enumerate() {
-            let budget =
-                self.rng.log_normal_int(cfg.stmts_median, cfg.stmts_sigma, 3, 320);
+            let budget = self.rng.log_normal_int(cfg.stmts_median, cfg.stmts_sigma, 3, 320);
             // The first lifecycle callback of a leaky app gets the planted
             // source→sink flow.
             let plant_leak = leaky && pm.lifecycle && {
                 // Only plant once: the first lifecycle method in plan order.
                 plan.iter().position(|p| p.lifecycle) == Some(i)
             };
-            let used_source = self.gen_body(&mut pb, pm, &sigs[i], &plan, &sigs, &by_layer, &fw,
-                &ref_fields, &prim_fields, &static_ref_fields, budget, plant_leak);
+            let used_source = self.gen_body(
+                &mut pb,
+                pm,
+                &sigs[i],
+                &plan,
+                &sigs,
+                &by_layer,
+                &fw,
+                &ref_fields,
+                &prim_fields,
+                &static_ref_fields,
+                budget,
+                plant_leak,
+            );
             uses_source_api |= used_source;
         }
 
@@ -238,10 +247,14 @@ impl<'a> AppGen<'a> {
 
         let name = format!("com.gen.app{:04}", self.index);
         let program = pb.finish();
-        debug_assert!(
-            gdroid_ir::validate_program(&program).is_empty(),
-            "generator produced invalid IR: {:?}",
-            gdroid_ir::validate_program(&program).first()
+        // Unconditional (not debug_assert): corpus runs are release builds,
+        // and an invalid program must never reach the kernels. Validation
+        // is linear and cheap next to the analysis itself.
+        let errors = gdroid_ir::validate_program(&program);
+        assert!(
+            errors.is_empty(),
+            "generator produced invalid IR (seed {seed}): {:?}",
+            errors.first()
         );
         App {
             name: name.clone(),
@@ -312,7 +325,10 @@ impl<'a> AppGen<'a> {
         };
         let seed_ref = refs[self.rng.below(refs.len() as u64) as usize];
         let cls = app_classes[self.rng.zipf(app_classes.len(), 1.0)];
-        mb.stmt(Stmt::Assign { lhs: Lhs::Var(seed_ref), rhs: Expr::New { ty: JType::Object(cls) } });
+        mb.stmt(Stmt::Assign {
+            lhs: Lhs::Var(seed_ref),
+            rhs: Expr::New { ty: JType::Object(cls) },
+        });
         let seed_prim = prims[self.rng.below(prims.len() as u64) as usize];
         mb.stmt(Stmt::Assign { lhs: Lhs::Var(seed_prim), rhs: Expr::Lit(Literal::Int(0)) });
         mb.stmt(Stmt::Assign {
@@ -347,8 +363,19 @@ impl<'a> AppGen<'a> {
             self.emit_leak(&mut mb, &mut ctx, fw, &method_fields);
         }
 
-        self.gen_block(&mut mb, &mut ctx, plan, sigs, by_layer, fw, &method_fields, prim_fields,
-            static_ref_fields, 0, budget);
+        self.gen_block(
+            &mut mb,
+            &mut ctx,
+            plan,
+            sigs,
+            by_layer,
+            fw,
+            &method_fields,
+            prim_fields,
+            static_ref_fields,
+            0,
+            budget,
+        );
 
         // Final return.
         if pm.returns_ref {
@@ -391,7 +418,10 @@ impl<'a> AppGen<'a> {
                 rhs: Expr::Var(tainted),
             });
             let out = *self.rng.pick(&ctx.refs);
-            mb.stmt(Stmt::Assign { lhs: Lhs::Var(out), rhs: Expr::Access { base: holder, field: f } });
+            mb.stmt(Stmt::Assign {
+                lhs: Lhs::Var(out),
+                rhs: Expr::Access { base: holder, field: f },
+            });
             out
         } else {
             tainted
@@ -449,8 +479,17 @@ impl<'a> AppGen<'a> {
             match self.rng.weighted(&weights) {
                 // ---- straight-line statement -----------------------------
                 0 => {
-                    self.emit_simple(mb, ctx, plan, sigs, by_layer, fw, ref_fields, prim_fields,
-                        static_ref_fields);
+                    self.emit_simple(
+                        mb,
+                        ctx,
+                        plan,
+                        sigs,
+                        by_layer,
+                        fw,
+                        ref_fields,
+                        prim_fields,
+                        static_ref_fields,
+                    );
                     remaining -= 1;
                 }
                 // ---- if diamond -------------------------------------------
@@ -460,15 +499,37 @@ impl<'a> AppGen<'a> {
                     let if_at = mb.stmt(Stmt::If { cond, target: gdroid_ir::StmtIdx(0) });
                     // then-branch
                     let then_budget = inner / 2 + 1;
-                    self.gen_block(mb, ctx, plan, sigs, by_layer, fw, ref_fields, prim_fields,
-                        static_ref_fields, depth + 1, then_budget);
+                    self.gen_block(
+                        mb,
+                        ctx,
+                        plan,
+                        sigs,
+                        by_layer,
+                        fw,
+                        ref_fields,
+                        prim_fields,
+                        static_ref_fields,
+                        depth + 1,
+                        then_budget,
+                    );
                     let goto_at = mb.stmt(Stmt::Goto { target: gdroid_ir::StmtIdx(0) });
                     let else_start = mb.next_idx();
                     mb.patch_target(if_at, else_start);
                     let else_budget = inner - then_budget.min(inner);
                     if else_budget > 0 {
-                        self.gen_block(mb, ctx, plan, sigs, by_layer, fw, ref_fields,
-                            prim_fields, static_ref_fields, depth + 1, else_budget);
+                        self.gen_block(
+                            mb,
+                            ctx,
+                            plan,
+                            sigs,
+                            by_layer,
+                            fw,
+                            ref_fields,
+                            prim_fields,
+                            static_ref_fields,
+                            depth + 1,
+                            else_budget,
+                        );
                     } else {
                         mb.stmt(Stmt::Empty);
                     }
@@ -484,9 +545,19 @@ impl<'a> AppGen<'a> {
                     mb.stmt(Stmt::Assign { lhs: Lhs::Var(i_var), rhs: Expr::Lit(Literal::Int(0)) });
                     let head = mb.next_idx();
                     let exit_at = mb.stmt(Stmt::If { cond, target: gdroid_ir::StmtIdx(0) });
-                    self.gen_block(mb, ctx, plan, sigs, by_layer, fw, ref_fields, prim_fields,
-                        static_ref_fields, depth + 1, inner)
-                        ;
+                    self.gen_block(
+                        mb,
+                        ctx,
+                        plan,
+                        sigs,
+                        by_layer,
+                        fw,
+                        ref_fields,
+                        prim_fields,
+                        static_ref_fields,
+                        depth + 1,
+                        inner,
+                    );
                     mb.stmt(Stmt::Assign {
                         lhs: Lhs::Var(i_var),
                         rhs: Expr::Binary { op: BinOp::Add, lhs: i_var, rhs: cond },
@@ -515,8 +586,19 @@ impl<'a> AppGen<'a> {
                     let per_case = (inner / n_cases).max(1);
                     for _ in 0..n_cases {
                         case_starts.push(mb.next_idx());
-                        self.gen_block(mb, ctx, plan, sigs, by_layer, fw, ref_fields,
-                            prim_fields, static_ref_fields, depth + 1, per_case);
+                        self.gen_block(
+                            mb,
+                            ctx,
+                            plan,
+                            sigs,
+                            by_layer,
+                            fw,
+                            ref_fields,
+                            prim_fields,
+                            static_ref_fields,
+                            depth + 1,
+                            per_case,
+                        );
                         gotos.push(mb.stmt(Stmt::Goto { target: gdroid_ir::StmtIdx(0) }));
                     }
                     let end = mb.next_idx();
@@ -603,7 +685,10 @@ impl<'a> AppGen<'a> {
                 let classes: Vec<gdroid_ir::Symbol> =
                     mb.pb_program().classes.iter().map(|c| c.name).collect();
                 let cls = classes[self.rng.zipf(classes.len(), 1.0)];
-                mb.stmt(Stmt::Assign { lhs: Lhs::Var(dst), rhs: Expr::New { ty: JType::Object(cls) } });
+                mb.stmt(Stmt::Assign {
+                    lhs: Lhs::Var(dst),
+                    rhs: Expr::New { ty: JType::Object(cls) },
+                });
             }
             4 => {
                 let dst = p(self, ctx);
@@ -620,7 +705,10 @@ impl<'a> AppGen<'a> {
                     BinOp::Or,
                     BinOp::Xor,
                 ]);
-                mb.stmt(Stmt::Assign { lhs: Lhs::Var(d), rhs: Expr::Binary { op, lhs: a, rhs: b } });
+                mb.stmt(Stmt::Assign {
+                    lhs: Lhs::Var(d),
+                    rhs: Expr::Binary { op, lhs: a, rhs: b },
+                });
             }
             6 => {
                 let dst = r(self, ctx);
@@ -640,7 +728,10 @@ impl<'a> AppGen<'a> {
             9 => {
                 let (dst, i) = (r(self, ctx), p(self, ctx));
                 let arr = ctx.arr;
-                mb.stmt(Stmt::Assign { lhs: Lhs::Var(dst), rhs: Expr::Indexing { base: arr, index: i } });
+                mb.stmt(Stmt::Assign {
+                    lhs: Lhs::Var(dst),
+                    rhs: Expr::Indexing { base: arr, index: i },
+                });
             }
             10 => {
                 let (src, i) = (r(self, ctx), p(self, ctx));
@@ -652,7 +743,10 @@ impl<'a> AppGen<'a> {
             }
             11 => {
                 let (d, s) = (r(self, ctx), r(self, ctx));
-                mb.stmt(Stmt::Assign { lhs: Lhs::Var(d), rhs: Expr::Cast { ty: obj_ty, operand: s } });
+                mb.stmt(Stmt::Assign {
+                    lhs: Lhs::Var(d),
+                    rhs: Expr::Cast { ty: obj_ty, operand: s },
+                });
             }
             12 => {
                 let d = r(self, ctx);
@@ -714,7 +808,10 @@ impl<'a> AppGen<'a> {
                 let f = prim_fields[self.rng.below(prim_fields.len() as u64) as usize];
                 let (base, v) = (r(self, ctx), p(self, ctx));
                 if self.rng.chance(0.5) {
-                    mb.stmt(Stmt::Assign { lhs: Lhs::Var(v), rhs: Expr::Access { base, field: f } });
+                    mb.stmt(Stmt::Assign {
+                        lhs: Lhs::Var(v),
+                        rhs: Expr::Access { base, field: f },
+                    });
                 } else {
                     mb.stmt(Stmt::Assign { lhs: Lhs::Field { base, field: f }, rhs: Expr::Var(v) });
                 }
@@ -791,11 +888,7 @@ impl<'a> AppGen<'a> {
         for _ in 0..callee.prim_params {
             args.push(*self.rng.pick(&ctx.prims));
         }
-        let ret = if callee.returns_ref {
-            Some(*self.rng.pick(&ctx.refs))
-        } else {
-            None
-        };
+        let ret = if callee.returns_ref { Some(*self.rng.pick(&ctx.refs)) } else { None };
         mb.stmt(Stmt::Call {
             ret,
             kind: if callee.is_static { CallKind::Static } else { CallKind::Virtual },
@@ -908,11 +1001,8 @@ mod tests {
         }
         // CallRhs is only produced by the environment synthesis
         // (gdroid-icfg), so 16 of 17 here.
-        let expected: Vec<ExprKind> = ExprKind::ALL
-            .iter()
-            .copied()
-            .filter(|k| !matches!(k, ExprKind::CallRhs))
-            .collect();
+        let expected: Vec<ExprKind> =
+            ExprKind::ALL.iter().copied().filter(|k| !matches!(k, ExprKind::CallRhs)).collect();
         for kind in expected {
             assert!(seen.contains(&kind), "missing expression kind {kind:?}");
         }

@@ -64,10 +64,9 @@ impl AppStats {
                         }
                     }
                     Stmt::Switch { .. } => s.branches += 1,
-                    Stmt::Goto { target }
-                        if target.index() <= idx.index() => {
-                            s.back_edges += 1;
-                        }
+                    Stmt::Goto { target } if target.index() <= idx.index() => {
+                        s.back_edges += 1;
+                    }
                     _ => {}
                 }
             }

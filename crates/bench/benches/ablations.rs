@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gdroid_analysis::{
-    analyze_app, analyze_app_incremental, solve_method, solve_method_sweep, Geometry,
-    MatrixStore, MethodSpace, StoreKind, SummaryMap,
+    analyze_app, analyze_app_incremental, solve_method, solve_method_sweep, Geometry, MatrixStore,
+    MethodSpace, StoreKind, SummaryMap,
 };
 use gdroid_apk::{generate_app, GenConfig};
 use gdroid_core::{gpu_analyze_app, OptConfig};

@@ -3,7 +3,9 @@
 //! whole-app runs under each store.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gdroid_analysis::{analyze_app, Fact, FactStore, Geometry, MatrixStore, NodeFacts, SetStore, StoreKind};
+use gdroid_analysis::{
+    analyze_app, Fact, FactStore, Geometry, MatrixStore, NodeFacts, SetStore, StoreKind,
+};
 use gdroid_apk::{generate_app, GenConfig};
 use gdroid_icfg::prepare_app;
 use gdroid_ir::MethodId;

@@ -23,7 +23,13 @@ fn bench_fig4(c: &mut Criterion) {
 
     g.bench_function("gpu_plain_kernel_sim", |b| {
         b.iter(|| {
-            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::plain())
+            gpu_analyze_app(
+                &app.program,
+                &cg,
+                &roots,
+                DeviceConfig::tesla_p40(),
+                OptConfig::plain(),
+            )
         });
     });
 

@@ -22,13 +22,25 @@ fn bench_worklist(c: &mut Criterion) {
 
     g.bench_function("worklist_without_mer", |b| {
         b.iter(|| {
-            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::mat_grp())
+            gpu_analyze_app(
+                &app.program,
+                &cg,
+                &roots,
+                DeviceConfig::tesla_p40(),
+                OptConfig::mat_grp(),
+            )
         });
     });
 
     g.bench_function("worklist_with_mer", |b| {
         b.iter(|| {
-            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::gdroid())
+            gpu_analyze_app(
+                &app.program,
+                &cg,
+                &roots,
+                DeviceConfig::tesla_p40(),
+                OptConfig::gdroid(),
+            )
         });
     });
 

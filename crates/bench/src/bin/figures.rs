@@ -9,12 +9,12 @@
 //! ```
 
 use gdroid_apk::Corpus;
-use gdroid_bench::{experiments, run_corpus};
+use gdroid_bench::{experiments, run_corpus, sancheck_corpus};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -45,6 +45,15 @@ fn main() {
 
     let mut corpus = Corpus::paper_sized(apps);
     corpus.config.scale *= scale;
+
+    if experiment == "sancheck" {
+        eprintln!("sanitizing {apps} apps (scale {scale}) across all kernel variants…");
+        let t0 = Instant::now();
+        let outcome = sancheck_corpus(&corpus, apps);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        println!("{outcome}");
+        std::process::exit(if outcome.is_clean() { 0 } else { 1 });
+    }
 
     eprintln!("analyzing {apps} apps (scale {scale}) across all engines…");
     let t0 = Instant::now();

@@ -39,9 +39,13 @@ pub fn table1(records: &[AppRecord]) -> String {
     writeln!(out, "  no. of Methods     paper  268 | measured mean {:.0}", methods.mean()).unwrap();
     writeln!(out, "  no. of Variable    paper  116 | measured mean slot-pool {:.0}", slots.mean())
         .unwrap();
-    writeln!(out, "  max Worklist len   paper   74 | measured mean-of-max {:.0} (max {:.0})",
-        maxwl.mean(), maxwl.max())
-        .unwrap();
+    writeln!(
+        out,
+        "  max Worklist len   paper   74 | measured mean-of-max {:.0} (max {:.0})",
+        maxwl.mean(),
+        maxwl.max()
+    )
+    .unwrap();
     out
 }
 
@@ -69,8 +73,7 @@ pub fn fig1(records: &[AppRecord]) -> String {
 
 /// Fig. 4 — plain GPU vs multithreaded CPU.
 pub fn fig4(records: &[AppRecord]) -> String {
-    let speedups =
-        Series::new(records.iter().map(|r| r.cpu_mt_ns / r.gpu[0].total_ns).collect());
+    let speedups = Series::new(records.iter().map(|r| r.cpu_mt_ns / r.gpu[0].total_ns).collect());
     let mut out = String::new();
     writeln!(out, "== Fig. 4: plain GPU vs CPU ({} apps) ==", records.len()).unwrap();
     writeln!(out, "  average speedup    paper 1.81x | measured {:.2}x", speedups.mean()).unwrap();
@@ -126,11 +129,9 @@ pub fn fig9(records: &[AppRecord]) -> String {
 
 /// Fig. 10 — memory footprint, matrix vs set.
 pub fn fig10(records: &[AppRecord]) -> String {
-    let ratios = Series::new(
-        records.iter().map(|r| r.matrix_bytes as f64 / r.set_bytes as f64).collect(),
-    );
-    let mb =
-        Series::new(records.iter().map(|r| r.set_bytes as f64 / (1 << 20) as f64).collect());
+    let ratios =
+        Series::new(records.iter().map(|r| r.matrix_bytes as f64 / r.set_bytes as f64).collect());
+    let mb = Series::new(records.iter().map(|r| r.set_bytes as f64 / (1 << 20) as f64).collect());
     let mut out = String::new();
     writeln!(out, "== Fig. 10: memory footprint MAT vs set ({} apps) ==", records.len()).unwrap();
     writeln!(
@@ -149,10 +150,8 @@ pub fn fig10(records: &[AppRecord]) -> String {
 /// Fig. 11 — GRP on top of MAT.
 pub fn fig11(records: &[AppRecord]) -> String {
     let s = ladder_speedups(records, 2, 1);
-    let div_mat =
-        Series::new(records.iter().map(|r| r.gpu[1].divergence).collect());
-    let div_grp =
-        Series::new(records.iter().map(|r| r.gpu[2].divergence).collect());
+    let div_mat = Series::new(records.iter().map(|r| r.gpu[1].divergence).collect());
+    let div_grp = Series::new(records.iter().map(|r| r.gpu[2].divergence).collect());
     let mut out = String::new();
     writeln!(out, "== Fig. 11: GRP vs MAT baseline ({} apps) ==", records.len()).unwrap();
     writeln!(out, "  average speedup    paper ~1.43x | measured {:.2}x", s.mean()).unwrap();
@@ -214,16 +213,10 @@ pub fn table2(records: &[AppRecord]) -> String {
     let mut out = String::new();
     writeln!(out, "== Table II: worklist profiling ({} apps) ==", records.len()).unwrap();
     writeln!(out, "  sizes <=32 / 32-64 / >64 (% of rounds)").unwrap();
-    writeln!(
-        out,
-        "    before MER  paper 87.6/4.3/8.1  | measured {b32:.1}/{b64:.1}/{bgt:.1}"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "    after  MER  paper 74.4/11.9/13.7 | measured {a32:.1}/{a64:.1}/{agt:.1}"
-    )
-    .unwrap();
+    writeln!(out, "    before MER  paper 87.6/4.3/8.1  | measured {b32:.1}/{b64:.1}/{bgt:.1}")
+        .unwrap();
+    writeln!(out, "    after  MER  paper 74.4/11.9/13.7 | measured {a32:.1}/{a64:.1}/{agt:.1}")
+        .unwrap();
     writeln!(out, "  worklist iterations per app (K): avg / max / min").unwrap();
     writeln!(
         out,
@@ -300,8 +293,13 @@ pub fn ext_multigpu(records: &[AppRecord]) -> String {
     // deployment the paper's introduction implies (screen ~7K new apps a
     // day). Embarrassingly parallel, so scaling is near-linear and limited
     // only by per-device load imbalance.
-    writeln!(out, "
-  corpus throughput (whole apps per GPU, {} apps):", sample.len()).unwrap();
+    writeln!(
+        out,
+        "
+  corpus throughput (whole apps per GPU, {} apps):",
+        sample.len()
+    )
+    .unwrap();
     let single: Vec<f64> = sample
         .iter()
         .map(|&idx| {
@@ -326,9 +324,7 @@ pub fn ext_multigpu(records: &[AppRecord]) -> String {
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let mut loads = vec![0.0f64; n];
         for t in sorted {
-            let i = (0..n)
-                .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
-                .unwrap();
+            let i = (0..n).min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap()).unwrap();
             loads[i] += t;
         }
         let makespan = loads.iter().copied().fold(0.0f64, f64::max);
@@ -473,7 +469,7 @@ mod tests {
         let corpus = Corpus::paper_sized(12);
         let records = run_corpus(&corpus, 12);
         let mean = |f: &dyn Fn(&crate::record::AppRecord) -> f64| {
-            records.iter().map(|r| f(r)).sum::<f64>() / records.len() as f64
+            records.iter().map(f).sum::<f64>() / records.len() as f64
         };
         let nodes = mean(&|r| r.icfg_nodes as f64);
         assert!((2_000.0..20_000.0).contains(&nodes), "ICFG nodes {nodes} out of band");
@@ -512,14 +508,7 @@ mod tests {
         let records = run_corpus(&corpus, 2);
         let text = all(&records);
         for needle in [
-            "Table I",
-            "Fig. 1",
-            "Fig. 4",
-            "Fig. 8",
-            "Fig. 9",
-            "Fig. 10",
-            "Fig. 11",
-            "Fig. 12",
+            "Table I", "Fig. 1", "Fig. 4", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
             "Table II",
         ] {
             assert!(text.contains(needle), "missing section {needle}");

@@ -15,7 +15,9 @@
 
 pub mod experiments;
 pub mod record;
+pub mod sancheck;
 pub mod stats;
 
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
-pub use stats::{percent_between, percent_below, Series};
+pub use sancheck::{sancheck_corpus, SancheckOutcome};
+pub use stats::{percent_below, percent_between, Series};

@@ -136,11 +136,7 @@ pub fn run_app(corpus: &Corpus, index: usize) -> AppRecord {
         cpu_mat.spaces.values().map(|s| s.slot_count() as f64).sum::<f64>()
             / cpu_mat.spaces.len() as f64
     };
-    let icfg_nodes = cpu_mat
-        .cfgs
-        .values()
-        .map(|c| c.stmt_count())
-        .sum::<usize>();
+    let icfg_nodes = cpu_mat.cfgs.values().map(|c| c.stmt_count()).sum::<usize>();
 
     AppRecord {
         index,

@@ -75,8 +75,7 @@ mod tests {
         let (envs, cg) = prepare_app(&mut app);
         let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
         let base = DeviceConfig::tesla_p40();
-        let result =
-            tune_blocks_per_sm(&app.program, &cg, &roots, base, OptConfig::gdroid(), 8);
+        let result = tune_blocks_per_sm(&app.program, &cg, &roots, base, OptConfig::gdroid(), 8);
         assert!((1..=8).contains(&result.blocks_per_sm));
         assert_eq!(result.candidate_ns.len(), 8);
         assert!(result.spread >= 1.0);

@@ -17,9 +17,8 @@ use crate::layout::{plan_layout, AppLayout};
 use crate::opts::OptConfig;
 use crate::stats::{GpuRunStats, WorklistProfile};
 use gdroid_analysis::{
-    FactStore,
-    derive_summary, merge_site_summaries, Geometry, MatrixStore, MethodSpace, SummaryMap,
-    WorklistTelemetry,
+    derive_summary, merge_site_summaries, FactStore, Geometry, MatrixStore, MethodSpace,
+    SummaryMap, WorklistTelemetry,
 };
 use gdroid_gpusim::{dual_buffered, Device, DeviceConfig};
 use gdroid_icfg::{CallGraph, CallLayers, Cfg};
@@ -40,6 +39,9 @@ pub struct GpuAnalysis {
     pub stats: GpuRunStats,
     /// Aggregated worklist telemetry.
     pub telemetry: WorklistTelemetry,
+    /// `simcheck` sanitizer report — `Some` iff the device config had
+    /// [`DeviceConfig::with_sanitizer`] applied.
+    pub sanitizer: Option<gdroid_gpusim::SanReport>,
 }
 
 /// Analyzes one app on the simulated GPU.
@@ -98,7 +100,7 @@ pub fn gpu_analyze_app(
                     .map(|&mid| (mid, merge_site_summaries(program, mid, &summaries, cg)))
                     .collect();
                 let results = std::cell::RefCell::new(Vec::with_capacity(pending.len()));
-                let blocks: Vec<Box<dyn FnOnce(&mut gdroid_gpusim::BlockCtx<'_>) + '_>> = inputs
+                let blocks: Vec<gdroid_gpusim::BlockFn<'_>> = inputs
                     .iter()
                     .map(|(mid, site)| {
                         let mid = *mid;
@@ -107,8 +109,7 @@ pub fn gpu_analyze_app(
                         let ml = &layout.methods[&mid];
                         let results = &results;
                         Box::new(move |ctx: &mut gdroid_gpusim::BlockCtx<'_>| {
-                            let mut store =
-                                MatrixStore::new(Geometry::of(space), cfg.len());
+                            let mut store = MatrixStore::new(Geometry::of(space), cfg.len());
                             store.seed(
                                 cfg.entry() as usize,
                                 &space.entry_facts(&program.methods[mid]),
@@ -124,7 +125,7 @@ pub fn gpu_analyze_app(
                                 &mut store,
                             );
                             results.borrow_mut().push((mid, store, tele));
-                        }) as Box<dyn FnOnce(&mut gdroid_gpusim::BlockCtx<'_>) + '_>
+                        }) as gdroid_gpusim::BlockFn<'_>
                     })
                     .collect();
 
@@ -176,7 +177,8 @@ pub fn gpu_analyze_app(
     stats.finish(pipeline, &device.config, device.heap.allocations, device.heap.bytes);
     stats.profile = WorklistProfile::from_round_sizes(&telemetry.round_sizes, telemetry.rounds);
 
-    GpuAnalysis { facts, summaries, spaces, cfgs, stats, telemetry }
+    let sanitizer = device.san_report();
+    GpuAnalysis { facts, summaries, spaces, cfgs, stats, telemetry, sanitizer }
 }
 
 #[cfg(test)]
@@ -198,8 +200,7 @@ mod tests {
         let (app, cg, roots) = prepared(4001);
         let cpu = analyze_app(&app.program, &cg, &roots, StoreKind::Matrix);
         for opts in OptConfig::ladder() {
-            let gpu =
-                gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny(), opts);
+            let gpu = gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny(), opts);
             assert_eq!(gpu.facts.len(), cpu.facts.len(), "{opts}");
             for (mid, cpu_store) in &cpu.facts {
                 let gpu_store = &gpu.facts[mid];

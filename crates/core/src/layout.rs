@@ -14,9 +14,9 @@
 //! storage; otherwise storage order is node order.
 
 use gdroid_analysis::{Geometry, MethodSpace};
+use gdroid_gpusim::{DevAddr, Device, DeviceBuffer};
 use gdroid_icfg::Cfg;
 use gdroid_ir::{MethodId, Program};
-use gdroid_gpusim::{DevAddr, Device, DeviceBuffer};
 use std::collections::HashMap;
 
 use crate::opts::OptConfig;
@@ -74,24 +74,20 @@ pub fn plan_layout(
 
         // Adjacency: one u32 per edge plus per-node offsets.
         let edge_count: usize = (0..n_nodes).map(|n| cfg.succ(n as u32).len()).sum();
-        let icfg = device.alloc(((n_nodes + 1) * 4 + edge_count * 4) as u64);
+        let icfg = device.alloc_init(((n_nodes + 1) * 4 + edge_count * 4) as u64);
         // Statement descriptors: 16 bytes per node (kind, operands).
-        let stmt = device.alloc((n_nodes * 16) as u64);
+        let stmt = device.alloc_init((n_nodes * 16) as u64);
 
-        let node_bytes = if opts.mat {
-            (geometry.words() * 8) as u64
-        } else {
-            0
-        };
+        let node_bytes = if opts.mat { (geometry.words() * 8) as u64 } else { 0 };
         let facts = if opts.mat {
             // The method matrix: one statement-bitmask cell per
             // (slot, instance) pair (§IV-A).
             let cell_bytes = (n_nodes.div_ceil(8) as u64).max(1);
-            device.alloc((geometry.bits() as u64 * cell_bytes).max(64))
+            device.alloc_init((geometry.bits() as u64 * cell_bytes).max(64))
         } else {
             // Set-based: a pointer+len table per node; chunks come from
             // the device heap during the run.
-            device.alloc((n_nodes * 16) as u64)
+            device.alloc_init((n_nodes * 16) as u64)
         };
 
         // Storage order: group-major under GRP.
@@ -110,7 +106,9 @@ pub fn plan_layout(
             store_pos[node as usize] = pos as u32;
         }
 
-        let h2d_bytes = icfg.len + stmt.len + if opts.mat { facts.len } else { facts.len };
+        // The initial fact storage streams down whole in both layouts
+        // (bitmaps under MAT, the chunk table without it).
+        let h2d_bytes = icfg.len + stmt.len + facts.len;
         let d2h_bytes = if opts.mat {
             facts.len
         } else {
@@ -134,16 +132,15 @@ mod tests {
     use gdroid_gpusim::DeviceConfig;
     use gdroid_icfg::prepare_app;
 
-    fn setup() -> (gdroid_apk::App, Vec<MethodId>, HashMap<MethodId, MethodSpace>, HashMap<MethodId, Cfg>)
+    fn setup(
+    ) -> (gdroid_apk::App, Vec<MethodId>, HashMap<MethodId, MethodSpace>, HashMap<MethodId, Cfg>)
     {
         let mut app = generate_app(0, 555, &GenConfig::tiny());
         let (envs, cg) = prepare_app(&mut app);
         let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
         let reach = cg.reachable_from(&roots);
-        let spaces: HashMap<_, _> = reach
-            .iter()
-            .map(|&m| (m, MethodSpace::build(&app.program, m)))
-            .collect();
+        let spaces: HashMap<_, _> =
+            reach.iter().map(|&m| (m, MethodSpace::build(&app.program, m))).collect();
         let cfgs: HashMap<_, _> =
             reach.iter().map(|&m| (m, Cfg::build(&app.program.methods[m]))).collect();
         (app, reach, spaces, cfgs)
@@ -177,8 +174,7 @@ mod tests {
         let plain =
             plan_layout(&app.program, &mut d1, &spaces, &cfgs, &methods, OptConfig::plain());
         let mut d2 = Device::new(DeviceConfig::tiny());
-        let grp =
-            plan_layout(&app.program, &mut d2, &spaces, &cfgs, &methods, OptConfig::gdroid());
+        let grp = plan_layout(&app.program, &mut d2, &spaces, &cfgs, &methods, OptConfig::gdroid());
         for &mid in &methods {
             let p = &plain.methods[&mid];
             // Plain storage is the identity permutation.

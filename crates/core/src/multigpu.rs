@@ -95,7 +95,9 @@ pub struct MultiGpuAnalysis {
 /// Serialized size of a summary for the all-gather model.
 fn summary_bytes(s: &gdroid_analysis::MethodSummary) -> u64 {
     // token ≈ 4 B; tuples of 2–3 tokens.
-    (s.returns.len() * 4 + s.field_writes.len() * 12 + s.static_writes.len() * 8
+    (s.returns.len() * 4
+        + s.field_writes.len() * 12
+        + s.static_writes.len() * 8
         + s.array_writes.len() * 8
         + 16) as u64
 }
@@ -122,7 +124,8 @@ pub fn gpu_analyze_app_multi(
     }
 
     // One simulated device (heap + address space + layout) per GPU.
-    let mut devices: Vec<Device> = (0..config.devices).map(|_| Device::new(config.device)).collect();
+    let mut devices: Vec<Device> =
+        (0..config.devices).map(|_| Device::new(config.device)).collect();
     let layouts: Vec<_> = devices
         .iter_mut()
         .map(|d| plan_layout(program, d, &spaces, &cfgs, &methods, opts))
@@ -184,7 +187,7 @@ pub fn gpu_analyze_app_multi(
                     .map(|&mid| (mid, merge_site_summaries(program, mid, &summaries, cg)))
                     .collect();
                 let results = std::cell::RefCell::new(Vec::new());
-                let blocks: Vec<Box<dyn FnOnce(&mut gdroid_gpusim::BlockCtx<'_>) + '_>> = inputs
+                let blocks: Vec<gdroid_gpusim::BlockFn<'_>> = inputs
                     .iter()
                     .map(|(mid, site)| {
                         let mid = *mid;
@@ -241,19 +244,15 @@ pub fn gpu_analyze_app_multi(
             // Load balance sample.
             let max_w = device_work.iter().copied().fold(0.0f64, f64::max);
             if max_w > 0.0 {
-                let mean_w: f64 =
-                    device_work.iter().sum::<f64>() / config.devices as f64;
+                let mean_w: f64 = device_work.iter().sum::<f64>() / config.devices as f64;
                 balance_acc += mean_w / max_w;
                 balance_samples += 1;
             }
 
             // --- summary all-gather between layers ------------------------
             if config.devices > 1 {
-                let bytes: u64 = pending
-                    .iter()
-                    .filter_map(|m| summaries.get(m))
-                    .map(summary_bytes)
-                    .sum();
+                let bytes: u64 =
+                    pending.iter().filter_map(|m| summaries.get(m)).map(summary_bytes).sum();
                 let gather_ns = config.interconnect_latency_us * 1e3
                     + (bytes * (config.devices as u64 - 1)) as f64 / config.interconnect_gbps;
                 stats.exchange_ns += gather_ns;
@@ -295,8 +294,13 @@ mod tests {
     #[test]
     fn multi_gpu_matches_single_gpu_facts() {
         let (app, cg, roots) = prepared(8801);
-        let single =
-            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), OptConfig::gdroid());
+        let single = gpu_analyze_app(
+            &app.program,
+            &cg,
+            &roots,
+            DeviceConfig::tesla_p40(),
+            OptConfig::gdroid(),
+        );
         let multi = gpu_analyze_app_multi(
             &app.program,
             &cg,

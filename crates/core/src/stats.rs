@@ -159,7 +159,12 @@ mod tests {
         };
         s.absorb_kernel(&k);
         s.finish(
-            PipelineTiming { total_ns: 1000.0, kernel_ns: 800.0, copy_ns: 400.0, exposed_copy_ns: 200.0 },
+            PipelineTiming {
+                total_ns: 1000.0,
+                kernel_ns: 800.0,
+                copy_ns: 400.0,
+                exposed_copy_ns: 200.0,
+            },
             &DeviceConfig::tesla_p40(),
             7,
             4096,

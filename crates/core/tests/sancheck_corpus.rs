@@ -1,0 +1,60 @@
+//! `simcheck` over the real kernels: the disciplined GDroid kernels must
+//! be sanitizer-clean on a deterministic corpus, across the entire
+//! optimization ladder.
+
+use gdroid_apk::Corpus;
+use gdroid_core::{gpu_analyze_app, OptConfig};
+use gdroid_gpusim::{DeviceConfig, FindingKind};
+use gdroid_icfg::prepare_app;
+use gdroid_ir::MethodId;
+use proptest::prelude::*;
+
+fn analyze_sanitized(app: &mut gdroid_apk::App, opts: OptConfig) -> gdroid_gpusim::SanReport {
+    let (envs, cg) = prepare_app(app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+    let run =
+        gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny().with_sanitizer(), opts);
+    run.sanitizer.expect("sanitizer was enabled")
+}
+
+/// The ISSUE acceptance criterion: all four kernel variants, 20 apps,
+/// zero findings.
+#[test]
+fn ladder_is_sanitizer_clean_on_test_corpus() {
+    let corpus = Corpus::test_corpus(20);
+    for index in 0..corpus.size {
+        for opts in OptConfig::ladder() {
+            let mut app = corpus.generate(index);
+            let report = analyze_sanitized(&mut app, opts);
+            assert!(
+                report.is_clean(),
+                "app {index} under {opts} has sanitizer findings:\n{report}"
+            );
+            assert!(report.accesses_checked > 0, "app {index} under {opts}: nothing checked");
+        }
+    }
+}
+
+/// Sanitizer presence is exactly config-driven.
+#[test]
+fn report_is_none_without_sanitizer() {
+    let mut app = Corpus::test_corpus(1).generate(0);
+    let (envs, cg) = prepare_app(&mut app);
+    let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+    let run = gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny(), OptConfig::gdroid());
+    assert!(run.sanitizer.is_none());
+}
+
+proptest! {
+    /// MER's monotone postponement only defers nodes to later rounds — it
+    /// can never introduce a same-round conflict, so across random apps
+    /// the full GDroid configuration must stay free of Jacobi-race
+    /// reports.
+    #[test]
+    fn mer_postponement_never_introduces_jacobi_race(seed in 0u64..4096) {
+        let mut app = gdroid_apk::generate_app(0, seed, &gdroid_apk::GenConfig::tiny());
+        let report = analyze_sanitized(&mut app, OptConfig::gdroid());
+        prop_assert_eq!(report.count(FindingKind::WriteWriteRace), 0);
+        prop_assert_eq!(report.count(FindingKind::ReadWriteRace), 0);
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::config::DeviceConfig;
 use crate::memory::{transactions, DevAddr, DeviceBuffer, DeviceHeap};
+use crate::sancheck::{AccessOrder, Sanitizer};
 
 /// The work one lane performs in one warp-synchronous step.
 #[derive(Clone, Debug, Default)]
@@ -41,6 +42,15 @@ pub struct LaneWork {
     pub bytes_read: u64,
     /// Useful bytes behind `writes`.
     pub bytes_written: u64,
+    /// Memory-ordering class of this lane's accesses. `Atomic` models the
+    /// kernels' atomic-OR fact updates and CAS inserts: such accesses are
+    /// exempt from the sanitizer's race detection (but still bounds- and
+    /// liveness-checked). Has no effect on timing.
+    pub order: AccessOrder,
+    /// Barrier this lane arrives at during the step (`None` = does not
+    /// sync). Lanes of one warp disagreeing is barrier divergence —
+    /// reported by the sanitizer. Has no effect on timing.
+    pub barrier: Option<u32>,
 }
 
 impl LaneWork {
@@ -78,6 +88,9 @@ pub struct BlockCtx<'a> {
     /// Blocks co-resident on the device during this launch (allocator
     /// contention factor).
     resident_blocks: usize,
+    /// The `simcheck` sanitizer, when enabled on the device. Observes
+    /// every global access without charging cycles.
+    san: Option<&'a mut Sanitizer>,
     /// Counters.
     pub stats: BlockStats,
 }
@@ -91,8 +104,9 @@ impl<'a> BlockCtx<'a> {
         config: &'a DeviceConfig,
         heap: &'a mut DeviceHeap,
         resident_blocks: usize,
+        san: Option<&'a mut Sanitizer>,
     ) -> BlockCtx<'a> {
-        BlockCtx { config, heap, resident_blocks, stats: BlockStats::default() }
+        BlockCtx { config, heap, resident_blocks, san, stats: BlockStats::default() }
     }
 
     /// The device configuration.
@@ -121,6 +135,9 @@ impl<'a> BlockCtx<'a> {
         if lanes.is_empty() {
             return;
         }
+        if let Some(san) = self.san.as_mut() {
+            san.on_warp(lanes);
+        }
         self.stats.warp_steps += 1;
         self.stats.cycles += WARP_ISSUE_CYCLES;
 
@@ -139,8 +156,7 @@ impl<'a> BlockCtx<'a> {
             self.stats.cycles += compute;
 
             // Coalescing within the group only.
-            let reads: Vec<DevAddr> =
-                group.iter().flat_map(|l| l.reads.iter().copied()).collect();
+            let reads: Vec<DevAddr> = group.iter().flat_map(|l| l.reads.iter().copied()).collect();
             let writes: Vec<DevAddr> =
                 group.iter().flat_map(|l| l.writes.iter().copied()).collect();
             let tx = transactions(self.config, &reads) + transactions(self.config, &writes);
@@ -148,11 +164,8 @@ impl<'a> BlockCtx<'a> {
             self.stats.cycles += tx * self.config.transaction_cycles;
             for l in &group {
                 let br = if l.bytes_read == 0 { l.reads.len() as u64 * 8 } else { l.bytes_read };
-                let bw = if l.bytes_written == 0 {
-                    l.writes.len() as u64 * 8
-                } else {
-                    l.bytes_written
-                };
+                let bw =
+                    if l.bytes_written == 0 { l.writes.len() as u64 * 8 } else { l.bytes_written };
                 total_bytes_read_written += br + bw;
             }
 
@@ -167,7 +180,10 @@ impl<'a> BlockCtx<'a> {
             // Dynamic allocations: fully serialized.
             for lane in &group {
                 for &bytes in &lane.mallocs {
-                    let (_, cost) = self.heap.malloc(self.config, bytes, self.resident_blocks);
+                    let (buf, cost) = self.heap.malloc(self.config, bytes, self.resident_blocks);
+                    if let Some(san) = self.san.as_mut() {
+                        san.note_heap(buf);
+                    }
                     self.stats.mallocs += 1;
                     self.stats.malloc_cycles += cost;
                     self.stats.cycles += cost;
@@ -185,15 +201,44 @@ impl<'a> BlockCtx<'a> {
     /// initial set-chunk allocations of the plain kernel).
     pub fn malloc(&mut self, bytes: u64) -> DeviceBuffer {
         let (buf, cost) = self.heap.malloc(self.config, bytes, self.resident_blocks);
+        if let Some(san) = self.san.as_mut() {
+            san.note_heap(buf);
+        }
         self.stats.mallocs += 1;
         self.stats.malloc_cycles += cost;
         self.stats.cycles += cost;
         buf
     }
 
-    /// `__syncthreads()` — a small fixed cost.
+    /// Device-side `free`: returns a heap buffer to the allocator. Charges
+    /// the same serialized allocator path as `malloc`. Later accesses to
+    /// the buffer are reported as use-after-free by the sanitizer.
+    pub fn free(&mut self, buf: DeviceBuffer) {
+        let cost = self.config.malloc_cycles;
+        self.stats.malloc_cycles += cost;
+        self.stats.cycles += cost;
+        if let Some(san) = self.san.as_mut() {
+            san.note_free(buf);
+        }
+    }
+
+    /// Declares a kernel-managed alias region to the sanitizer (e.g. the
+    /// modeled address range of a grown set chunk). Free of charge — this
+    /// is metadata, not device work — and a no-op when the sanitizer is
+    /// disabled.
+    pub fn san_note_region(&mut self, base: DevAddr, len: u64) {
+        if let Some(san) = self.san.as_mut() {
+            san.note_alias(base, len);
+        }
+    }
+
+    /// `__syncthreads()` — a small fixed cost. Advances the sanitizer's
+    /// Jacobi-round clock: accesses separated by a sync are ordered.
     pub fn sync(&mut self) {
         self.stats.cycles += 20;
+        if let Some(san) = self.san.as_mut() {
+            san.on_sync();
+        }
     }
 
     /// One warp-synchronous access to shared memory: 32 banks, 4-byte
@@ -246,7 +291,7 @@ mod tests {
     #[test]
     fn uniform_warp_is_single_pass() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         let lanes: Vec<LaneWork> = (0..32).map(|_| LaneWork::compute(0, 10)).collect();
         ctx.warp_process(&lanes);
         assert_eq!(ctx.stats.divergence_passes, 1);
@@ -257,7 +302,7 @@ mod tests {
     #[test]
     fn divergent_warp_serializes() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         // 25 partitions → 25 serialized passes of 10 cycles each.
         let lanes: Vec<LaneWork> = (0..25).map(|i| LaneWork::compute(i, 10)).collect();
         ctx.warp_process(&lanes);
@@ -268,13 +313,9 @@ mod tests {
     #[test]
     fn coalesced_reads_cost_one_transaction() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         let lanes: Vec<LaneWork> = (0..32)
-            .map(|i| LaneWork {
-                partition: 0,
-                reads: vec![0x4000 + i * 4],
-                ..Default::default()
-            })
+            .map(|i| LaneWork { partition: 0, reads: vec![0x4000 + i * 4], ..Default::default() })
             .collect();
         ctx.warp_process(&lanes);
         assert_eq!(ctx.stats.transactions, 1);
@@ -286,7 +327,7 @@ mod tests {
         let (cfg, mut heap) = setup();
         // Same addresses, but alternating partitions: two passes, and the
         // two halves cannot share transactions.
-        let mut c1 = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut c1 = BlockCtx::new(&cfg, &mut heap, 1, None);
         let lanes: Vec<LaneWork> = (0..32)
             .map(|i| LaneWork {
                 partition: (i % 2) as u32,
@@ -304,20 +345,17 @@ mod tests {
     #[test]
     fn deref_layers_charge_latency() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         let mut lane = LaneWork::compute(0, 0);
         lane.deref_layers = 2;
         ctx.warp_process(&[lane]);
-        assert_eq!(
-            ctx.stats.cycles,
-            WARP_ISSUE_CYCLES + 2 * cfg.dependent_latency_cycles
-        );
+        assert_eq!(ctx.stats.cycles, WARP_ISSUE_CYCLES + 2 * cfg.dependent_latency_cycles);
     }
 
     #[test]
     fn mallocs_are_expensive_and_contended() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 60);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 60, None);
         let mut lane = LaneWork::compute(0, 0);
         lane.mallocs = vec![256];
         ctx.warp_process(&[lane]);
@@ -330,7 +368,7 @@ mod tests {
     #[test]
     fn shared_access_models_bank_conflicts() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         // 32 consecutive words: one per bank, conflict-free.
         let clean: Vec<u64> = (0..32).map(|i| i * 4).collect();
         assert_eq!(ctx.shared_access(&clean), 1);
@@ -346,14 +384,14 @@ mod tests {
     #[test]
     fn shared_sort_scales_superlinearly() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         ctx.shared_sort(8);
         let small = ctx.stats.cycles;
-        let mut ctx2 = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx2 = BlockCtx::new(&cfg, &mut heap, 1, None);
         ctx2.shared_sort(256);
         assert!(ctx2.stats.cycles > small * 2);
         // Sorting nothing is free.
-        let mut ctx3 = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx3 = BlockCtx::new(&cfg, &mut heap, 1, None);
         ctx3.shared_sort(1);
         assert_eq!(ctx3.stats.cycles, 0);
     }
@@ -362,7 +400,7 @@ mod tests {
     #[should_panic(expected = "warp_process got")]
     fn oversized_warp_panics() {
         let (cfg, mut heap) = setup();
-        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1);
+        let mut ctx = BlockCtx::new(&cfg, &mut heap, 1, None);
         let lanes: Vec<LaneWork> = (0..33).map(|_| LaneWork::compute(0, 1)).collect();
         ctx.warp_process(&lanes);
     }

@@ -40,6 +40,11 @@ pub struct DeviceConfig {
     pub transfer_overhead_us: f64,
     /// Fixed kernel-launch overhead in microseconds.
     pub launch_overhead_us: f64,
+    /// Enables the `simcheck` sanitizer ([`crate::sancheck`]): shadow-state
+    /// checking of every global access. Purely observational — never
+    /// charges cycles, so [`crate::device::KernelStats`] is bit-identical
+    /// with the flag on or off.
+    pub sanitize: bool,
 }
 
 impl DeviceConfig {
@@ -60,7 +65,13 @@ impl DeviceConfig {
             pcie_gbps: 12.0,
             transfer_overhead_us: 8.0,
             launch_overhead_us: 5.0,
+            sanitize: false,
         }
+    }
+
+    /// This configuration with the `simcheck` sanitizer enabled.
+    pub fn with_sanitizer(self) -> DeviceConfig {
+        DeviceConfig { sanitize: true, ..self }
     }
 
     /// A small configuration for fast unit tests (2 SMs).

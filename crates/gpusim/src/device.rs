@@ -12,6 +12,12 @@
 use crate::block::{BlockCtx, BlockStats};
 use crate::config::DeviceConfig;
 use crate::memory::{AddressSpace, DeviceBuffer, DeviceHeap};
+use crate::sancheck::{SanReport, Sanitizer};
+
+/// A boxed block program, for launches whose blocks are heterogeneous
+/// closures (homogeneous launches can pass plain closures to
+/// [`Device::launch`] directly).
+pub type BlockFn<'a> = Box<dyn FnOnce(&mut BlockCtx<'_>) + 'a>;
 
 /// The simulated GPU.
 pub struct Device {
@@ -21,10 +27,12 @@ pub struct Device {
     pub address_space: AddressSpace,
     /// Kernel-side dynamic heap (shared across all blocks).
     pub heap: DeviceHeap,
+    /// `simcheck` shadow-state tracker, present iff `config.sanitize`.
+    san: Option<Sanitizer>,
 }
 
 /// Aggregated result of one kernel launch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct KernelStats {
     /// Blocks launched.
     pub blocks: usize,
@@ -105,12 +113,39 @@ impl KernelStats {
 impl Device {
     /// A fresh device.
     pub fn new(config: DeviceConfig) -> Device {
-        Device { address_space: AddressSpace::new(&config), heap: DeviceHeap::new(), config }
+        Device {
+            address_space: AddressSpace::new(&config),
+            heap: DeviceHeap::new(),
+            san: config.sanitize.then(Sanitizer::new),
+            config,
+        }
     }
 
-    /// Plans a buffer (host-side `cudaMalloc`).
+    /// Plans a buffer (host-side `cudaMalloc`). Its contents are
+    /// *uninitialized*: under the sanitizer, kernel reads before any write
+    /// are reported. Use [`Device::alloc_init`] for buffers filled by a
+    /// host-to-device copy.
     pub fn alloc(&mut self, len: u64) -> DeviceBuffer {
-        self.address_space.alloc(len)
+        let buf = self.address_space.alloc(len);
+        if let Some(san) = self.san.as_mut() {
+            san.note_planned(buf, false);
+        }
+        buf
+    }
+
+    /// Plans a buffer whose contents are initialized host-side before the
+    /// first kernel reads it (`cudaMalloc` + `cudaMemcpy`).
+    pub fn alloc_init(&mut self, len: u64) -> DeviceBuffer {
+        let buf = self.address_space.alloc(len);
+        if let Some(san) = self.san.as_mut() {
+            san.note_planned(buf, true);
+        }
+        buf
+    }
+
+    /// The sanitizer's findings so far, when `config.sanitize` is set.
+    pub fn san_report(&self) -> Option<SanReport> {
+        self.san.as_ref().map(Sanitizer::report)
     }
 
     /// Launches a kernel: one closure per block. Returns the aggregated
@@ -121,9 +156,15 @@ impl Device {
     {
         let n = blocks.len();
         let resident = n.min(self.config.block_slots()).max(1);
+        if let Some(san) = self.san.as_mut() {
+            san.begin_launch();
+        }
         let mut per_block: Vec<BlockStats> = Vec::with_capacity(n);
-        for f in blocks {
-            let mut ctx = BlockCtx::new(&self.config, &mut self.heap, resident);
+        for (i, f) in blocks.into_iter().enumerate() {
+            if let Some(san) = self.san.as_mut() {
+                san.begin_block(i as u32);
+            }
+            let mut ctx = BlockCtx::new(&self.config, &mut self.heap, resident, self.san.as_mut());
             f(&mut ctx);
             per_block.push(ctx.stats);
         }
@@ -158,11 +199,8 @@ impl Device {
             stats.mallocs += b.mallocs;
             stats.malloc_cycles += b.malloc_cycles;
             // Greedy: next block goes to the earliest-finishing slot.
-            let (idx, _) = slot_end
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &end)| end)
-                .expect("at least one slot");
+            let (idx, _) =
+                slot_end.iter().enumerate().min_by_key(|(_, &end)| end).expect("at least one slot");
             let start = slot_end[idx];
             slot_end[idx] += effective(b);
             stats.schedule.push((idx as u32, start, slot_end[idx]));
@@ -189,7 +227,7 @@ mod tests {
     #[test]
     fn launch_packs_blocks_across_slots() {
         let mut dev = Device::new(flat_config()); // 4 slots
-        // 8 equal blocks of 100 cycles → 2 rounds → makespan 200.
+                                                  // 8 equal blocks of 100 cycles → 2 rounds → makespan 200.
         let blocks: Vec<_> = (0..8)
             .map(|_| {
                 |ctx: &mut BlockCtx<'_>| {
@@ -210,7 +248,9 @@ mod tests {
         let mut one = Device::new(DeviceConfig { blocks_per_sm: 1, ..DeviceConfig::tesla_p40() });
         let mut four = Device::new(DeviceConfig { blocks_per_sm: 4, ..DeviceConfig::tesla_p40() });
         let compute = |ctx: &mut BlockCtx<'_>| ctx.compute(1000);
-        assert!(four.launch(vec![compute]).makespan_cycles > one.launch(vec![compute]).makespan_cycles);
+        assert!(
+            four.launch(vec![compute]).makespan_cycles > one.launch(vec![compute]).makespan_cycles
+        );
         // Latency-dominated block: higher blocks/SM hides the stalls.
         let latency = |ctx: &mut BlockCtx<'_>| {
             let mut lane = LaneWork::compute(0, 0);
@@ -221,15 +261,17 @@ mod tests {
         };
         let mut one = Device::new(DeviceConfig { blocks_per_sm: 1, ..DeviceConfig::tesla_p40() });
         let mut four = Device::new(DeviceConfig { blocks_per_sm: 4, ..DeviceConfig::tesla_p40() });
-        assert!(four.launch(vec![latency]).makespan_cycles < one.launch(vec![latency]).makespan_cycles);
+        assert!(
+            four.launch(vec![latency]).makespan_cycles < one.launch(vec![latency]).makespan_cycles
+        );
     }
 
     #[test]
     fn imbalance_shows_in_makespan() {
         let mut dev = Device::new(flat_config()); // 4 slots
-        // One huge block dominates.
-        let mut blocks: Vec<Box<dyn FnOnce(&mut BlockCtx<'_>)>> = Vec::new();
-        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000)));
+                                                  // One huge block dominates.
+        let mut blocks: Vec<BlockFn<'_>> =
+            vec![Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000))];
         for _ in 0..3 {
             blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(10)));
         }
@@ -267,9 +309,10 @@ mod tests {
     #[test]
     fn occupancy_chart_shows_busy_and_idle() {
         let mut dev = Device::new(flat_config()); // 4 slots
-        let mut blocks: Vec<Box<dyn FnOnce(&mut BlockCtx<'_>)>> = Vec::new();
-        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000)));
-        blocks.push(Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(100)));
+        let blocks: Vec<BlockFn<'_>> = vec![
+            Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1000)),
+            Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(100)),
+        ];
         let stats = dev.launch(blocks);
         let chart = stats.occupancy_chart(40);
         assert_eq!(chart.lines().count(), 2, "two busy slots");

@@ -21,10 +21,12 @@ pub mod block;
 pub mod config;
 pub mod device;
 pub mod memory;
+pub mod sancheck;
 pub mod stream;
 
 pub use block::{BlockCtx, BlockStats, LaneWork};
 pub use config::DeviceConfig;
-pub use device::{Device, KernelStats};
+pub use device::{BlockFn, Device, KernelStats};
 pub use memory::{transactions, AddressSpace, DevAddr, DeviceBuffer, DeviceHeap};
+pub use sancheck::{AccessOrder, AccessSite, Finding, FindingKind, SanReport, Sanitizer};
 pub use stream::{dual_buffered, synchronous, PipelineTiming};

@@ -29,10 +29,7 @@ pub struct PipelineTiming {
 /// Two buffers ⇒ copy of chunk `i+1` overlaps the kernel on chunk `i`;
 /// result copies (device→host) overlap the next kernel as well, because
 /// the copy engine is full-duplex on Pascal.
-pub fn dual_buffered(
-    config: &DeviceConfig,
-    chunks: &[(u64, f64, u64)],
-) -> PipelineTiming {
+pub fn dual_buffered(config: &DeviceConfig, chunks: &[(u64, f64, u64)]) -> PipelineTiming {
     let mut timing = PipelineTiming::default();
     if chunks.is_empty() {
         return timing;
@@ -107,8 +104,7 @@ mod tests {
 
     #[test]
     fn dual_buffering_beats_synchronous_on_many_chunks() {
-        let chunks: Vec<(u64, f64, u64)> =
-            (0..16).map(|_| (1 << 20, 100_000.0, 1 << 18)).collect();
+        let chunks: Vec<(u64, f64, u64)> = (0..16).map(|_| (1 << 20, 100_000.0, 1 << 18)).collect();
         let db = dual_buffered(&cfg(), &chunks);
         let sync = synchronous(&cfg(), &chunks);
         assert!(db.total_ns < sync.total_ns, "db {} >= sync {}", db.total_ns, sync.total_ns);

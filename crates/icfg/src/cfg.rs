@@ -218,9 +218,7 @@ pub fn build_all(program: &gdroid_ir::Program) -> IndexVec<gdroid_ir::MethodId, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdroid_ir::{
-        Expr, JType, Lhs, Literal, MethodKind, ProgramBuilder, Stmt, StmtIdx, VarId,
-    };
+    use gdroid_ir::{Expr, JType, Lhs, Literal, MethodKind, ProgramBuilder, Stmt, StmtIdx, VarId};
 
     fn build_method(stmts: Vec<Stmt>) -> Cfg {
         let mut pb = ProgramBuilder::new();

@@ -52,9 +52,7 @@ pub fn synthesize_environments(app: &mut App) -> Vec<EnvironmentInfo> {
 
         // Collect the component's own lifecycle callbacks (declared methods
         // with kind LifecycleCallback).
-        let callbacks: Vec<Signature> = pb
-            .program()
-            .classes[class]
+        let callbacks: Vec<Signature> = pb.program().classes[class]
             .methods
             .iter()
             .filter_map(|&mid| {
@@ -72,7 +70,10 @@ pub fn synthesize_environments(app: &mut App) -> Vec<EnvironmentInfo> {
 
         // comp = new C; intent = new Intent; bundle = callrhs intent —
         // modeling the framework handing back saved state.
-        mb.stmt(Stmt::Assign { lhs: Lhs::Var(comp), rhs: Expr::New { ty: JType::Object(class_name) } });
+        mb.stmt(Stmt::Assign {
+            lhs: Lhs::Var(comp),
+            rhs: Expr::New { ty: JType::Object(class_name) },
+        });
         mb.stmt(Stmt::Assign {
             lhs: Lhs::Var(intent),
             rhs: Expr::New { ty: JType::Object(intent_sym) },
@@ -88,8 +89,7 @@ pub fn synthesize_environments(app: &mut App) -> Vec<EnvironmentInfo> {
         // pair (the middle callbacks, e.g. onResume/onPause) run inside a
         // loop to model repeated foreground/background transitions.
         let n = callbacks.len();
-        let (once_head, looped, once_tail): (&[Signature], &[Signature], &[Signature]) = if n >= 4
-        {
+        let (once_head, looped, once_tail): (&[Signature], &[Signature], &[Signature]) = if n >= 4 {
             (&callbacks[..2], &callbacks[2..n - 1], &callbacks[n - 1..])
         } else {
             (&callbacks[..], &[], &[])

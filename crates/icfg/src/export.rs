@@ -171,12 +171,10 @@ pub fn callsites_report(program: &Program, cg: &CallGraph) -> String {
             CallTarget::Internal(ts) => {
                 writeln!(out, "{name}:{s} -> {} internal target(s)", ts.len()).unwrap()
             }
-            CallTarget::External(sig) => writeln!(
-                out,
-                "{name}:{s} -> external {}",
-                program.interner.resolve(sig.name)
-            )
-            .unwrap(),
+            CallTarget::External(sig) => {
+                writeln!(out, "{name}:{s} -> external {}", program.interner.resolve(sig.name))
+                    .unwrap()
+            }
         }
     }
     out

@@ -93,7 +93,8 @@ impl ComponentIcfg {
 
     /// Intra-procedural edge count plus call/return edges.
     pub fn edge_count(&self) -> usize {
-        let intra: usize = self.cfgs.values().map(|c| c.succs.iter().map(Vec::len).sum::<usize>()).sum();
+        let intra: usize =
+            self.cfgs.values().map(|c| c.succs.iter().map(Vec::len).sum::<usize>()).sum();
         let call: usize = self.call_edges.values().map(Vec::len).sum();
         let ret: usize = self.return_edges.values().map(Vec::len).sum();
         intra + call + ret
@@ -167,10 +168,7 @@ mod tests {
         let (_, icfg) = build_first(102);
         for (call, entries) in &icfg.call_edges {
             for e in entries {
-                let exit = IcfgNodeRef {
-                    method: e.method,
-                    node: icfg.cfgs[&e.method].exit(),
-                };
+                let exit = IcfgNodeRef { method: e.method, node: icfg.cfgs[&e.method].exit() };
                 let rets = icfg.return_edges.get(&exit).expect("missing return edge");
                 assert!(rets.iter().any(|r| r.method == call.method));
             }

@@ -125,7 +125,8 @@ impl Tarjan {
                 continue;
             }
             let mut frames: Vec<(MethodId, usize)> = vec![(root, 0)];
-            state.insert(root, NodeState { index: next_index, lowlink: next_index, on_stack: true });
+            state
+                .insert(root, NodeState { index: next_index, lowlink: next_index, on_stack: true });
             next_index += 1;
             stack.push(root);
 
@@ -141,7 +142,11 @@ impl Tarjan {
                         None => {
                             state.insert(
                                 w,
-                                NodeState { index: next_index, lowlink: next_index, on_stack: true },
+                                NodeState {
+                                    index: next_index,
+                                    lowlink: next_index,
+                                    on_stack: true,
+                                },
                             );
                             next_index += 1;
                             stack.push(w);

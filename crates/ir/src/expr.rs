@@ -322,10 +322,7 @@ mod tests {
     #[test]
     fn access_patterns_match_paper_examples() {
         // §IV-B names these exact examples for each group.
-        assert_eq!(
-            Expr::ConstClass { ty: JType::Int }.access_pattern(),
-            AccessPattern::OneTimeGen
-        );
+        assert_eq!(Expr::ConstClass { ty: JType::Int }.access_pattern(), AccessPattern::OneTimeGen);
         assert_eq!(Expr::Null.access_pattern(), AccessPattern::OneTimeGen);
         assert_eq!(Expr::Lit(Literal::Int(3)).access_pattern(), AccessPattern::OneTimeGen);
         assert_eq!(Expr::Var(VarId(0)).access_pattern(), AccessPattern::SingleLayer);
@@ -361,10 +358,12 @@ mod tests {
         assert!(Expr::New { ty: JType::Object(Symbol(0)) }.may_produce_reference());
         assert!(Expr::Lit(Literal::Str(Symbol(0))).may_produce_reference());
         assert!(!Expr::Lit(Literal::Int(1)).may_produce_reference());
-        assert!(!Expr::Binary { op: BinOp::Add, lhs: VarId(0), rhs: VarId(1) }
-            .may_produce_reference());
-        assert!(Expr::Cast { ty: JType::Object(Symbol(1)), operand: VarId(0) }
-            .may_produce_reference());
+        assert!(
+            !Expr::Binary { op: BinOp::Add, lhs: VarId(0), rhs: VarId(1) }.may_produce_reference()
+        );
+        assert!(
+            Expr::Cast { ty: JType::Object(Symbol(1)), operand: VarId(0) }.may_produce_reference()
+        );
         assert!(!Expr::Cast { ty: JType::Int, operand: VarId(0) }.may_produce_reference());
     }
 }

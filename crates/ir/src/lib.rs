@@ -25,11 +25,15 @@
 //!   Language*) with a [`text::Lexer`], [`text::Parser`] and pretty-printer,
 //!   so corpora can be inspected and stored on disk;
 //! * structural [`validate`] checks (branch targets in range, variables
-//!   declared, call arity consistent with signatures).
+//!   declared, call arity consistent with signatures);
+//! * a pass-based [`lint`] framework generalizing validation with
+//!   flow-sensitive checks (def-before-use, unreachable code, type
+//!   confusion, dead stores), driven by `gdroid lint`.
 
 pub mod builder;
 pub mod expr;
 pub mod idx;
+pub mod lint;
 pub mod method;
 pub mod program;
 pub mod stmt;
@@ -40,6 +44,7 @@ pub mod validate;
 pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use expr::{BinOp, CmpKind, Expr, ExprKind, Literal, UnOp};
 pub use idx::{ClassId, FieldId, MethodId, StmtIdx, Symbol, VarId};
+pub use lint::{lint_program, LintDiagnostic, LintPass, LintRunner, Severity};
 pub use method::{Method, MethodKind, ParamDecl, Signature, VarDecl, Visibility};
 pub use program::{ClassDef, FieldDef, Interner, Program};
 pub use stmt::{CallKind, Lhs, MonitorOp, Stmt, StmtKind};

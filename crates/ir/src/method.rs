@@ -168,7 +168,10 @@ mod tests {
         let v0 = vars.push(VarDecl { name: Symbol(2), ty: JType::Object(Symbol(0)) });
         let v1 = vars.push(VarDecl { name: Symbol(3), ty: JType::Int });
         let mut body: IndexVec<StmtIdx, Stmt> = IndexVec::new();
-        body.push(Stmt::Assign { lhs: Lhs::Var(v0), rhs: Expr::New { ty: JType::Object(Symbol(0)) } });
+        body.push(Stmt::Assign {
+            lhs: Lhs::Var(v0),
+            rhs: Expr::New { ty: JType::Object(Symbol(0)) },
+        });
         body.push(Stmt::Assign { lhs: Lhs::Var(v1), rhs: Expr::Lit(Literal::Int(1)) });
         body.push(Stmt::Call {
             ret: None,

@@ -54,12 +54,8 @@ impl Interner {
     /// Rebuilds the reverse lookup table (needed after deserialization,
     /// where the map is skipped).
     pub fn rebuild_lookup(&mut self) {
-        self.lookup = self
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), Symbol::new(i)))
-            .collect();
+        self.lookup =
+            self.strings.iter().enumerate().map(|(i, s)| (s.clone(), Symbol::new(i))).collect();
     }
 }
 
@@ -193,16 +189,9 @@ impl Program {
     /// Rebuilds skipped lookup tables after deserialization.
     pub fn rebuild_lookups(&mut self) {
         self.interner.rebuild_lookup();
-        self.class_by_name = self
-            .classes
-            .iter_enumerated()
-            .map(|(id, c)| (c.name, id))
-            .collect();
-        self.method_by_sig = self
-            .methods
-            .iter_enumerated()
-            .map(|(id, m)| (m.sig.clone(), id))
-            .collect();
+        self.class_by_name = self.classes.iter_enumerated().map(|(id, c)| (c.name, id)).collect();
+        self.method_by_sig =
+            self.methods.iter_enumerated().map(|(id, m)| (m.sig.clone(), id)).collect();
     }
 }
 

@@ -257,12 +257,7 @@ mod tests {
     use crate::types::JType;
 
     fn sig() -> Signature {
-        Signature {
-            class: Symbol(0),
-            name: Symbol(1),
-            params: vec![JType::Int],
-            ret: JType::Void,
-        }
+        Signature { class: Symbol(0), name: Symbol(1), params: vec![JType::Int], ret: JType::Void }
     }
 
     #[test]

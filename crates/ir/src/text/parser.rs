@@ -666,10 +666,7 @@ mod tests {
         assert_eq!(m.params[0].var, VarId(1));
         assert!(matches!(m.body[StmtIdx(0)], Stmt::Assign { lhs: Lhs::Var(VarId(2)), .. }));
         assert!(matches!(m.body[StmtIdx(1)], Stmt::Assign { lhs: Lhs::Field { .. }, .. }));
-        assert!(matches!(
-            m.body[StmtIdx(2)],
-            Stmt::Assign { rhs: Expr::Access { .. }, .. }
-        ));
+        assert!(matches!(m.body[StmtIdx(2)], Stmt::Assign { rhs: Expr::Access { .. }, .. }));
         assert!(matches!(m.body[StmtIdx(3)], Stmt::Assign { lhs: Lhs::StaticField { .. }, .. }));
         assert!(matches!(m.body[StmtIdx(4)], Stmt::If { target: StmtIdx(6), .. }));
         assert!(matches!(m.body[StmtIdx(5)], Stmt::Call { ret: None, .. }));

@@ -139,9 +139,7 @@ impl<'a> Printer<'a> {
             }
             Stmt::Throw { var } => write!(self.out, "throw {var}").unwrap(),
             Stmt::Goto { target } => write!(self.out, "goto {}", target.0).unwrap(),
-            Stmt::If { cond, target } => {
-                write!(self.out, "if {cond} goto {}", target.0).unwrap()
-            }
+            Stmt::If { cond, target } => write!(self.out, "if {cond} goto {}", target.0).unwrap(),
             Stmt::Return { var } => match var {
                 Some(v) => write!(self.out, "return {v}").unwrap(),
                 None => self.out.push_str("return _"),

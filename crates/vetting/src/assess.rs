@@ -91,11 +91,8 @@ pub fn assess_app(mut app: App) -> Assessment {
     )
     .run();
     for leak in &report.leaks {
-        let sources: Vec<&str> = leak
-            .sources
-            .iter()
-            .map(|s| report.source_names[usize::from(s.0)].as_str())
-            .collect();
+        let sources: Vec<&str> =
+            leak.sources.iter().map(|s| report.source_names[usize::from(s.0)].as_str()).collect();
         signals.push(Signal {
             plugin: "taint".into(),
             detail: format!("{} receives {}", leak.sink, sources.join(", ")),

@@ -103,12 +103,8 @@ pub fn vet_app(mut app: App, engine: Engine) -> VettingOutcome {
             Run::Cpu(analysis)
         }
         Engine::MultithreadedCpu => {
-            let analysis = gdroid_analysis::analyze_app_parallel(
-                &app.program,
-                &cg,
-                &roots,
-                StoreKind::Set,
-            );
+            let analysis =
+                gdroid_analysis::analyze_app_parallel(&app.program, &cg, &roots, StoreKind::Set);
             timing.idfg_ns = CpuCostModel::multithreaded_c().parallel_ns(&analysis);
             Run::Cpu(analysis)
         }

@@ -16,7 +16,7 @@
 
 use crate::registry::SourceSinkRegistry;
 use gdroid_analysis::{AppAnalysis, Instance, Slot};
-use gdroid_apk::{App, ApiRole, builtin_api_roles, Permission};
+use gdroid_apk::{builtin_api_roles, ApiRole, App, Permission};
 use gdroid_icfg::{CallGraph, EnvironmentInfo};
 use gdroid_ir::{Expr, Literal, MethodId, Stmt, StmtIdx};
 use serde::{Deserialize, Serialize};
@@ -70,11 +70,7 @@ pub fn intent_exposure(
                 });
                 if intent_controlled {
                     findings.push(ExposureFinding {
-                        component: app
-                            .program
-                            .interner
-                            .resolve(env.component.class)
-                            .to_owned(),
+                        component: app.program.interner.resolve(env.component.class).to_owned(),
                         method: mid,
                         stmt: idx,
                         sink: sink.to_owned(),
@@ -205,8 +201,7 @@ mod tests {
     use gdroid_apk::{generate_app, GenConfig};
     use gdroid_icfg::prepare_app;
 
-    fn setup(seed: u64) -> (App, CallGraph, Vec<EnvironmentInfo>, AppAnalysis, SourceSinkRegistry)
-    {
+    fn setup(seed: u64) -> (App, CallGraph, Vec<EnvironmentInfo>, AppAnalysis, SourceSinkRegistry) {
         let mut app = generate_app(0, seed, &GenConfig::tiny());
         let (envs, cg) = prepare_app(&mut app);
         let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();

@@ -27,8 +27,7 @@ impl SourceSinkRegistry {
     pub fn for_program(program: &Program) -> SourceSinkRegistry {
         let mut reg = SourceSinkRegistry::default();
         for (cls, name, role) in builtin_api_roles() {
-            let (Some(c), Some(n)) = (program.interner.get(cls), program.interner.get(name))
-            else {
+            let (Some(c), Some(n)) = (program.interner.get(cls), program.interner.get(name)) else {
                 continue;
             };
             match role {

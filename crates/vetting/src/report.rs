@@ -74,11 +74,8 @@ impl VettingReport {
         let mut out = String::new();
         writeln!(out, "verdict: {:?} ({} leak(s))", self.verdict, self.leaks.len()).unwrap();
         for leak in &self.leaks {
-            let sources: Vec<&str> = leak
-                .sources
-                .iter()
-                .map(|s| self.source_names[usize::from(s.0)].as_str())
-                .collect();
+            let sources: Vec<&str> =
+                leak.sources.iter().map(|s| self.source_names[usize::from(s.0)].as_str()).collect();
             writeln!(
                 out,
                 "  {}:{} {} <- {}",

@@ -90,24 +90,14 @@ impl<'a> TaintAnalysis<'a> {
                 let Stmt::Call { sig, .. } = stmt else { continue };
                 let Some(source) = self.registry.source_of(sig) else { continue };
                 if let Some(inst) = space.instance(Instance::CallRet(idx)) {
-                    self.taint
-                        .entry(mid)
-                        .or_default()
-                        .entry(inst)
-                        .or_default()
-                        .insert(source);
+                    self.taint.entry(mid).or_default().entry(inst).or_default().insert(source);
                 }
             }
         }
     }
 
     /// Labels on the instances a variable may point to at a node.
-    fn labels_at(
-        &mut self,
-        mid: MethodId,
-        node: u32,
-        var: gdroid_ir::VarId,
-    ) -> BTreeSet<SourceId> {
+    fn labels_at(&mut self, mid: MethodId, node: u32, var: gdroid_ir::VarId) -> BTreeSet<SourceId> {
         let mut labels = BTreeSet::new();
         let Some(slot) = self.spaces[&mid].slot(Slot::Local(var)) else { return labels };
         self.stats.rows_read += 1;
@@ -140,16 +130,15 @@ impl<'a> TaintAnalysis<'a> {
             let mut changed = false;
             let methods: Vec<MethodId> = self.spaces.keys().copied().collect();
             for &mid in &methods {
-                let body_calls: Vec<(gdroid_ir::StmtIdx, Vec<gdroid_ir::VarId>)> = self
-                    .program
-                    .methods[mid]
-                    .body
-                    .iter_enumerated()
-                    .filter_map(|(idx, s)| match s {
-                        Stmt::Call { args, .. } => Some((idx, args.clone())),
-                        _ => None,
-                    })
-                    .collect();
+                let body_calls: Vec<(gdroid_ir::StmtIdx, Vec<gdroid_ir::VarId>)> =
+                    self.program.methods[mid]
+                        .body
+                        .iter_enumerated()
+                        .filter_map(|(idx, s)| match s {
+                            Stmt::Call { args, .. } => Some((idx, args.clone())),
+                            _ => None,
+                        })
+                        .collect();
                 for (idx, args) in body_calls {
                     let Some(CallTarget::Internal(targets)) = self.cg.site(mid, idx) else {
                         continue;
@@ -163,13 +152,11 @@ impl<'a> TaintAnalysis<'a> {
                             continue;
                         }
                         for &t in &targets {
-                            let Some(formal) =
-                                self.spaces[&t].instance(Instance::Formal(k as u8))
+                            let Some(formal) = self.spaces[&t].instance(Instance::Formal(k as u8))
                             else {
                                 continue;
                             };
-                            let entry =
-                                self.taint.entry(t).or_default().entry(formal).or_default();
+                            let entry = self.taint.entry(t).or_default().entry(formal).or_default();
                             let before = entry.len();
                             entry.extend(labels.iter().copied());
                             changed |= entry.len() != before;
@@ -181,11 +168,8 @@ impl<'a> TaintAnalysis<'a> {
                         ret_labels.extend(self.return_labels(t));
                     }
                     if !ret_labels.is_empty() {
-                        if let Some(inst) =
-                            self.spaces[&mid].instance(Instance::CallRet(idx))
-                        {
-                            let entry =
-                                self.taint.entry(mid).or_default().entry(inst).or_default();
+                        if let Some(inst) = self.spaces[&mid].instance(Instance::CallRet(idx)) {
+                            let entry = self.taint.entry(mid).or_default().entry(inst).or_default();
                             let before = entry.len();
                             entry.extend(ret_labels);
                             changed |= entry.len() != before;
@@ -210,10 +194,9 @@ impl<'a> TaintAnalysis<'a> {
                 .body
                 .iter_enumerated()
                 .filter_map(|(idx, s)| match s {
-                    Stmt::Call { sig, args, .. } => self
-                        .registry
-                        .sink_of(sig)
-                        .map(|sink| (idx, sink.to_owned(), args.clone())),
+                    Stmt::Call { sig, args, .. } => {
+                        self.registry.sink_of(sig).map(|sink| (idx, sink.to_owned(), args.clone()))
+                    }
                     _ => None,
                 })
                 .collect();

@@ -18,14 +18,8 @@ fn main() {
     let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
 
     for opts in [OptConfig::plain(), OptConfig::gdroid()] {
-        let result = tune_blocks_per_sm(
-            &app.program,
-            &cg,
-            &roots,
-            DeviceConfig::tesla_p40(),
-            opts,
-            8,
-        );
+        let result =
+            tune_blocks_per_sm(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), opts, 8);
         println!("== {opts} ==");
         for (i, ns) in result.candidate_ns.iter().enumerate() {
             let marker = if i + 1 == result.blocks_per_sm { "  <- best" } else { "" };

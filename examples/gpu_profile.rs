@@ -64,12 +64,8 @@ fn main() {
     use gdroid::icfg::{CallLayers, Cfg};
     use std::collections::HashMap;
     let layers = CallLayers::compute(&cg, &roots);
-    let widest: Vec<MethodId> = layers
-        .layers
-        .iter()
-        .max_by_key(|l| l.len())
-        .cloned()
-        .unwrap_or_default();
+    let widest: Vec<MethodId> =
+        layers.layers.iter().max_by_key(|l| l.len()).cloned().unwrap_or_default();
     let spaces: HashMap<MethodId, MethodSpace> =
         widest.iter().map(|&m| (m, MethodSpace::build(&app.program, m))).collect();
     let cfgs: HashMap<MethodId, Cfg> =
@@ -78,11 +74,9 @@ fn main() {
     let program = &app.program;
     let layout = plan_layout(program, &mut sim, &spaces, &cfgs, &widest, OptConfig::gdroid());
     let summaries = SummaryMap::new();
-    let sites: Vec<_> = widest
-        .iter()
-        .map(|&m| (m, merge_site_summaries(program, m, &summaries, &cg)))
-        .collect();
-    let blocks: Vec<Box<dyn FnOnce(&mut gdroid::gpusim::BlockCtx<'_>) + '_>> = sites
+    let sites: Vec<_> =
+        widest.iter().map(|&m| (m, merge_site_summaries(program, m, &summaries, &cg))).collect();
+    let blocks: Vec<gdroid::gpusim::BlockFn<'_>> = sites
         .iter()
         .map(|(m, site)| {
             let m = *m;

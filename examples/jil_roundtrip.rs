@@ -20,7 +20,11 @@ fn main() {
     // Serialize to .jil text.
     let text = print_program(&app.program);
     let lines = text.lines().count();
-    println!("printed {} classes / {} methods as {lines} lines of .jil", app.program.classes.len(), app.program.methods.len());
+    println!(
+        "printed {} classes / {} methods as {lines} lines of .jil",
+        app.program.classes.len(),
+        app.program.methods.len()
+    );
 
     // A taste of the format.
     println!("--- first 24 lines ---");

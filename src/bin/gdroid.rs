@@ -3,6 +3,7 @@
 //! ```text
 //! gdroid gen   <seed> [out.jil]       generate a synthetic app (.jil to stdout or file)
 //! gdroid vet   <app.jil|seed> [--engine plain|mat|matgrp|gdroid|cpu|amandroid]
+//! gdroid lint  <app.jil|seed>         static lints over the IR (exit 1 on errors)
 //! gdroid stats <app.jil|seed>         structural statistics (Table I row)
 //! gdroid corpus <n>                   dataset statistics over the first n corpus apps
 //! gdroid dot   <app.jil|seed> [out]   Graphviz call graph (reachable part)
@@ -14,7 +15,9 @@
 //! the fly from a numeric seed.
 
 use gdroid::analysis::{analyze_app, StoreKind};
-use gdroid::apk::{generate_app, App, AppStats, Category, Corpus, CorpusStats, GenConfig, Manifest};
+use gdroid::apk::{
+    generate_app, App, AppStats, Category, Corpus, CorpusStats, GenConfig, Manifest,
+};
 use gdroid::core::OptConfig;
 use gdroid::icfg::prepare_app;
 use gdroid::ir::text::{parse_program, print_program};
@@ -25,7 +28,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid]\n  gdroid stats <app.jil|seed>\n  \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid]\n  gdroid lint <app.jil|seed>\n  \
+         gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  gdroid assess <app.jil|seed>"
     );
     exit(2)
@@ -44,6 +48,14 @@ fn load_app(arg: &str) -> App {
         eprintln!("parse error in {arg}: {e}");
         exit(1)
     });
+    let errors = gdroid::ir::validate_program(&program);
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("{arg}: {e}");
+        }
+        eprintln!("{arg}: {} validation error(s)", errors.len());
+        exit(1);
+    }
     // A .jil file carries no manifest; every class that extends a
     // component base is treated as an exported component.
     let mut manifest = Manifest { package: arg.to_owned(), ..Default::default() };
@@ -112,6 +124,26 @@ fn main() {
                 outcome.telemetry.nodes_processed
             );
         }
+        "lint" => {
+            let Some(target) = args.get(1) else { usage() };
+            let app = load_app(target);
+            let diags = gdroid::ir::lint_program(&app.program);
+            for d in &diags {
+                println!("{d}");
+            }
+            let errors = diags.iter().filter(|d| d.severity == gdroid::ir::Severity::Error).count();
+            let warnings = diags.len() - errors;
+            println!(
+                "{}: {} error(s), {} warning(s) over {} method(s)",
+                app.name,
+                errors,
+                warnings,
+                app.program.methods.len()
+            );
+            if errors > 0 {
+                exit(1);
+            }
+        }
         "stats" => {
             let Some(target) = args.get(1) else { usage() };
             let mut app = load_app(target);
@@ -155,10 +187,9 @@ fn main() {
             print!("{}", assessment.render());
         }
         "export" => {
-            let (Some(n), Some(dir)) = (
-                args.get(1).and_then(|s| s.parse::<usize>().ok()),
-                args.get(2),
-            ) else {
+            let (Some(n), Some(dir)) =
+                (args.get(1).and_then(|s| s.parse::<usize>().ok()), args.get(2))
+            else {
                 usage()
             };
             let corpus = Corpus::paper_sized(n);

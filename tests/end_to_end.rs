@@ -78,9 +78,7 @@ fn ladder_improves_simulated_time() {
     let times: Vec<f64> = OptConfig::ladder()
         .into_iter()
         .map(|o| {
-            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), o)
-                .stats
-                .total_ns
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), o).stats.total_ns
         })
         .collect();
     assert!(times[1] < times[0], "MAT must beat plain ({} vs {})", times[1], times[0]);

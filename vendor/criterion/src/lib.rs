@@ -1,0 +1,124 @@
+//! Minimal offline stub of `criterion`.
+//!
+//! Provides just enough of the criterion API for this workspace's bench
+//! targets to compile and produce coarse wall-clock numbers: each
+//! `bench_function` runs one warmup pass plus a few timed iterations and
+//! prints the mean. There is no statistical analysis, HTML report, or
+//! command-line handling — swap in the real crate for publishable numbers.
+
+use std::time::Instant;
+
+const TIMED_ITERS: u32 = 3;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.as_ref()), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { elapsed_ns: 0.0, iters: 0 };
+    f(&mut b);
+    let mean = if b.iters == 0 { 0.0 } else { b.elapsed_ns / b.iters as f64 };
+    println!("bench {label}: {:.1} us/iter ({} iters)", mean / 1e3, b.iters);
+}
+
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        for _ in 0..TIMED_ITERS {
+            let t = Instant::now();
+            black_box(f());
+            self.elapsed_ns += t.elapsed().as_nanos() as f64;
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warmup
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += t.elapsed().as_nanos() as f64;
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,495 @@
+//! Minimal offline stub of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! `proptest!` macro (both `x in strategy` and `x: Type` parameter forms),
+//! `prop_assert!`/`prop_assert_eq!`, integer-range / tuple / `&str`-pattern
+//! strategies, and `prop::collection::vec`. Sampling is driven by a
+//! deterministic splitmix64 stream seeded from the test path and case
+//! index, so failures reproduce exactly across runs. No shrinking is
+//! performed; the failing case index and inputs are reported instead.
+//!
+//! Set `PROPTEST_CASES` to override the per-test case count (default 32).
+
+use std::iter::Peekable;
+use std::marker::PhantomData;
+use std::str::Chars;
+
+/// Number of cases each `proptest!` test runs.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 stream; seeded per (test path, case index).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds a stream for one test case. `path` is the fully qualified test
+    /// name so distinct tests draw independent streams.
+    pub fn for_case(path: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is acceptable for tests).
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "TestRng::below(0)");
+        u128::from(self.next_u64()) % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A source of sampled values — the stub counterpart of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u128 + 1;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = ArbitraryStrategy<$t>;
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<S: Strategy> Strategy for (S,) {
+    type Value = (S::Value,);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng),)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    type Strategy;
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct ArbitraryStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for any `Arbitrary` type.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u128;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String-pattern strategy (tiny regex subset)
+// ---------------------------------------------------------------------------
+//
+// Supports the subset of regex syntax used as string strategies in this
+// workspace: literal chars, `\PC` (any printable), `.`, `[...]` classes
+// with ranges and `\`-escapes, and the `*` / `+` / `?` / `{n}` / `{n,m}`
+// quantifiers.
+
+enum Atom {
+    Class(Vec<(char, char)>),
+    Printable,
+    Lit(char),
+}
+
+enum Quant {
+    One,
+    Opt,
+    Star,
+    Plus,
+    Counted(usize, usize),
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    while let Some(c) = chars.next() {
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' { unescape(chars.next().unwrap_or('\\')) } else { c };
+        let is_range = chars.peek() == Some(&'-') && {
+            let mut ahead = chars.clone();
+            ahead.next();
+            !matches!(ahead.peek(), None | Some(']'))
+        };
+        if is_range {
+            chars.next();
+            let mut hi = chars.next().unwrap_or(lo);
+            if hi == '\\' {
+                hi = unescape(chars.next().unwrap_or('\\'));
+            }
+            ranges.push((lo, hi.max(lo)));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    ranges
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, Quant)> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::Printable,
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // \PC / \pL style unicode classes: sample printables.
+                    chars.next();
+                    Atom::Printable
+                }
+                Some(e) => Atom::Lit(unescape(e)),
+                None => Atom::Lit('\\'),
+            },
+            other => Atom::Lit(other),
+        };
+        let quant = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Quant::Star
+            }
+            Some('+') => {
+                chars.next();
+                Quant::Plus
+            }
+            Some('?') => {
+                chars.next();
+                Quant::Opt
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0)),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                Quant::Counted(lo, hi.max(lo))
+            }
+            _ => Quant::One,
+        };
+        out.push((atom, quant));
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> Option<char> {
+    match atom {
+        Atom::Lit(c) => Some(*c),
+        Atom::Printable => {
+            // Mostly printable ASCII, with occasional multibyte chars to
+            // exercise UTF-8 handling.
+            if rng.below(16) == 0 {
+                const EXOTIC: &[char] = &['é', 'λ', 'Ж', '→', '中', '𝛼'];
+                Some(EXOTIC[rng.below(EXOTIC.len() as u128) as usize])
+            } else {
+                char::from_u32(0x20 + rng.below(0x5f) as u32)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u128 = ranges.iter().map(|(lo, hi)| *hi as u128 - *lo as u128 + 1).sum();
+            if total == 0 {
+                return None;
+            }
+            let mut k = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = *hi as u128 - *lo as u128 + 1;
+                if k < width {
+                    return char::from_u32(*lo as u32 + k as u32);
+                }
+                k -= width;
+            }
+            None
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, quant) in parse_pattern(self) {
+            let reps = match quant {
+                Quant::One => 1,
+                Quant::Opt => rng.below(2) as usize,
+                Quant::Star => rng.below(25) as usize,
+                Quant::Plus => 1 + rng.below(24) as usize,
+                Quant::Counted(lo, hi) => lo + rng.below((hi - lo) as u128 + 1) as usize,
+            };
+            for _ in 0..reps {
+                if let Some(c) = sample_atom(&atom, rng) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Stub of `proptest::proptest!`: expands each annotated fn into a plain
+/// `#[test]` that samples its parameter strategies over `cases()`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (@munch [$($m:tt)*] $name:ident [$($pat:tt)*] [$($strat:tt)*]
+     [$p:pat_param in $s:expr, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@munch [$($m)*] $name [$($pat)* ($p)] [$($strat)* ($s)]
+                          [$($rest)*] $body);
+    };
+    (@munch [$($m:tt)*] $name:ident [$($pat:tt)*] [$($strat:tt)*]
+     [$p:pat_param in $s:expr] $body:block) => {
+        $crate::proptest!(@munch [$($m)*] $name [$($pat)* ($p)] [$($strat)* ($s)]
+                          [] $body);
+    };
+    (@munch [$($m:tt)*] $name:ident [$($pat:tt)*] [$($strat:tt)*]
+     [$p:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@munch [$($m)*] $name [$($pat)* ($p)]
+                          [$($strat)* ($crate::any::<$t>())] [$($rest)*] $body);
+    };
+    (@munch [$($m:tt)*] $name:ident [$($pat:tt)*] [$($strat:tt)*]
+     [$p:ident : $t:ty] $body:block) => {
+        $crate::proptest!(@munch [$($m)*] $name [$($pat)* ($p)]
+                          [$($strat)* ($crate::any::<$t>())] [] $body);
+    };
+    (@munch [$($m:tt)*] $name:ident [$(($pat:pat_param))*] [$(($strat:expr))*]
+     [] $body:block) => {
+        $($m)*
+        fn $name() {
+            let __strategies = ($($strat,)*);
+            let __cases = $crate::cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($pat,)*) = $crate::Strategy::sample(&__strategies, &mut __rng);
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!("proptest case {}/{} failed: {}", __case + 1, __cases, __msg);
+                }
+            }
+        }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $( $crate::proptest!(@munch [$(#[$meta])*] $name [] [] [$($params)*] $body); )*
+    };
+}
+
+/// Stub of `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Stub of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                ::std::format!($($fmt)+),
+                __left,
+                __right,
+            ));
+        }
+    }};
+}
+
+/// Stub of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __left,
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pattern_sampling_matches_class() {
+        let mut rng = TestRng::for_case("pattern", 1);
+        for _ in 0..100 {
+            let s = "[a-c]{2,4}".sample(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+        let s = "ab\\[c".sample(&mut rng);
+        assert_eq!(s, "ab[c");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::for_case("det", 7);
+        let mut b = TestRng::for_case("det", 7);
+        let sa = "\\PC*".sample(&mut a);
+        let sb = "\\PC*".sample(&mut b);
+        assert_eq!(sa, sb);
+        let va = collection::vec((0u16..40, 0u16..40), 0..200).sample(&mut a);
+        let vb = collection::vec((0u16..40, 0u16..40), 0..200).sample(&mut b);
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,62 @@
+//! Minimal offline stub of `rayon`: a sequential fallback.
+//!
+//! `par_iter()` / `into_par_iter()` return the corresponding *sequential*
+//! std iterators, so every adapter (`map`, `filter`, `collect`, ...) works
+//! unchanged and results arrive in deterministic order. Swapping in the
+//! real crate later requires no call-site changes.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_ordered() {
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+        let out: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

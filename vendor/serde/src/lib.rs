@@ -1,0 +1,29 @@
+//! Minimal offline stub of the `serde` facade.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no code path
+//! actually serializes anything yet), so empty marker traits plus a derive
+//! macro that emits empty impls are a faithful stand-in. When a future PR
+//! needs real serialization, replace this stub with a vendored copy of the
+//! real crate; the API surface used by the workspace is forward-compatible.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

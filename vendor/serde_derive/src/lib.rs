@@ -1,0 +1,161 @@
+//! Minimal offline stub of `serde_derive`.
+//!
+//! Emits empty marker-trait impls for the stub `serde` facade crate. The
+//! parser is deliberately tiny (no `syn`/`quote` available offline): it
+//! hand-scans the item's token stream for the type name and generic
+//! parameters, keeps bounds, strips defaults, and emits
+//! `impl<..> ::serde::Serialize for Ty<..> {}` (and the `Deserialize`
+//! equivalent with an extra `'de` lifetime). `#[serde(...)]` field/variant
+//! attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility, then the struct/enum/union keyword.
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return TokenStream::new(),
+    };
+    i += 1;
+
+    // Collect generic parameters (comma-split at depth 1), if any.
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut cur: Vec<TokenTree> = Vec::new();
+        let mut prev_dash = false;
+        while i < toks.len() && depth > 0 {
+            let t = toks[i].clone();
+            let mut push = true;
+            let mut dash = false;
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    // A '>' preceded by '-' is the tail of a `->` arrow
+                    // inside a bound like `F: Fn() -> T`, not a closer.
+                    '>' if !prev_dash => {
+                        depth -= 1;
+                        if depth == 0 {
+                            push = false;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        params.push(std::mem::take(&mut cur));
+                        push = false;
+                    }
+                    _ => {}
+                }
+                dash = p.as_char() == '-';
+            }
+            prev_dash = dash;
+            if push {
+                cur.push(t);
+            }
+            i += 1;
+        }
+        if !cur.is_empty() {
+            params.push(cur);
+        }
+    }
+
+    let impl_params: Vec<String> = params.iter().map(|p| to_source(strip_default(p))).collect();
+    let ty_args: Vec<String> = params.iter().filter_map(|p| param_name(p)).collect();
+
+    let out = match which {
+        Which::Serialize => {
+            if params.is_empty() {
+                format!("impl ::serde::Serialize for {name} {{}}")
+            } else {
+                format!(
+                    "impl<{}> ::serde::Serialize for {name}<{}> {{}}",
+                    impl_params.join(", "),
+                    ty_args.join(", ")
+                )
+            }
+        }
+        Which::Deserialize => {
+            if params.is_empty() {
+                format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            } else {
+                format!(
+                    "impl<'de, {}> ::serde::Deserialize<'de> for {name}<{}> {{}}",
+                    impl_params.join(", "),
+                    ty_args.join(", ")
+                )
+            }
+        }
+    };
+    out.parse().expect("serde_derive stub produced invalid tokens")
+}
+
+/// Drops a trailing `= default` from a generic-parameter token list
+/// (defaults are not legal in impl generics).
+fn strip_default(param: &[TokenTree]) -> &[TokenTree] {
+    let mut depth = 0usize;
+    for (j, t) in param.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => return &param[..j],
+                _ => {}
+            }
+        }
+    }
+    param
+}
+
+/// The bare name of a generic parameter, usable as a type/const argument.
+fn param_name(param: &[TokenTree]) -> Option<String> {
+    match param.first()? {
+        TokenTree::Punct(p) if p.as_char() == '\'' => Some(format!("'{}", param.get(1)?)),
+        TokenTree::Ident(id) if id.to_string() == "const" => Some(param.get(1)?.to_string()),
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn to_source(toks: &[TokenTree]) -> String {
+    toks.iter().cloned().collect::<TokenStream>().to_string()
+}
