@@ -22,4 +22,11 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> serve smoke: 10 apps through the vetting service"
+serve_out=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --json)
+echo "$serve_out" | grep -q '"quarantined":0,' || {
+  echo "serve smoke: quarantined jobs detected" >&2
+  exit 1
+}
+
 echo "ci/check.sh: all green"

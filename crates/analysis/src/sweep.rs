@@ -147,7 +147,7 @@ mod tests {
         });
         mb.stmt(Stmt::Goto { target: head });
         let end = mb.next_idx();
-        mb.patch_target(exit, end);
+        mb.patch_target(exit, end).expect("exit is an If");
         mb.stmt(Stmt::Return { var: None });
         let mid = mb.build();
         let program = pb.finish();

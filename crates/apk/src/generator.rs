@@ -514,7 +514,7 @@ impl<'a> AppGen<'a> {
                     );
                     let goto_at = mb.stmt(Stmt::Goto { target: gdroid_ir::StmtIdx(0) });
                     let else_start = mb.next_idx();
-                    mb.patch_target(if_at, else_start);
+                    mb.patch_target(if_at, else_start).expect("if_at is an If");
                     let else_budget = inner - then_budget.min(inner);
                     if else_budget > 0 {
                         self.gen_block(
@@ -534,7 +534,7 @@ impl<'a> AppGen<'a> {
                         mb.stmt(Stmt::Empty);
                     }
                     let end = mb.next_idx();
-                    mb.patch_target(goto_at, end);
+                    mb.patch_target(goto_at, end).expect("goto_at is a Goto");
                     remaining = remaining.saturating_sub(inner + 2);
                 }
                 // ---- loop ---------------------------------------------------
@@ -564,7 +564,7 @@ impl<'a> AppGen<'a> {
                     });
                     mb.stmt(Stmt::Goto { target: head });
                     let end = mb.next_idx();
-                    mb.patch_target(exit_at, end);
+                    mb.patch_target(exit_at, end).expect("exit_at is an If");
                     remaining = remaining.saturating_sub(inner + 4);
                 }
                 // ---- switch -------------------------------------------------
@@ -603,12 +603,12 @@ impl<'a> AppGen<'a> {
                     }
                     let end = mb.next_idx();
                     for g in gotos {
-                        mb.patch_target(g, end);
+                        mb.patch_target(g, end).expect("g is a Goto");
                     }
                     // Default falls to end; patch the switch statement.
                     let default = end;
                     let targets = case_starts;
-                    mb.replace_switch(sw_at, scrut, targets, default);
+                    mb.replace_switch(sw_at, scrut, targets, default).expect("sw_at is a Switch");
                     remaining = remaining.saturating_sub(inner + 2 + n_cases);
                 }
             }
@@ -799,7 +799,7 @@ impl<'a> AppGen<'a> {
                 let guard = mb.stmt(Stmt::If { cond, target: gdroid_ir::StmtIdx(0) });
                 mb.stmt(Stmt::Throw { var: exc });
                 let handler = mb.next_idx();
-                mb.patch_target(guard, handler);
+                mb.patch_target(guard, handler).expect("guard is an If");
                 mb.stmt(Stmt::Assign { lhs: Lhs::Var(handler_var), rhs: Expr::Exception });
             }
             21 if !prim_fields.is_empty() => {

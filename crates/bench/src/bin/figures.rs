@@ -3,18 +3,21 @@
 //! ```text
 //! figures <experiment> [--apps N] [--scale S]
 //!
-//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all
+//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all serve
 //!   --apps N   analyze the first N corpus apps (default 100; paper: 1000)
 //!   --scale S  generator scale factor (default 1.0 = Table I calibration)
 //! ```
+//!
+//! `serve` benchmarks the vetting service (worker/device scaling and a
+//! cache-hit sweep) and writes `BENCH_serve.json`.
 
 use gdroid_apk::Corpus;
-use gdroid_bench::{experiments, run_corpus, sancheck_corpus};
+use gdroid_bench::{experiments, run_corpus, sancheck_corpus, serve_benchmark};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -45,6 +48,20 @@ fn main() {
 
     let mut corpus = Corpus::paper_sized(apps);
     corpus.config.scale *= scale;
+
+    if experiment == "serve" {
+        eprintln!("benchmarking the vetting service ({apps} jobs per point)…");
+        let t0 = Instant::now();
+        let (json, summary) = serve_benchmark(apps.min(64));
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_serve.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_serve.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_serve.json");
+        return;
+    }
 
     if experiment == "sancheck" {
         eprintln!("sanitizing {apps} apps (scale {scale}) across all kernel variants…");

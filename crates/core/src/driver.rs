@@ -20,7 +20,7 @@ use gdroid_analysis::{
     derive_summary, merge_site_summaries, FactStore, Geometry, MatrixStore, MethodSpace,
     SummaryMap, WorklistTelemetry,
 };
-use gdroid_gpusim::{dual_buffered, Device, DeviceConfig};
+use gdroid_gpusim::{dual_buffered, Device, DeviceConfig, DeviceFault};
 use gdroid_icfg::{CallGraph, CallLayers, Cfg};
 use gdroid_ir::{MethodId, Program};
 use std::collections::HashMap;
@@ -44,7 +44,7 @@ pub struct GpuAnalysis {
     pub sanitizer: Option<gdroid_gpusim::SanReport>,
 }
 
-/// Analyzes one app on the simulated GPU.
+/// Analyzes one app on a fresh simulated GPU.
 pub fn gpu_analyze_app(
     program: &Program,
     cg: &CallGraph,
@@ -52,6 +52,24 @@ pub fn gpu_analyze_app(
     device_config: DeviceConfig,
     opts: OptConfig,
 ) -> GpuAnalysis {
+    let mut device = Device::new(device_config);
+    gpu_analyze_app_on(&mut device, program, cg, roots, opts)
+        .expect("a fresh device has no fault plan")
+}
+
+/// Analyzes one app on an existing, long-lived device — the serving path,
+/// where one device outlives many apps. The device is [`Device::reset`]
+/// first (each app gets a clean arena), and any injected fault
+/// ([`gdroid_gpusim::FaultPlan`]) aborts the analysis mid-flight with an
+/// `Err` the caller can retry.
+pub fn gpu_analyze_app_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+) -> Result<GpuAnalysis, DeviceFault> {
+    device.reset();
     let layers = CallLayers::compute(cg, roots);
     let methods: Vec<MethodId> = {
         let mut m: Vec<MethodId> = layers.scc_of.keys().copied().collect();
@@ -65,8 +83,7 @@ pub fn gpu_analyze_app(
         cfgs.insert(mid, Cfg::build(&program.methods[mid]));
     }
 
-    let mut device = Device::new(device_config);
-    let layout: AppLayout = plan_layout(program, &mut device, &spaces, &cfgs, &methods, opts);
+    let layout: AppLayout = plan_layout(program, device, &spaces, &cfgs, &methods, opts);
 
     let mut summaries: SummaryMap = HashMap::new();
     let mut facts: HashMap<MethodId, MatrixStore> = HashMap::new();
@@ -129,7 +146,7 @@ pub fn gpu_analyze_app(
                     })
                     .collect();
 
-                let kernel_stats = device.launch(blocks);
+                let kernel_stats = device.try_launch(blocks)?;
                 let h2d: u64 = pending.iter().map(|m| layout.methods[m].h2d_bytes).sum();
                 let d2h: u64 = pending.iter().map(|m| layout.methods[m].d2h_bytes).sum();
                 chunks.push((h2d, kernel_stats.time_ns(&device.config), d2h));
@@ -178,7 +195,7 @@ pub fn gpu_analyze_app(
     stats.profile = WorklistProfile::from_round_sizes(&telemetry.round_sizes, telemetry.rounds);
 
     let sanitizer = device.san_report();
-    GpuAnalysis { facts, summaries, spaces, cfgs, stats, telemetry, sanitizer }
+    Ok(GpuAnalysis { facts, summaries, spaces, cfgs, stats, telemetry, sanitizer })
 }
 
 #[cfg(test)]
@@ -297,5 +314,45 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9, "buckets must sum to 1: {sum}");
         assert!(run.stats.total_ns > 0.0);
         assert!(run.stats.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn reused_device_matches_fresh_device() {
+        // One long-lived device analyzing two apps back-to-back must give
+        // each the same result a fresh device would.
+        let mut device = Device::new(DeviceConfig::tiny());
+        for seed in [4007u64, 4008] {
+            let (app, cg, roots) = prepared(seed);
+            let reused =
+                gpu_analyze_app_on(&mut device, &app.program, &cg, &roots, OptConfig::gdroid())
+                    .expect("no fault plan installed");
+            let fresh = gpu_analyze_app(
+                &app.program,
+                &cg,
+                &roots,
+                DeviceConfig::tiny(),
+                OptConfig::gdroid(),
+            );
+            assert_eq!(reused.summaries, fresh.summaries, "seed {seed}");
+            assert_eq!(reused.stats.total_ns, fresh.stats.total_ns, "seed {seed}: timing drifted");
+        }
+    }
+
+    #[test]
+    fn injected_fault_aborts_and_retry_succeeds() {
+        use gdroid_gpusim::FaultPlan;
+        let (app, cg, roots) = prepared(4009);
+        let mut device = Device::new(DeviceConfig::tiny());
+        // Fault the very first launch, once.
+        device.set_fault_plan(Some(FaultPlan { period: 1, budget: 1 }));
+        let err = gpu_analyze_app_on(&mut device, &app.program, &cg, &roots, OptConfig::gdroid());
+        assert!(err.is_err(), "first launch must fault");
+        // The retry runs fault-free (budget exhausted) and matches fresh.
+        let retry = gpu_analyze_app_on(&mut device, &app.program, &cg, &roots, OptConfig::gdroid())
+            .expect("budget exhausted, retry must succeed");
+        let fresh =
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny(), OptConfig::gdroid());
+        assert_eq!(retry.summaries, fresh.summaries);
+        assert_eq!(device.faults_injected(), 1);
     }
 }

@@ -19,6 +19,34 @@ use crate::sancheck::{SanReport, Sanitizer};
 /// [`Device::launch`] directly).
 pub type BlockFn<'a> = Box<dyn FnOnce(&mut BlockCtx<'_>) + 'a>;
 
+/// A deterministic fault-injection schedule for resilience testing: every
+/// `period`-th kernel launch on the device fails (before executing any
+/// block), up to `budget` total faults over the device's lifetime. Only
+/// [`Device::try_launch`] observes the plan; [`Device::launch`] ignores it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fault every `period`-th launch (0 disables the plan).
+    pub period: u64,
+    /// Maximum faults to inject over the device lifetime.
+    pub budget: u64,
+}
+
+/// An injected device fault: the launch aborted before running any block
+/// (the moral equivalent of a `cudaErrorLaunchFailure` at submit time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// 1-based lifetime index of the launch that faulted.
+    pub launch_index: u64,
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected device fault at launch #{}", self.launch_index)
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
 /// The simulated GPU.
 pub struct Device {
     /// Architectural constants.
@@ -29,6 +57,12 @@ pub struct Device {
     pub heap: DeviceHeap,
     /// `simcheck` shadow-state tracker, present iff `config.sanitize`.
     san: Option<Sanitizer>,
+    /// Injected-fault schedule, if any.
+    fault_plan: Option<FaultPlan>,
+    /// Lifetime launch counter (survives [`Device::reset`]).
+    launches: u64,
+    /// Faults injected so far (survives [`Device::reset`]).
+    faults_injected: u64,
 }
 
 /// Aggregated result of one kernel launch.
@@ -118,7 +152,37 @@ impl Device {
             heap: DeviceHeap::new(),
             san: config.sanitize.then(Sanitizer::new),
             config,
+            fault_plan: None,
+            launches: 0,
+            faults_injected: 0,
         }
+    }
+
+    /// Returns the device to its freshly-constructed memory state — a new
+    /// address space, an empty heap, and (when sanitizing) a fresh shadow
+    /// tracker — so one long-lived device can serve many analyses without
+    /// its `cudaMalloc` arena growing without bound. Lifetime counters
+    /// (launches, injected faults) and the fault plan survive, so a fault
+    /// schedule spans the device's whole service life.
+    pub fn reset(&mut self) {
+        self.address_space = AddressSpace::new(&self.config);
+        self.heap = DeviceHeap::new();
+        self.san = self.config.sanitize.then(Sanitizer::new);
+    }
+
+    /// Installs (or clears) a fault-injection schedule. See [`FaultPlan`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Faults injected so far over the device's lifetime.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Kernel launches attempted so far (including faulted ones).
+    pub fn launches(&self) -> u64 {
+        self.launches
     }
 
     /// Plans a buffer (host-side `cudaMalloc`). Its contents are
@@ -149,8 +213,39 @@ impl Device {
     }
 
     /// Launches a kernel: one closure per block. Returns the aggregated
-    /// stats with the packed makespan.
+    /// stats with the packed makespan. Ignores any fault plan — existing
+    /// single-shot callers cannot fault.
     pub fn launch<F>(&mut self, blocks: Vec<F>) -> KernelStats
+    where
+        F: FnOnce(&mut BlockCtx<'_>),
+    {
+        self.launches += 1;
+        self.execute(blocks)
+    }
+
+    /// Launches a kernel, honoring the installed [`FaultPlan`]: a faulted
+    /// launch aborts before any block runs and leaves device memory
+    /// untouched, so the caller can retry the whole analysis.
+    pub fn try_launch<F>(&mut self, blocks: Vec<F>) -> Result<KernelStats, DeviceFault>
+    where
+        F: FnOnce(&mut BlockCtx<'_>),
+    {
+        self.launches += 1;
+        if let Some(plan) = self.fault_plan {
+            if plan.period > 0
+                && self.launches.is_multiple_of(plan.period)
+                && self.faults_injected < plan.budget
+            {
+                self.faults_injected += 1;
+                return Err(DeviceFault { launch_index: self.launches });
+            }
+        }
+        Ok(self.execute(blocks))
+    }
+
+    /// Runs a launch's blocks and packs their timelines (shared by
+    /// [`Device::launch`] and [`Device::try_launch`]).
+    fn execute<F>(&mut self, blocks: Vec<F>) -> KernelStats
     where
         F: FnOnce(&mut BlockCtx<'_>),
     {
@@ -331,6 +426,54 @@ mod tests {
         let stats = dev.launch(Vec::<fn(&mut BlockCtx<'_>)>::new());
         assert_eq!(stats.makespan_cycles, 0);
         assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn reset_reclaims_address_space_but_keeps_counters() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.alloc(1 << 20);
+        dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(1)]);
+        let used = dev.address_space.used();
+        assert!(used > 1 << 20);
+        dev.reset();
+        assert!(dev.address_space.used() < used, "reset must reclaim the arena");
+        assert_eq!(dev.launches(), 1, "lifetime counters survive reset");
+        // The device stays usable after reset.
+        dev.alloc(1 << 20);
+        let stats = dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(7)]);
+        assert_eq!(stats.makespan_cycles, 7);
+    }
+
+    #[test]
+    fn fault_plan_faults_every_nth_try_launch_up_to_budget() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.set_fault_plan(Some(FaultPlan { period: 3, budget: 2 }));
+        let mut faults = 0;
+        for i in 1..=12u64 {
+            let r = dev.try_launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(1)]);
+            match r {
+                Ok(_) => {}
+                Err(f) => {
+                    faults += 1;
+                    assert_eq!(f.launch_index, i);
+                    assert_eq!(f.launch_index % 3, 0, "faults land on the period");
+                }
+            }
+        }
+        assert_eq!(faults, 2, "budget caps injected faults");
+        assert_eq!(dev.faults_injected(), 2);
+        assert_eq!(dev.launches(), 12);
+    }
+
+    #[test]
+    fn plain_launch_ignores_fault_plan() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.set_fault_plan(Some(FaultPlan { period: 1, budget: u64::MAX }));
+        for _ in 0..5 {
+            let stats = dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(1)]);
+            assert_eq!(stats.blocks, 1);
+        }
+        assert_eq!(dev.faults_injected(), 0);
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn synthesize_environments(app: &mut App) -> Vec<EnvironmentInfo> {
             }
             mb.stmt(Stmt::Goto { target: head });
             let end = mb.next_idx();
-            mb.patch_target(exit_if, end);
+            mb.patch_target(exit_if, end).expect("exit_if is an If");
         }
         for sig in once_tail {
             emit_call(&mut mb, sig);

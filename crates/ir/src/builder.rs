@@ -11,6 +11,43 @@ use crate::program::{ClassDef, FieldDef, Program};
 use crate::stmt::Stmt;
 use crate::types::JType;
 
+/// A structural error from a body-patching builder call — returned (not
+/// panicked) so a malformed construction request from an untrusted caller
+/// (e.g. a vetting-service job) cannot abort the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuilderError {
+    /// `replace_switch` aimed at a statement that is not a `Switch`.
+    NotASwitch {
+        /// The statement index that was targeted.
+        at: StmtIdx,
+        /// Kind of the statement actually found there.
+        found: crate::stmt::StmtKind,
+    },
+    /// `patch_target` aimed at a statement with no patchable target
+    /// (only `Goto`, `If`, and `Switch` defaults can be patched).
+    NotPatchable {
+        /// The statement index that was targeted.
+        at: StmtIdx,
+        /// Kind of the statement actually found there.
+        found: crate::stmt::StmtKind,
+    },
+}
+
+impl std::fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuilderError::NotASwitch { at, found } => {
+                write!(f, "replace_switch at {at}: expected Switch, found {found:?}")
+            }
+            BuilderError::NotPatchable { at, found } => {
+                write!(f, "patch_target at {at}: {found:?} has no patchable branch target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
 /// Builds a [`Program`] incrementally.
 #[derive(Default)]
 pub struct ProgramBuilder {
@@ -173,19 +210,20 @@ impl<'a> MethodBuilder<'a> {
 
     /// Replaces a previously appended `Switch` statement wholesale — used
     /// by generators that know the case targets only after emitting the
-    /// case blocks.
+    /// case blocks. Errors if the statement at `at` is not a `Switch`.
     pub fn replace_switch(
         &mut self,
         at: StmtIdx,
         var: VarId,
         targets: Vec<StmtIdx>,
         default: StmtIdx,
-    ) {
+    ) -> Result<(), BuilderError> {
         match &self.body[at] {
             Stmt::Switch { .. } => {
                 self.body[at] = Stmt::Switch { var, targets, default };
+                Ok(())
             }
-            other => panic!("replace_switch on {:?}", other.kind()),
+            other => Err(BuilderError::NotASwitch { at, found: other.kind() }),
         }
     }
 
@@ -233,13 +271,16 @@ impl<'a> MethodBuilder<'a> {
         StmtIdx::new(self.body.len())
     }
 
-    /// Patches a previously appended `Goto`/`If` statement's target.
-    pub fn patch_target(&mut self, at: StmtIdx, target: StmtIdx) {
+    /// Patches a previously appended `Goto`/`If` statement's target (or a
+    /// `Switch`'s default). Errors if the statement at `at` has no
+    /// patchable target.
+    pub fn patch_target(&mut self, at: StmtIdx, target: StmtIdx) -> Result<(), BuilderError> {
         match &mut self.body[at] {
             Stmt::Goto { target: t } | Stmt::If { target: t, .. } => *t = target,
             Stmt::Switch { default, .. } => *default = target,
-            other => panic!("cannot patch target of {:?}", other.kind()),
+            other => return Err(BuilderError::NotPatchable { at, found: other.kind() }),
         }
+        Ok(())
     }
 
     /// Finalizes the method, registering it on its class; returns its id.
@@ -315,7 +356,7 @@ mod tests {
         let g = mb.stmt(Stmt::If { cond: c, target: StmtIdx(0) });
         mb.stmt(Stmt::Empty);
         let end = mb.next_idx();
-        mb.patch_target(g, end);
+        mb.patch_target(g, end).unwrap();
         mb.stmt(Stmt::Return { var: None });
         let mid = mb.build();
         let p = pb.finish();
@@ -323,6 +364,24 @@ mod tests {
             Stmt::If { target, .. } => assert_eq!(*target, end),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn mispatched_statements_error_instead_of_panicking() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("com/example/E").build();
+        let mut mb = pb.method(cls, "broken").kind(MethodKind::Static);
+        let v = mb.local("v", JType::Int);
+        let ret = mb.stmt(Stmt::Return { var: None });
+        let err = mb.patch_target(ret, StmtIdx(0)).unwrap_err();
+        assert!(matches!(err, BuilderError::NotPatchable { .. }));
+        assert!(err.to_string().contains("no patchable branch target"), "{err}");
+        let err = mb.replace_switch(ret, v, vec![], StmtIdx(0)).unwrap_err();
+        assert!(matches!(err, BuilderError::NotASwitch { .. }));
+        assert!(err.to_string().contains("expected Switch"), "{err}");
+        // The builder is still usable after the failed patches.
+        mb.stmt(Stmt::Empty);
+        mb.build();
     }
 
     #[test]

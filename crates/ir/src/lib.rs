@@ -41,7 +41,7 @@ pub mod text;
 pub mod types;
 pub mod validate;
 
-pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
+pub use builder::{BuilderError, ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use expr::{BinOp, CmpKind, Expr, ExprKind, Literal, UnOp};
 pub use idx::{ClassId, FieldId, MethodId, StmtIdx, Symbol, VarId};
 pub use lint::{lint_program, LintDiagnostic, LintPass, LintRunner, Severity};

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # gdroid-serve — in-process vetting service
+//!
+//! The paper frames GDroid as infrastructure for *app-store-scale*
+//! vetting: thousands of submissions a day flowing through a farm of
+//! GPU-equipped analysis hosts. This crate builds that serving layer on
+//! top of the single-app pipeline in `gdroid-vetting`:
+//!
+//! * [`queue`] — bounded submission queue with three priority classes,
+//!   blocking backpressure, and admission-control shedding;
+//! * [`scheduler`] — the bounded ready-heap between host-side prep and
+//!   device execution: executors pop priority-then-heaviest (greedy LPT,
+//!   the same policy `gdroid-core::multigpu` applies to methods), and the
+//!   bound double-buffers prep against execution;
+//! * [`pool`] — long-lived simulated devices with RAII leases; devices
+//!   are `reset` between apps, and lifetime fault schedules survive;
+//! * [`cache`] — content-hash result cache (bundle bytes → outcome) whose
+//!   invalidation path hands the previous analysis to
+//!   [`gdroid_analysis::analyze_app_incremental`], so an updated app
+//!   re-solves only its changed methods;
+//! * [`metrics`] — per-stage counters and latency histograms behind the
+//!   machine-readable [`ServiceReport`];
+//! * [`service`] — the worker/executor threads, per-job retry with
+//!   poison-job quarantine, and the graceful drain protocol;
+//! * [`job`] — job descriptions, priorities, and per-job results.
+//!
+//! Verdicts are engine-independent: a cached, incremental, or device
+//! outcome renders the byte-identical report JSON a sequential
+//! [`gdroid_vetting::vet_app`] run produces (the soak test in
+//! `tests/soak.rs` enforces this under injected device faults).
+
+pub mod cache;
+pub mod job;
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+pub mod scheduler;
+pub mod service;
+
+pub use cache::{
+    app_content_hash, changed_methods, fnv1a, interner_fingerprint, method_hashes, CacheStats,
+    PrevAnalysis, ResultCache,
+};
+pub use job::{CacheDisposition, JobResult, JobSource, JobSpec, JobStatus, Priority};
+pub use metrics::{
+    Counters, CountersSnapshot, Histogram, HistogramSnapshot, ServiceMetrics, ServiceReport,
+};
+pub use pool::{DeviceLease, DevicePool};
+pub use queue::{SubmitError, SubmitQueue};
+pub use scheduler::{work_estimate, DispatchHeap, ReadyJob};
+pub use service::{ServiceConfig, VettingService};

@@ -1,0 +1,379 @@
+//! Service observability: counters, latency histograms, and the
+//! machine-readable [`ServiceReport`].
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — these are
+//! statistics, not synchronization), so the hot paths never serialize on
+//! a metrics mutex.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram bucket upper bounds in nanoseconds: geometric ×4 from 1 µs,
+/// covering sub-microsecond to >1000 s in 16 buckets.
+const BUCKET_BOUNDS_NS: [u64; 16] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+    16_777_216_000,
+    67_108_864_000,
+    268_435_456_000,
+    1_073_741_824_000,
+];
+
+/// A fixed-bucket latency histogram (nanosecond samples).
+pub struct Histogram {
+    counts: [AtomicU64; 17],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        let bucket =
+            BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Consistent point-in-time snapshot (approximate under concurrent
+    /// writes — these are statistics).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            mean_ns: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            max_ns: max,
+        }
+    }
+}
+
+/// Frozen summary of a [`Histogram`]. Percentiles are bucket upper
+/// bounds (conservative).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean_ns: f64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.max_ns
+        )
+    }
+}
+
+/// Lifetime event counters of the service.
+#[derive(Default)]
+pub struct Counters {
+    /// Jobs admitted into the submission queue.
+    pub submitted: AtomicU64,
+    /// Submissions shed at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Exact cache hits (no prep, no execution).
+    pub cache_hits: AtomicU64,
+    /// Incremental warm-start executions.
+    pub cache_incremental: AtomicU64,
+    /// Jobs fully prepared and dispatched.
+    pub prepared: AtomicU64,
+    /// Device executions that returned a result.
+    pub executed: AtomicU64,
+    /// Failed attempts sent back for retry.
+    pub retries: AtomicU64,
+    /// Injected device faults observed.
+    pub faults: AtomicU64,
+    /// Wall-clock attempt timeouts observed.
+    pub timeouts: AtomicU64,
+    /// Jobs quarantined after exhausting retries.
+    pub quarantined: AtomicU64,
+    /// Jobs that produced a terminal result (any status).
+    pub completed: AtomicU64,
+}
+
+impl Counters {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CountersSnapshot {
+            submitted: load(&self.submitted),
+            rejected: load(&self.rejected),
+            cache_hits: load(&self.cache_hits),
+            cache_incremental: load(&self.cache_incremental),
+            prepared: load(&self.prepared),
+            executed: load(&self.executed),
+            retries: load(&self.retries),
+            faults: load(&self.faults),
+            timeouts: load(&self.timeouts),
+            quarantined: load(&self.quarantined),
+            completed: load(&self.completed),
+        }
+    }
+}
+
+/// Frozen copy of [`Counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Jobs admitted into the submission queue.
+    pub submitted: u64,
+    /// Submissions shed at admission (queue full).
+    pub rejected: u64,
+    /// Exact cache hits.
+    pub cache_hits: u64,
+    /// Incremental warm-start executions.
+    pub cache_incremental: u64,
+    /// Jobs fully prepared and dispatched.
+    pub prepared: u64,
+    /// Device executions that returned a result.
+    pub executed: u64,
+    /// Failed attempts sent back for retry.
+    pub retries: u64,
+    /// Injected device faults observed.
+    pub faults: u64,
+    /// Wall-clock attempt timeouts observed.
+    pub timeouts: u64,
+    /// Jobs quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Jobs that produced a terminal result.
+    pub completed: u64,
+}
+
+impl CountersSnapshot {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
+             \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
+             \"quarantined\":{},\"completed\":{}}}",
+            self.submitted,
+            self.rejected,
+            self.cache_hits,
+            self.cache_incremental,
+            self.prepared,
+            self.executed,
+            self.retries,
+            self.faults,
+            self.timeouts,
+            self.quarantined,
+            self.completed,
+        )
+    }
+}
+
+/// Live metrics shared by every service thread.
+pub struct ServiceMetrics {
+    /// Event counters.
+    pub counters: Counters,
+    /// Wall-clock wait between admission and prep pickup.
+    pub queue_wait: Histogram,
+    /// Wall-clock host-side prep (load + hash + env/cg).
+    pub prep: Histogram,
+    /// Wall-clock device-execution attempts (successful ones).
+    pub exec_wall: Histogram,
+    /// Modeled kernel time (`idfg_ns`) of completed runs.
+    pub kernel_model: Histogram,
+    /// Modeled taint time of completed runs.
+    pub taint_model: Histogram,
+    started: Instant,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics; the throughput clock starts now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            counters: Counters::default(),
+            queue_wait: Histogram::new(),
+            prep: Histogram::new(),
+            exec_wall: Histogram::new(),
+            kernel_model: Histogram::new(),
+            taint_model: Histogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Builds the machine-readable report.
+    pub fn report(
+        &self,
+        cache: CacheStats,
+        device_launches: u64,
+        device_faults: u64,
+    ) -> ServiceReport {
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let counters = self.counters.snapshot();
+        let apps_per_sec =
+            if wall_ns == 0 { 0.0 } else { counters.completed as f64 / (wall_ns as f64 / 1e9) };
+        ServiceReport {
+            counters,
+            queue_wait: self.queue_wait.snapshot(),
+            prep: self.prep.snapshot(),
+            exec_wall: self.exec_wall.snapshot(),
+            kernel_model: self.kernel_model.snapshot(),
+            taint_model: self.taint_model.snapshot(),
+            cache,
+            wall_ns,
+            apps_per_sec,
+            device_launches,
+            device_faults,
+        }
+    }
+}
+
+/// The machine-readable service summary (`--json` / `BENCH_serve.json`).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceReport {
+    /// Event counters.
+    pub counters: CountersSnapshot,
+    /// Queue-wait latency.
+    pub queue_wait: HistogramSnapshot,
+    /// Prep-stage latency.
+    pub prep: HistogramSnapshot,
+    /// Device-execution wall latency.
+    pub exec_wall: HistogramSnapshot,
+    /// Modeled kernel time distribution.
+    pub kernel_model: HistogramSnapshot,
+    /// Modeled taint time distribution.
+    pub taint_model: HistogramSnapshot,
+    /// Cache behavior.
+    pub cache: CacheStats,
+    /// Service wall-clock from start to report.
+    pub wall_ns: u64,
+    /// Terminal results per second of service wall-clock.
+    pub apps_per_sec: f64,
+    /// Lifetime device launches (including faulted ones).
+    pub device_launches: u64,
+    /// Lifetime injected device faults.
+    pub device_faults: u64,
+}
+
+impl ServiceReport {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"counters\":{},\"latency\":{{\"queue_wait\":{},\"prep\":{},\"exec_wall\":{},\
+             \"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\
+             \"invalidations\":{},\"insertions\":{}}},\"wall_ns\":{},\"apps_per_sec\":{:.3},\
+             \"device_launches\":{},\"device_faults\":{}}}",
+            self.counters.to_json(),
+            self.queue_wait.to_json(),
+            self.prep.to_json(),
+            self.exec_wall.to_json(),
+            self.kernel_model.to_json(),
+            self.taint_model.to_json(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.invalidations,
+            self.cache.insertions,
+            self.wall_ns,
+            self.apps_per_sec,
+            self.device_launches,
+            self.device_faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summarizes_samples() {
+        let h = Histogram::new();
+        for ns in [500, 2_000, 2_000, 100_000, 5_000_000_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_ns, 5_000_000_000);
+        assert!(s.p50_ns <= s.p95_ns);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.to_json().contains("\"count\":5"));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let m = ServiceMetrics::new();
+        Counters::bump(&m.counters.completed);
+        m.exec_wall.record(1_000);
+        let r = m.report(CacheStats::default(), 3, 1);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"completed\":1"));
+        assert!(j.contains("\"device_faults\":1"));
+        assert!(j.contains("\"apps_per_sec\":"));
+    }
+}

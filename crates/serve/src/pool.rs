@@ -1,0 +1,134 @@
+//! Long-lived simulated device pool with RAII leases.
+//!
+//! Devices are created once at service start and survive across jobs —
+//! each execution calls [`gdroid_gpusim::Device::reset`] (via the driver)
+//! to reclaim the previous app's allocations while keeping lifetime
+//! launch/fault counters, so an injected fault schedule spans the
+//! device's whole service life.
+
+use gdroid_gpusim::{Device, DeviceConfig, FaultPlan};
+use std::sync::{Condvar, Mutex};
+
+/// A pool of simulated devices; executors lease one per attempt.
+pub struct DevicePool {
+    slots: Mutex<Vec<Option<Device>>>,
+    available: Condvar,
+}
+
+impl DevicePool {
+    /// Builds `count` identical devices, each with its own copy of the
+    /// optional fault plan.
+    pub fn new(count: usize, config: DeviceConfig, fault: Option<FaultPlan>) -> DevicePool {
+        let slots = (0..count.max(1))
+            .map(|_| {
+                let mut d = Device::new(config);
+                d.set_fault_plan(fault);
+                Some(d)
+            })
+            .collect();
+        DevicePool { slots: Mutex::new(slots), available: Condvar::new() }
+    }
+
+    /// Number of devices in the pool.
+    pub fn size(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Blocks until a device is free, then leases it. The lease returns
+    /// the device on drop.
+    pub fn lease(&self) -> DeviceLease<'_> {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(slot) = slots.iter().position(|s| s.is_some()) {
+                let device = slots[slot].take().unwrap();
+                return DeviceLease { pool: self, slot, device: Some(device) };
+            }
+            slots = self.available.wait(slots).unwrap();
+        }
+    }
+
+    /// Lifetime fault count across currently idle devices. Call when no
+    /// leases are outstanding (e.g. after drain) for the full total.
+    pub fn total_faults(&self) -> u64 {
+        self.slots.lock().unwrap().iter().flatten().map(Device::faults_injected).sum()
+    }
+
+    /// Lifetime launch count across currently idle devices (same caveat
+    /// as [`DevicePool::total_faults`]).
+    pub fn total_launches(&self) -> u64 {
+        self.slots.lock().unwrap().iter().flatten().map(Device::launches).sum()
+    }
+}
+
+/// An exclusive device lease; derefs to the device and returns it to the
+/// pool on drop.
+pub struct DeviceLease<'a> {
+    pool: &'a DevicePool,
+    slot: usize,
+    device: Option<Device>,
+}
+
+impl DeviceLease<'_> {
+    /// The pool slot index of the leased device.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl std::ops::Deref for DeviceLease<'_> {
+    type Target = Device;
+    fn deref(&self) -> &Device {
+        self.device.as_ref().unwrap()
+    }
+}
+
+impl std::ops::DerefMut for DeviceLease<'_> {
+    fn deref_mut(&mut self) -> &mut Device {
+        self.device.as_mut().unwrap()
+    }
+}
+
+impl Drop for DeviceLease<'_> {
+    fn drop(&mut self) {
+        let mut slots = self.pool.slots.lock().unwrap();
+        slots[self.slot] = self.device.take();
+        self.pool.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_is_exclusive_and_returns_on_drop() {
+        let pool = DevicePool::new(2, DeviceConfig::tesla_p40(), None);
+        let a = pool.lease();
+        let b = pool.lease();
+        assert_ne!(a.slot(), b.slot());
+        drop(a);
+        let c = pool.lease();
+        drop(b);
+        drop(c);
+        assert_eq!(pool.size(), 2);
+    }
+
+    #[test]
+    fn blocked_lease_wakes_when_device_returns() {
+        let pool = std::sync::Arc::new(DevicePool::new(1, DeviceConfig::tesla_p40(), None));
+        let held = pool.lease();
+        let p2 = pool.clone();
+        let waiter = std::thread::spawn(move || p2.lease().slot());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_plan_is_installed_per_device() {
+        let pool =
+            DevicePool::new(2, DeviceConfig::tesla_p40(), Some(FaultPlan { period: 1, budget: 1 }));
+        assert_eq!(pool.total_faults(), 0);
+        assert_eq!(pool.total_launches(), 0);
+    }
+}

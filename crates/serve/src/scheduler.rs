@@ -1,0 +1,226 @@
+//! Dispatch heap: prepared jobs waiting for a device.
+//!
+//! Executors pop the highest-priority, *heaviest* ready job — combined
+//! with "a free executor pops next", this is exactly the greedy LPT
+//! (longest-processing-time-first) packing the multi-GPU driver uses for
+//! methods ([`gdroid_core::multigpu`]), lifted to whole apps: the least
+//! loaded device always receives the heaviest pending app.
+//!
+//! The heap is bounded: prep workers block in [`DispatchHeap::push`] once
+//! `capacity` prepared apps are waiting, which is the double-buffer
+//! overlap — at steady state each device executes one app while the prep
+//! workers hold the next few ready behind it, and prep never runs
+//! unboundedly ahead of execution. Retries re-enter through
+//! [`DispatchHeap::requeue`], which ignores the bound (a retry must never
+//! deadlock against a full heap) and still works after close so draining
+//! cannot drop a failed job.
+
+use crate::job::Priority;
+use gdroid_ir::MethodId;
+use gdroid_vetting::PreparedApp;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex};
+
+/// A prepared job, ready for device execution.
+pub struct ReadyJob {
+    /// Submission id.
+    pub id: u64,
+    /// Priority class.
+    pub priority: Priority,
+    /// Static work estimate (statements × state width), the LPT key.
+    pub estimate: u64,
+    /// The prepared app (program + environments + call graph + roots).
+    pub prep: PreparedApp,
+    /// FNV-1a hash of the pre-prep bundle content.
+    pub content_hash: u64,
+    /// App package name.
+    pub package: String,
+    /// Post-prep per-method content hashes (incremental change detection).
+    pub method_hashes: HashMap<MethodId, u64>,
+    /// Fingerprint of the interner contents backing `method_hashes`.
+    pub interner_fingerprint: u64,
+    /// Measured queue wait, carried into the final result.
+    pub queue_wait_ns: u64,
+    /// Measured prep time, carried into the final result.
+    pub prep_ns: u64,
+    /// Failed execution attempts so far.
+    pub failures: u32,
+    /// Injected faults observed so far.
+    pub faults_seen: u32,
+    /// Timeouts observed so far.
+    pub timeouts_seen: u32,
+}
+
+/// Computes the static work estimate of a prepared app: total statements
+/// times total variables — the app-granular analogue of the per-method
+/// `cfg len × matrix words` estimate in [`gdroid_core::multigpu`].
+pub fn work_estimate(prep: &PreparedApp) -> u64 {
+    let p = &prep.app.program;
+    (p.total_statements() as u64) * (p.total_vars() as u64).max(1)
+}
+
+struct HeapEntry(ReadyJob);
+
+impl HeapEntry {
+    /// Max-heap key: priority first, then estimate (LPT), then earliest id.
+    fn key(&self) -> (Priority, u64, std::cmp::Reverse<u64>) {
+        (self.0.priority, self.0.estimate, std::cmp::Reverse(self.0.id))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct HeapInner {
+    heap: BinaryHeap<HeapEntry>,
+    closed: bool,
+}
+
+/// The bounded ready-job heap between prep workers and executors.
+pub struct DispatchHeap {
+    inner: Mutex<HeapInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl DispatchHeap {
+    /// Creates a heap holding at most `capacity` ready jobs.
+    pub fn new(capacity: usize) -> DispatchHeap {
+        DispatchHeap {
+            inner: Mutex::new(HeapInner { heap: BinaryHeap::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Hands a freshly prepared job to the executors; blocks while the
+    /// heap is at capacity. Fails (returning the job) once closed.
+    // The fat Err *is* the contract: a rejected job must come back whole.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, job: ReadyJob) -> Result<(), ReadyJob> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.heap.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(job);
+        }
+        inner.heap.push(HeapEntry(job));
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Re-enters a failed job for retry. Not subject to the capacity
+    /// bound and accepted even after close — a drain must retry, not
+    /// drop.
+    pub fn requeue(&self, job: ReadyJob) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.heap.push(HeapEntry(job));
+        self.not_empty.notify_one();
+    }
+
+    /// Takes the most urgent ready job (priority, then heaviest — LPT).
+    /// Blocks while empty; `None` once closed *and* drained.
+    pub fn pop(&self) -> Option<ReadyJob> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                self.not_full.notify_one();
+                return Some(entry.0);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the heap: waiting executors drain what remains, then stop.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Ready jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Whether no ready jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_apk::{generate_app, GenConfig};
+    use gdroid_vetting::prepare_vetting;
+
+    fn ready(id: u64, priority: Priority, estimate: u64) -> ReadyJob {
+        ReadyJob {
+            id,
+            priority,
+            estimate,
+            prep: prepare_vetting(generate_app(0, 100 + id, &GenConfig::tiny())),
+            content_hash: id,
+            package: format!("p{id}"),
+            method_hashes: HashMap::new(),
+            interner_fingerprint: 0,
+            queue_wait_ns: 0,
+            prep_ns: 0,
+            failures: 0,
+            faults_seen: 0,
+            timeouts_seen: 0,
+        }
+    }
+
+    #[test]
+    fn pops_priority_then_heaviest_then_oldest() {
+        let h = DispatchHeap::new(8);
+        assert!(h.push(ready(1, Priority::Standard, 10)).is_ok());
+        assert!(h.push(ready(2, Priority::Standard, 99)).is_ok());
+        assert!(h.push(ready(3, Priority::Expedited, 1)).is_ok());
+        assert!(h.push(ready(4, Priority::Standard, 99)).is_ok());
+        let order: Vec<u64> = (0..4).map(|_| h.pop().unwrap().id).collect();
+        assert_eq!(order, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn requeue_ignores_capacity_and_close() {
+        let h = DispatchHeap::new(1);
+        assert!(h.push(ready(1, Priority::Standard, 5)).is_ok());
+        h.requeue(ready(2, Priority::Standard, 50));
+        assert_eq!(h.len(), 2);
+        h.close();
+        assert!(h.push(ready(3, Priority::Standard, 1)).is_err());
+        h.requeue(ready(4, Priority::Expedited, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|j| j.id)).collect();
+        assert_eq!(order, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn estimate_is_positive_and_monotone_in_app_size() {
+        let small = prepare_vetting(generate_app(0, 11, &GenConfig::tiny()));
+        assert!(work_estimate(&small) > 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The in-process vetting service: prep workers, device executors, and
+//! the drain protocol.
+//!
+//! Thread topology (all `std::thread`, no external runtime):
+//!
+//! ```text
+//! submit() ──► SubmitQueue (bounded, 3 priority classes)
+//!                 │  K prep workers: load → hash → cache lookup →
+//!                 │  env/callgraph synthesis → work estimate
+//!                 ▼
+//!              DispatchHeap (bounded — double-buffers prep vs execution)
+//!                 │  D executors: LPT pop → device lease → run
+//!                 │  (fault/timeout → retry, then quarantine)
+//!                 ▼
+//!              results + ResultCache + ServiceMetrics
+//! ```
+//!
+//! Every admitted job yields exactly one [`JobResult`]; [`VettingService::drain`]
+//! closes the queue, joins every thread, and returns the results with a
+//! machine-readable [`ServiceReport`].
+
+use crate::cache::{
+    app_content_hash, changed_methods, interner_fingerprint, method_hashes, ResultCache,
+};
+use crate::job::{CacheDisposition, JobResult, JobSource, JobSpec, JobStatus, Priority};
+use crate::metrics::{Counters, ServiceMetrics, ServiceReport};
+use crate::pool::DevicePool;
+use crate::queue::{SubmitError, SubmitQueue};
+use crate::scheduler::{work_estimate, DispatchHeap, ReadyJob};
+use gdroid_apk::{generate_app, load_bundle, App};
+use gdroid_core::OptConfig;
+use gdroid_gpusim::{DeviceConfig, FaultPlan};
+use gdroid_vetting::{
+    execute_vetting_incremental, execute_vetting_on_device, prepare_vetting, VettingRun,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`VettingService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Host-side prep worker threads (K).
+    pub prep_workers: usize,
+    /// Simulated devices and executor threads (D).
+    pub devices: usize,
+    /// Submission queue bound (admission control).
+    pub queue_capacity: usize,
+    /// Ready-heap bound; `0` means `2 × devices` (one executing plus one
+    /// buffered app per device).
+    pub dispatch_capacity: usize,
+    /// Failed attempts a job may retry before quarantine (it is
+    /// quarantined on failure number `max_retries + 1`).
+    pub max_retries: u32,
+    /// Wall-clock budget per device attempt.
+    pub job_timeout_ms: u64,
+    /// Optional injected-fault schedule, installed on every device.
+    pub fault_plan: Option<FaultPlan>,
+    /// Simulated device model.
+    pub device_config: DeviceConfig,
+    /// Kernel optimization ladder rung to vet with.
+    pub opt: OptConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            prep_workers: 2,
+            devices: 2,
+            queue_capacity: 64,
+            dispatch_capacity: 0,
+            max_retries: 3,
+            job_timeout_ms: 30_000,
+            fault_plan: None,
+            device_config: DeviceConfig::tesla_p40(),
+            opt: OptConfig::gdroid(),
+        }
+    }
+}
+
+struct ServiceState {
+    dispatch: DispatchHeap,
+    cache: ResultCache,
+    metrics: ServiceMetrics,
+    pool: DevicePool,
+    results: Mutex<Vec<JobResult>>,
+    results_cv: std::sync::Condvar,
+    max_retries: u32,
+    timeout: Duration,
+    opt: OptConfig,
+}
+
+impl ServiceState {
+    fn deliver(&self, result: JobResult) {
+        Counters::bump(&self.metrics.counters.completed);
+        self.results.lock().unwrap().push(result);
+        self.results_cv.notify_all();
+    }
+}
+
+/// The running service. Submit jobs, then [`VettingService::drain`].
+pub struct VettingService {
+    queue: Arc<SubmitQueue>,
+    state: Arc<ServiceState>,
+    prep_handles: Vec<JoinHandle<()>>,
+    exec_handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl VettingService {
+    /// Starts the worker and executor threads.
+    pub fn start(config: ServiceConfig) -> VettingService {
+        let dispatch_capacity = if config.dispatch_capacity == 0 {
+            2 * config.devices.max(1)
+        } else {
+            config.dispatch_capacity
+        };
+        let queue = Arc::new(SubmitQueue::new(config.queue_capacity.max(1)));
+        let state = Arc::new(ServiceState {
+            dispatch: DispatchHeap::new(dispatch_capacity),
+            cache: ResultCache::new(),
+            metrics: ServiceMetrics::new(),
+            pool: DevicePool::new(config.devices, config.device_config, config.fault_plan),
+            results: Mutex::new(Vec::new()),
+            results_cv: std::sync::Condvar::new(),
+            max_retries: config.max_retries,
+            timeout: Duration::from_millis(config.job_timeout_ms.max(1)),
+            opt: config.opt,
+        });
+        let prep_handles = (0..config.prep_workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || prep_loop(&queue, &state))
+            })
+            .collect();
+        let exec_handles = (0..config.devices.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || exec_loop(&state))
+            })
+            .collect();
+        VettingService { queue, state, prep_handles, exec_handles, next_id: AtomicU64::new(0) }
+    }
+
+    fn spec(&self, priority: Priority, source: JobSource) -> JobSpec {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        JobSpec { id, priority, source, submitted_at: Instant::now() }
+    }
+
+    /// Blocking submission (backpressure when the queue is full).
+    /// Returns the assigned job id.
+    pub fn submit(&self, priority: Priority, source: JobSource) -> Result<u64, SubmitError> {
+        let spec = self.spec(priority, source);
+        let id = spec.id;
+        self.queue.submit(spec)?;
+        Counters::bump(&self.state.metrics.counters.submitted);
+        Ok(id)
+    }
+
+    /// Admission-controlled submission: sheds the job immediately when
+    /// the queue is at capacity.
+    pub fn try_submit(&self, priority: Priority, source: JobSource) -> Result<u64, SubmitError> {
+        let spec = self.spec(priority, source);
+        let id = spec.id;
+        match self.queue.try_submit(spec) {
+            Ok(()) => {
+                Counters::bump(&self.state.metrics.counters.submitted);
+                Ok(id)
+            }
+            Err((_, err)) => {
+                if err == SubmitError::QueueFull {
+                    Counters::bump(&self.state.metrics.counters.rejected);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Terminal results produced so far.
+    pub fn completed(&self) -> u64 {
+        self.state.results.lock().unwrap().len() as u64
+    }
+
+    /// Blocks until at least `n` jobs have produced terminal results.
+    /// Lets a caller fence between submission waves (e.g. to guarantee a
+    /// resubmission observes a warm cache).
+    pub fn wait_for(&self, n: u64) {
+        let mut results = self.state.results.lock().unwrap();
+        while (results.len() as u64) < n {
+            results = self.state.results_cv.wait(results).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: stops admission, drains both queues, joins
+    /// every thread, and returns the report plus per-job results sorted
+    /// by id.
+    pub fn drain(self) -> (ServiceReport, Vec<JobResult>) {
+        self.queue.close();
+        for h in self.prep_handles {
+            h.join().expect("prep worker panicked");
+        }
+        self.state.dispatch.close();
+        for h in self.exec_handles {
+            h.join().expect("executor panicked");
+        }
+        let report = self.state.metrics.report(
+            self.state.cache.stats(),
+            self.state.pool.total_launches(),
+            self.state.pool.total_faults(),
+        );
+        let mut results = std::mem::take(&mut *self.state.results.lock().unwrap());
+        results.sort_by_key(|r| r.id);
+        (report, results)
+    }
+}
+
+/// Prep worker: queue → load → hash → cache lookup → prepare → dispatch.
+fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
+    while let Some(job) = queue.pop() {
+        let queue_wait_ns = job.submitted_at.elapsed().as_nanos() as u64;
+        state.metrics.queue_wait.record(queue_wait_ns);
+        let prep_start = Instant::now();
+
+        let (app, loaded) = load_source(job.source);
+        let app = match app {
+            Ok(app) => app,
+            Err(reason) => {
+                state.deliver(JobResult {
+                    id: job.id,
+                    package: loaded,
+                    priority: job.priority,
+                    content_hash: 0,
+                    status: JobStatus::Failed(reason),
+                    cache: CacheDisposition::Miss,
+                    outcome: None,
+                    attempts: 0,
+                    faults_seen: 0,
+                    timeouts_seen: 0,
+                    queue_wait_ns,
+                    prep_ns: prep_start.elapsed().as_nanos() as u64,
+                    exec_wall_ns: 0,
+                });
+                continue;
+            }
+        };
+
+        let content_hash = app_content_hash(&app);
+        let package = app.manifest.package.clone();
+
+        if let Some(outcome) = state.cache.lookup(content_hash) {
+            Counters::bump(&state.metrics.counters.cache_hits);
+            state.deliver(JobResult {
+                id: job.id,
+                package,
+                priority: job.priority,
+                content_hash,
+                status: JobStatus::Completed,
+                cache: CacheDisposition::Hit,
+                outcome: Some(outcome),
+                attempts: 0,
+                faults_seen: 0,
+                timeouts_seen: 0,
+                queue_wait_ns,
+                prep_ns: prep_start.elapsed().as_nanos() as u64,
+                exec_wall_ns: 0,
+            });
+            continue;
+        }
+
+        let prep = prepare_vetting(app);
+        let hashes = method_hashes(&prep.app.program);
+        let fingerprint = interner_fingerprint(&prep.app.program.interner);
+        let estimate = work_estimate(&prep);
+        let prep_ns = prep_start.elapsed().as_nanos() as u64;
+        state.metrics.prep.record(prep_ns);
+        Counters::bump(&state.metrics.counters.prepared);
+
+        let ready = ReadyJob {
+            id: job.id,
+            priority: job.priority,
+            estimate,
+            prep,
+            content_hash,
+            package,
+            method_hashes: hashes,
+            interner_fingerprint: fingerprint,
+            queue_wait_ns,
+            prep_ns,
+            failures: 0,
+            faults_seen: 0,
+            timeouts_seen: 0,
+        };
+        // Blocks while `dispatch_capacity` apps are already buffered —
+        // this is the double-buffer coupling of prep to execution.
+        if state.dispatch.push(ready).is_err() {
+            // Only reachable if the heap was closed early (not part of
+            // the normal drain order); record the loss explicitly rather
+            // than dropping silently.
+            state.deliver(JobResult {
+                id: job.id,
+                package: String::new(),
+                priority: job.priority,
+                content_hash,
+                status: JobStatus::Failed("dispatch heap closed".into()),
+                cache: CacheDisposition::Miss,
+                outcome: None,
+                attempts: 0,
+                faults_seen: 0,
+                timeouts_seen: 0,
+                queue_wait_ns,
+                prep_ns,
+                exec_wall_ns: 0,
+            });
+        }
+    }
+}
+
+fn load_source(source: JobSource) -> (Result<App, String>, String) {
+    match source {
+        JobSource::App(app) => (Ok(*app), String::new()),
+        JobSource::Seed { index, seed, config } => {
+            (Ok(generate_app(index, seed, &config)), String::new())
+        }
+        JobSource::Bundle(path) => {
+            let label = path.display().to_string();
+            match load_bundle(&path) {
+                Ok(app) => (Ok(app), label),
+                Err(e) => (Err(format!("bundle {label}: {e}")), label),
+            }
+        }
+    }
+}
+
+/// Executor: LPT pop → (incremental warm start | device lease + run) →
+/// retry/quarantine on failure.
+fn exec_loop(state: &ServiceState) {
+    while let Some(mut job) = state.dispatch.pop() {
+        // Incremental warm start — only on the first attempt, and only
+        // when a previous version of the same package is cached. The
+        // stale entry is invalidated either way.
+        if job.failures == 0 {
+            if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
+                if let Some(changed) =
+                    changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
+                {
+                    let t = Instant::now();
+                    let (run, stats) =
+                        execute_vetting_incremental(&job.prep, &prev.analysis, &changed);
+                    let exec_wall_ns = t.elapsed().as_nanos() as u64;
+                    Counters::bump(&state.metrics.counters.cache_incremental);
+                    finish(
+                        state,
+                        job,
+                        run,
+                        exec_wall_ns,
+                        CacheDisposition::Incremental {
+                            resolved: stats.resolved,
+                            reused: stats.reused,
+                        },
+                    );
+                    continue;
+                }
+                // Incomparable versions: fall through to a full run.
+            }
+        }
+
+        let mut lease = state.pool.lease();
+        let t = Instant::now();
+        match execute_vetting_on_device(&job.prep, &mut lease, state.opt) {
+            Ok(run) => {
+                let exec_wall_ns = t.elapsed().as_nanos() as u64;
+                drop(lease);
+                if t.elapsed() > state.timeout {
+                    job.timeouts_seen += 1;
+                    Counters::bump(&state.metrics.counters.timeouts);
+                    retry_or_quarantine(state, job, exec_wall_ns);
+                } else {
+                    Counters::bump(&state.metrics.counters.executed);
+                    finish(state, job, run, exec_wall_ns, CacheDisposition::Miss);
+                }
+            }
+            Err(_fault) => {
+                let exec_wall_ns = t.elapsed().as_nanos() as u64;
+                drop(lease);
+                job.faults_seen += 1;
+                Counters::bump(&state.metrics.counters.faults);
+                retry_or_quarantine(state, job, exec_wall_ns);
+            }
+        }
+    }
+}
+
+fn finish(
+    state: &ServiceState,
+    job: ReadyJob,
+    run: VettingRun,
+    exec_wall_ns: u64,
+    cache: CacheDisposition,
+) {
+    state.metrics.exec_wall.record(exec_wall_ns);
+    state.metrics.kernel_model.record(run.outcome.timing.idfg_ns as u64);
+    state.metrics.taint_model.record(run.outcome.timing.taint_ns as u64);
+    let outcome = run.outcome.clone();
+    state.cache.insert(
+        job.content_hash,
+        &job.package,
+        run,
+        job.method_hashes,
+        job.interner_fingerprint,
+    );
+    state.deliver(JobResult {
+        id: job.id,
+        package: job.package,
+        priority: job.priority,
+        content_hash: job.content_hash,
+        status: JobStatus::Completed,
+        cache,
+        outcome: Some(outcome),
+        attempts: job.failures + 1,
+        faults_seen: job.faults_seen,
+        timeouts_seen: job.timeouts_seen,
+        queue_wait_ns: job.queue_wait_ns,
+        prep_ns: job.prep_ns,
+        exec_wall_ns,
+    })
+}
+
+fn retry_or_quarantine(state: &ServiceState, mut job: ReadyJob, exec_wall_ns: u64) {
+    job.failures += 1;
+    if job.failures > state.max_retries {
+        Counters::bump(&state.metrics.counters.quarantined);
+        state.deliver(JobResult {
+            id: job.id,
+            package: job.package,
+            priority: job.priority,
+            content_hash: job.content_hash,
+            status: JobStatus::Quarantined,
+            cache: CacheDisposition::Miss,
+            outcome: None,
+            attempts: job.failures,
+            faults_seen: job.faults_seen,
+            timeouts_seen: job.timeouts_seen,
+            queue_wait_ns: job.queue_wait_ns,
+            prep_ns: job.prep_ns,
+            exec_wall_ns,
+        });
+    } else {
+        Counters::bump(&state.metrics.counters.retries);
+        state.dispatch.requeue(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_apk::GenConfig;
+    use gdroid_vetting::vet_app;
+
+    fn seed_source(index: usize, seed: u64) -> JobSource {
+        JobSource::Seed { index, seed, config: GenConfig::tiny() }
+    }
+
+    #[test]
+    fn service_vets_and_caches() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 2,
+            devices: 2,
+            ..ServiceConfig::default()
+        });
+        for seed in 0..4u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5000 + seed)).unwrap();
+        }
+        // Fence: the resubmission wave must observe a fully warm cache.
+        svc.wait_for(4);
+        for seed in 0..4u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5000 + seed)).unwrap();
+        }
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 8);
+        assert_eq!(report.counters.completed, 8);
+        assert_eq!(report.counters.quarantined, 0);
+        assert_eq!(report.cache.hits, 4, "second round must hit the cache");
+        // Cached outcome must match the engine-computed one bit for bit.
+        for seed in 0..4u64 {
+            let reference = vet_app(
+                generate_app(seed as usize, 5000 + seed, &GenConfig::tiny()),
+                gdroid_vetting::Engine::Gpu(OptConfig::gdroid()),
+            );
+            let matching: Vec<&JobResult> = results
+                .iter()
+                .filter(|r| {
+                    r.outcome.as_ref().map(|o| o.report.to_json())
+                        == Some(reference.report.to_json())
+                })
+                .collect();
+            assert!(matching.len() >= 2, "seed {seed}: cached + fresh results expected");
+        }
+    }
+
+    #[test]
+    fn faults_are_retried_not_dropped() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            fault_plan: Some(FaultPlan { period: 3, budget: 2 }),
+            max_retries: 5,
+            ..ServiceConfig::default()
+        });
+        for seed in 0..6u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5100 + seed)).unwrap();
+        }
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.status == JobStatus::Completed));
+        assert_eq!(report.counters.faults, 2);
+        assert_eq!(report.counters.retries, 2);
+        assert_eq!(report.device_faults, 2);
+        assert_eq!(report.counters.quarantined, 0);
+    }
+
+    #[test]
+    fn unreadable_bundle_fails_without_poisoning_service() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        svc.submit(Priority::Standard, JobSource::Bundle("/nonexistent/x".into())).unwrap();
+        svc.submit(Priority::Standard, seed_source(1, 5200)).unwrap();
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 2);
+        assert!(matches!(results[0].status, JobStatus::Failed(_)));
+        assert_eq!(results[1].status, JobStatus::Completed);
+        assert_eq!(report.counters.completed, 2);
+    }
+}

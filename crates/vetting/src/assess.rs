@@ -51,6 +51,29 @@ pub struct Assessment {
 }
 
 impl Assessment {
+    /// Deterministic JSON rendering (stable key order, no whitespace).
+    pub fn to_json(&self) -> String {
+        let signals: Vec<String> = self
+            .signals
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"plugin\":{},\"detail\":{},\"weight\":{}}}",
+                    crate::json::string(&s.plugin),
+                    crate::json::string(&s.detail),
+                    s.weight
+                )
+            })
+            .collect();
+        format!(
+            "{{\"package\":{},\"score\":{},\"band\":{},\"signals\":{}}}",
+            crate::json::string(&self.package),
+            self.score,
+            crate::json::string(&format!("{:?}", self.band)),
+            crate::json::array(&signals)
+        )
+    }
+
     /// Renders a reviewer-facing report.
     pub fn render(&self) -> String {
         use std::fmt::Write;

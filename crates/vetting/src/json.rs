@@ -1,0 +1,52 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! The workspace's `serde` is a vendored marker stub with no real
+//! serialization, so machine-readable output is rendered by hand. These
+//! helpers keep the rendering deterministic (stable key order, no
+//! whitespace) so two identical runs produce byte-identical JSON — the
+//! property the serving layer's cache-parity checks rely on.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a JSON array from already-rendered element values.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn arrays_join_without_spaces() {
+        assert_eq!(array(&["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(&[]), "[]");
+    }
+}

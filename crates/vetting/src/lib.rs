@@ -21,6 +21,7 @@
 //!   aggregating every plugin into one scored verdict.
 
 pub mod assess;
+pub mod json;
 pub mod pipeline;
 pub mod plugins;
 pub mod registry;
@@ -28,7 +29,10 @@ pub mod report;
 pub mod taint;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
-pub use pipeline::{vet_app, Engine, VettingOutcome, VettingTiming};
+pub use pipeline::{
+    execute_vetting, execute_vetting_full, execute_vetting_incremental, execute_vetting_on_device,
+    prepare_vetting, vet_app, Engine, PreparedApp, VettingOutcome, VettingRun, VettingTiming,
+};
 pub use plugins::{
     hardcoded_payloads, intent_exposure, permission_audit, ExposureFinding, HardcodedFinding,
     PermissionAudit,

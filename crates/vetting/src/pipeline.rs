@@ -9,11 +9,11 @@
 use crate::registry::SourceSinkRegistry;
 use crate::report::VettingReport;
 use crate::taint::TaintAnalysis;
-use gdroid_analysis::{analyze_app, AppAnalysis, CpuCostModel, StoreKind};
+use gdroid_analysis::{analyze_app, AppAnalysis, CpuCostModel, FactStore, StoreKind};
 use gdroid_apk::App;
-use gdroid_core::{gpu_analyze_app, GpuAnalysis, OptConfig};
-use gdroid_gpusim::DeviceConfig;
-use gdroid_icfg::prepare_app;
+use gdroid_core::{gpu_analyze_app, gpu_analyze_app_on, OptConfig};
+use gdroid_gpusim::{Device, DeviceConfig, DeviceFault};
+use gdroid_icfg::{prepare_app, CallGraph, EnvironmentInfo};
 use gdroid_ir::MethodId;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,7 @@ impl VettingTiming {
 }
 
 /// Everything one vetting run produces.
+#[derive(Clone, Debug)]
 pub struct VettingOutcome {
     /// The security report.
     pub report: VettingReport,
@@ -70,6 +71,38 @@ pub struct VettingOutcome {
     pub store_bytes: usize,
 }
 
+impl VettingOutcome {
+    /// Machine-readable rendering: the report plus timing and telemetry.
+    /// Byte-stable for identical outcomes, so CLI and service results can
+    /// be compared verbatim.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"report\":{},\"timing\":{{\"envgen_ns\":{},\"callgraph_ns\":{},\"idfg_ns\":{},\
+             \"taint_ns\":{},\"total_ns\":{}}},\"telemetry\":{{\"nodes_processed\":{},\
+             \"rounds\":{}}},\"store_bytes\":{}}}",
+            self.report.to_json(),
+            self.timing.envgen_ns,
+            self.timing.callgraph_ns,
+            self.timing.idfg_ns,
+            self.timing.taint_ns,
+            self.timing.total_ns(),
+            self.telemetry.nodes_processed,
+            self.telemetry.rounds,
+            self.store_bytes,
+        )
+    }
+}
+
+/// Vetting outcome plus the underlying per-method analysis state — what a
+/// result cache must retain so an updated version of the same app can be
+/// re-analyzed incrementally ([`gdroid_analysis::incremental`]).
+pub struct VettingRun {
+    /// The outcome (report, timing, telemetry).
+    pub outcome: VettingOutcome,
+    /// The full per-method analysis behind the outcome.
+    pub analysis: AppAnalysis,
+}
+
 /// Per-operation costs of the non-IDFG stages, Scala-calibrated (the
 /// frontend stages run in the original Amandroid regardless of the IDFG
 /// engine).
@@ -78,54 +111,158 @@ const FRONTEND_NS_PER_STMT: f64 = 60.0e3;
 const FRONTEND_NS_PER_METHOD: f64 = 2.5e6;
 const TAINT_NS_PER_ROW: f64 = 280.0;
 
-/// Vets one app end to end. The `app` must be freshly generated (not yet
-/// prepared); the pipeline synthesizes environments itself.
-pub fn vet_app(mut app: App, engine: Engine) -> VettingOutcome {
+/// An app after the host-side prep stage (environment synthesis + call
+/// graph). Splitting prep from execution lets a serving scheduler overlap
+/// one app's host-side prep with another app's device execution, and lets
+/// several engines vet the same prepared app without re-cloning it.
+pub struct PreparedApp {
+    /// The app, with environment methods synthesized into its program.
+    pub app: App,
+    /// Synthesized component environments.
+    pub envs: Vec<EnvironmentInfo>,
+    /// The call graph over the prepared program.
+    pub cg: CallGraph,
+    /// Analysis roots (one per environment).
+    pub roots: Vec<MethodId>,
+    /// Modeled prep-stage times (`envgen_ns` + `callgraph_ns` populated).
+    pub prep_timing: VettingTiming,
+}
+
+/// Runs the host-side prep stage: environment synthesis + call graph.
+pub fn prepare_vetting(mut app: App) -> PreparedApp {
     let (envs, cg) = prepare_app(&mut app);
     let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
-
-    let mut timing = VettingTiming {
+    let prep_timing = VettingTiming {
         envgen_ns: ENVGEN_NS_PER_COMPONENT * envs.len() as f64,
         callgraph_ns: FRONTEND_NS_PER_STMT * app.program.total_statements() as f64
             + FRONTEND_NS_PER_METHOD * app.program.methods.len() as f64,
         ..Default::default()
     };
+    PreparedApp { app, envs, cg, roots, prep_timing }
+}
 
-    enum Run {
-        Cpu(AppAnalysis),
-        Gpu(GpuAnalysis),
+/// Runs the taint plugin over a finished IDFG and assembles the outcome.
+fn finish_vetting(prep: &PreparedApp, analysis: AppAnalysis, idfg_ns: f64) -> VettingRun {
+    let mut timing = prep.prep_timing;
+    timing.idfg_ns = idfg_ns;
+    let registry = SourceSinkRegistry::for_program(&prep.app.program);
+    let taint = TaintAnalysis::new(
+        &prep.app.program,
+        &prep.cg,
+        &analysis.facts,
+        &analysis.spaces,
+        &analysis.cfgs,
+        &registry,
+    );
+    let (report, taint_stats) = taint.run();
+    timing.taint_ns = TAINT_NS_PER_ROW * taint_stats.rows_read as f64;
+    let outcome = VettingOutcome {
+        report,
+        timing,
+        telemetry: analysis.telemetry.clone(),
+        store_bytes: analysis.store_bytes,
+    };
+    VettingRun { outcome, analysis }
+}
+
+/// Folds a GPU analysis into the CPU-shaped [`AppAnalysis`] a cache or
+/// incremental re-analysis consumes (the facts/summaries are bit-identical
+/// across engines; only cost models differ).
+fn gpu_to_app_analysis(gpu: gdroid_core::GpuAnalysis) -> AppAnalysis {
+    let store_bytes = gpu.facts.values().map(FactStore::memory_bytes).sum();
+    AppAnalysis {
+        spaces: gpu.spaces,
+        cfgs: gpu.cfgs,
+        facts: gpu.facts,
+        summaries: gpu.summaries,
+        telemetry: gpu.telemetry,
+        per_method: std::collections::HashMap::new(),
+        store_bytes,
+        store_kind: StoreKind::Matrix,
+        schedule: Vec::new(),
     }
+}
 
-    let run = match engine {
+/// Executes the IDFG + taint stages on a prepared app, borrowing it (no
+/// per-engine deep copy), and returns the analysis alongside the outcome.
+pub fn execute_vetting_full(prep: &PreparedApp, engine: Engine) -> VettingRun {
+    let program = &prep.app.program;
+    match engine {
         Engine::AmandroidCpu => {
-            let analysis = analyze_app(&app.program, &cg, &roots, StoreKind::Set);
-            timing.idfg_ns = CpuCostModel::amandroid().sequential_ns(&analysis);
-            Run::Cpu(analysis)
+            let analysis = analyze_app(program, &prep.cg, &prep.roots, StoreKind::Set);
+            let idfg_ns = CpuCostModel::amandroid().sequential_ns(&analysis);
+            finish_vetting(prep, analysis, idfg_ns)
         }
         Engine::MultithreadedCpu => {
-            let analysis =
-                gdroid_analysis::analyze_app_parallel(&app.program, &cg, &roots, StoreKind::Set);
-            timing.idfg_ns = CpuCostModel::multithreaded_c().parallel_ns(&analysis);
-            Run::Cpu(analysis)
+            let analysis = gdroid_analysis::analyze_app_parallel(
+                program,
+                &prep.cg,
+                &prep.roots,
+                StoreKind::Set,
+            );
+            let idfg_ns = CpuCostModel::multithreaded_c().parallel_ns(&analysis);
+            finish_vetting(prep, analysis, idfg_ns)
         }
         Engine::Gpu(opts) => {
-            let analysis =
-                gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tesla_p40(), opts);
-            timing.idfg_ns = analysis.stats.total_ns;
-            Run::Gpu(analysis)
+            let gpu =
+                gpu_analyze_app(program, &prep.cg, &prep.roots, DeviceConfig::tesla_p40(), opts);
+            let idfg_ns = gpu.stats.total_ns;
+            // GPU engines report device memory, not host stores (the
+            // historical `store_bytes: 0` contract of `vet_app`).
+            let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+            run.outcome.store_bytes = 0;
+            run
         }
-    };
+    }
+}
 
-    let registry = SourceSinkRegistry::for_program(&app.program);
-    let (facts, spaces, cfgs, telemetry, store_bytes) = match &run {
-        Run::Cpu(a) => (&a.facts, &a.spaces, &a.cfgs, a.telemetry.clone(), a.store_bytes),
-        Run::Gpu(a) => (&a.facts, &a.spaces, &a.cfgs, a.telemetry.clone(), 0),
-    };
-    let engine_taint = TaintAnalysis::new(&app.program, &cg, facts, spaces, cfgs, &registry);
-    let (report, taint_stats) = engine_taint.run();
-    timing.taint_ns = TAINT_NS_PER_ROW * taint_stats.rows_read as f64;
+/// Like [`execute_vetting_full`] without retaining the analysis.
+pub fn execute_vetting(prep: &PreparedApp, engine: Engine) -> VettingOutcome {
+    execute_vetting_full(prep, engine).outcome
+}
 
-    VettingOutcome { report, timing, telemetry, store_bytes }
+/// GPU execution on an existing long-lived device — the serving path. An
+/// injected [`DeviceFault`] surfaces as `Err` so the caller can retry the
+/// job on the same or another device.
+pub fn execute_vetting_on_device(
+    prep: &PreparedApp,
+    device: &mut Device,
+    opts: OptConfig,
+) -> Result<VettingRun, DeviceFault> {
+    let gpu = gpu_analyze_app_on(device, &prep.app.program, &prep.cg, &prep.roots, opts)?;
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    Ok(run)
+}
+
+/// Incremental re-vetting of an updated app: methods not in `changed`
+/// must be body-identical to the run that produced `prev` (see
+/// [`gdroid_analysis::analyze_app_incremental`]). Facts — and therefore
+/// the report — are bit-identical to a from-scratch run; only the cost
+/// model reflects the reuse.
+pub fn execute_vetting_incremental(
+    prep: &PreparedApp,
+    prev: &AppAnalysis,
+    changed: &[MethodId],
+) -> (VettingRun, gdroid_analysis::IncrementalStats) {
+    let (analysis, stats) = gdroid_analysis::analyze_app_incremental(
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        prev,
+        changed,
+    );
+    let full_ns = CpuCostModel::amandroid().sequential_ns(&analysis);
+    let touched = stats.resolved.max(1) as f64;
+    let idfg_ns = full_ns * touched / (stats.resolved + stats.reused).max(1) as f64;
+    (finish_vetting(prep, analysis, idfg_ns), stats)
+}
+
+/// Vets one app end to end. The `app` must be freshly generated (not yet
+/// prepared); the pipeline synthesizes environments itself.
+pub fn vet_app(app: App, engine: Engine) -> VettingOutcome {
+    execute_vetting(&prepare_vetting(app), engine)
 }
 
 #[cfg(test)]
@@ -148,6 +285,8 @@ mod tests {
     #[test]
     fn engines_agree_on_verdict() {
         for seed in [6200u64, 6201, 6202] {
+            // One prepared app serves every engine — no per-engine clone.
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
             let verdicts: Vec<_> = [
                 Engine::AmandroidCpu,
                 Engine::MultithreadedCpu,
@@ -156,8 +295,7 @@ mod tests {
             ]
             .into_iter()
             .map(|e| {
-                let app = generate_app(0, seed, &GenConfig::tiny());
-                let o = vet_app(app, e);
+                let o = execute_vetting(&prep, e);
                 (o.report.verdict, o.report.leaks.len())
             })
             .collect();
@@ -165,6 +303,43 @@ mod tests {
                 assert_eq!(pair[0], pair[1], "engines disagree on seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn staged_pipeline_matches_vet_app() {
+        let prep = prepare_vetting(generate_app(0, 6400, &GenConfig::tiny()));
+        let staged = execute_vetting(&prep, Engine::AmandroidCpu);
+        let whole = vet_app(generate_app(0, 6400, &GenConfig::tiny()), Engine::AmandroidCpu);
+        assert_eq!(staged.report.verdict, whole.report.verdict);
+        assert_eq!(staged.report.leaks, whole.report.leaks);
+        assert_eq!(
+            staged.to_json(),
+            whole.to_json(),
+            "staged and whole runs must render identically"
+        );
+    }
+
+    #[test]
+    fn device_execution_matches_fresh_device_path() {
+        use gdroid_gpusim::{Device, DeviceConfig};
+        let prep = prepare_vetting(generate_app(0, 6401, &GenConfig::tiny()));
+        let mut device = Device::new(DeviceConfig::tesla_p40());
+        let on_device = execute_vetting_on_device(&prep, &mut device, OptConfig::gdroid())
+            .expect("no fault plan");
+        let fresh = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+        assert_eq!(on_device.outcome.report.to_json(), fresh.report.to_json());
+        assert_eq!(on_device.outcome.timing.idfg_ns, fresh.timing.idfg_ns);
+    }
+
+    #[test]
+    fn outcome_json_is_stable_and_wellformed() {
+        let prep = prepare_vetting(generate_app(0, 6402, &GenConfig::tiny()));
+        let a = execute_vetting(&prep, Engine::AmandroidCpu).to_json();
+        let b = execute_vetting(&prep, Engine::AmandroidCpu).to_json();
+        assert_eq!(a, b, "identical runs must serialize identically");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"report\":"));
+        assert!(a.contains("\"idfg_ns\":"));
     }
 
     #[test]

@@ -68,6 +68,38 @@ impl VettingReport {
         sites
     }
 
+    /// Deterministic JSON rendering (stable key order, no whitespace).
+    ///
+    /// Source labels are resolved to display names so the document stands
+    /// alone without the registry. Byte-identical across engines and runs
+    /// for the same app — the serving cache's parity checks compare these
+    /// strings directly.
+    pub fn to_json(&self) -> String {
+        let leaks: Vec<String> = self
+            .leaks
+            .iter()
+            .map(|leak| {
+                let sources: Vec<String> = leak
+                    .sources
+                    .iter()
+                    .map(|s| crate::json::string(&self.source_names[usize::from(s.0)]))
+                    .collect();
+                format!(
+                    "{{\"method\":{},\"stmt\":{},\"sink\":{},\"sources\":{}}}",
+                    leak.method.0,
+                    leak.stmt.0,
+                    crate::json::string(&leak.sink),
+                    crate::json::array(&sources)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"verdict\":{},\"leaks\":{}}}",
+            crate::json::string(&format!("{:?}", self.verdict)),
+            crate::json::array(&leaks)
+        )
+    }
+
     /// Human-readable one-line-per-leak rendering.
     pub fn render(&self) -> String {
         use std::fmt::Write;

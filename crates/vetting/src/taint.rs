@@ -125,10 +125,14 @@ impl<'a> TaintAnalysis<'a> {
     /// Cross-method propagation to a fixed point: tainted arguments label
     /// callee formals; tainted callee returns label caller `CallRet`s.
     fn propagate(&mut self) {
+        // Sorted iteration keeps the pass count — and every derived stat
+        // (`rows_read`, modeled taint time) — independent of hash order, so
+        // identical apps render byte-identical machine-readable outcomes.
+        let mut methods: Vec<MethodId> = self.spaces.keys().copied().collect();
+        methods.sort_unstable();
         loop {
             self.stats.passes += 1;
             let mut changed = false;
-            let methods: Vec<MethodId> = self.spaces.keys().copied().collect();
             for &mid in &methods {
                 let body_calls: Vec<(gdroid_ir::StmtIdx, Vec<gdroid_ir::VarId>)> =
                     self.program.methods[mid]
@@ -186,7 +190,8 @@ impl<'a> TaintAnalysis<'a> {
     /// Scans sink call sites for tainted arguments.
     fn find_leaks(&mut self) -> Vec<Leak> {
         let mut leaks = Vec::new();
-        let methods: Vec<MethodId> = self.spaces.keys().copied().collect();
+        let mut methods: Vec<MethodId> = self.spaces.keys().copied().collect();
+        methods.sort_unstable();
         for &mid in &methods {
             let calls: Vec<(gdroid_ir::StmtIdx, String, Vec<gdroid_ir::VarId>)> = self
                 .program

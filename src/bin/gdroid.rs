@@ -9,7 +9,14 @@
 //! gdroid dot   <app.jil|seed> [out]   Graphviz call graph (reachable part)
 //! gdroid export <n> <dir>             write the first n corpus apps as bundles
 //! gdroid assess <app.jil|seed>        composite risk assessment (all plugins)
+//! gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] [--json]
+//!                                     run N corpus apps through the vetting service
+//! gdroid batch <bundle-dir> [--workers K] [--devices D] [--json]
+//!                                     vet every bundle under a directory via the service
 //! ```
+//!
+//! `vet` and `assess` accept `--json` for machine-readable output that is
+//! byte-comparable with what the service caches and returns.
 //!
 //! Apps can come from a `.jil` file (the textual IR) or be generated on
 //! the fly from a numeric seed.
@@ -22,17 +29,95 @@ use gdroid::core::OptConfig;
 use gdroid::icfg::prepare_app;
 use gdroid::ir::text::{parse_program, print_program};
 use gdroid::ir::MethodId;
+use gdroid::serve::{
+    CacheDisposition, JobResult, JobSource, JobStatus, Priority, ServiceConfig, VettingService,
+};
 use gdroid::vetting::{vet_app, Engine};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid]\n  gdroid lint <app.jil|seed>\n  \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--json]\n  gdroid lint <app.jil|seed>\n  \
          gdroid stats <app.jil|seed>\n  \
-         gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  gdroid assess <app.jil|seed>"
+         gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
+         gdroid assess <app.jil|seed> [--json]\n  \
+         gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] [--json]\n  \
+         gdroid batch <bundle-dir> [--workers K] [--devices D] [--json]"
     );
     exit(2)
+}
+
+/// Parses `--flag N` style numeric options.
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)?.parse().ok())
+}
+
+/// Drains a service, prints results (`--json` for the machine-readable
+/// report), and returns the process exit code: nonzero when any job was
+/// quarantined, failed, or never produced a result.
+fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 {
+    let (report, results) = svc.drain();
+    let json = args.iter().any(|a| a == "--json");
+    let mut bad = 0usize;
+    if json {
+        let jobs: Vec<String> = results.iter().map(JobResult::to_json).collect();
+        println!("{{\"report\":{},\"jobs\":[{}]}}", report.to_json(), jobs.join(","));
+    }
+    for r in &results {
+        match &r.status {
+            JobStatus::Completed => {
+                if !json {
+                    let verdict = r
+                        .outcome
+                        .as_ref()
+                        .map_or("?".to_owned(), |o| format!("{:?}", o.report.verdict));
+                    let cache = match r.cache {
+                        CacheDisposition::Miss => String::new(),
+                        CacheDisposition::Hit => " [cache hit]".into(),
+                        CacheDisposition::Incremental { resolved, reused } => {
+                            format!(" [incremental: {resolved} re-solved, {reused} reused]")
+                        }
+                    };
+                    println!(
+                        "job {:>3} {:<22} {:<10} {}{}",
+                        r.id,
+                        r.package,
+                        r.priority.as_str(),
+                        verdict,
+                        cache
+                    );
+                }
+            }
+            JobStatus::Quarantined => {
+                bad += 1;
+                eprintln!("job {} {} QUARANTINED after {} attempts", r.id, r.package, r.attempts);
+            }
+            JobStatus::Failed(reason) => {
+                bad += 1;
+                eprintln!("job {} FAILED: {reason}", r.id);
+            }
+        }
+    }
+    if !json {
+        eprintln!(
+            "{} job(s): {} completed ({} cache hits, {} incremental), {} quarantined | \
+             {} faults, {} retries | {:.2} apps/s",
+            results.len(),
+            report.counters.completed - report.counters.quarantined,
+            report.cache.hits,
+            report.counters.cache_incremental,
+            report.counters.quarantined,
+            report.counters.faults,
+            report.counters.retries,
+            report.apps_per_sec,
+        );
+    }
+    if results.len() != expected {
+        eprintln!("expected {} results, got {}", expected, results.len());
+        return 1;
+    }
+    i32::from(bad > 0)
 }
 
 /// Loads an app from a `.jil` path or generates one from a numeric seed.
@@ -116,13 +201,17 @@ fn main() {
             };
             let app = load_app(target);
             let outcome = vet_app(app, engine);
-            print!("{}", outcome.report.render());
-            println!(
-                "IDFG {:.3} ms | total {:.3} ms | {} node processings",
-                outcome.timing.idfg_ns / 1e6,
-                outcome.timing.total_ns() / 1e6,
-                outcome.telemetry.nodes_processed
-            );
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", outcome.to_json());
+            } else {
+                print!("{}", outcome.report.render());
+                println!(
+                    "IDFG {:.3} ms | total {:.3} ms | {} node processings",
+                    outcome.timing.idfg_ns / 1e6,
+                    outcome.timing.total_ns() / 1e6,
+                    outcome.telemetry.nodes_processed
+                );
+            }
         }
         "lint" => {
             let Some(target) = args.get(1) else { usage() };
@@ -184,7 +273,77 @@ fn main() {
             let Some(target) = args.get(1) else { usage() };
             let app = load_app(target);
             let assessment = gdroid::vetting::assess_app(app);
-            print!("{}", assessment.render());
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", assessment.to_json());
+            } else {
+                print!("{}", assessment.render());
+            }
+        }
+        "serve" => {
+            let Some(apps) = flag_value(&args, "--apps") else { usage() };
+            let workers = flag_value(&args, "--workers").unwrap_or(2);
+            let devices = flag_value(&args, "--devices").unwrap_or(2);
+            let fault_plan = args.iter().position(|a| a == "--faults").map(|i| {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                let (p, b) = spec.split_once(':').unwrap_or_else(|| usage());
+                gdroid::gpusim::FaultPlan {
+                    period: p.parse().unwrap_or_else(|_| usage()),
+                    budget: b.parse().unwrap_or_else(|_| usage()),
+                }
+            });
+            let svc = VettingService::start(ServiceConfig {
+                prep_workers: workers,
+                devices,
+                fault_plan,
+                ..ServiceConfig::default()
+            });
+            for i in 0..apps {
+                // Corpus-style submissions with a spread of priorities.
+                let priority = Priority::ALL[i % Priority::ALL.len()];
+                let source = JobSource::Seed {
+                    index: i,
+                    seed: gdroid::apk::PAPER_MASTER_SEED ^ (i as u64),
+                    config: GenConfig::small(),
+                };
+                svc.submit(priority, source).unwrap_or_else(|e| {
+                    eprintln!("submit failed: {e}");
+                    exit(1)
+                });
+            }
+            exit(finish_service(svc, &args, apps));
+        }
+        "batch" => {
+            let Some(dir) = args.get(1) else { usage() };
+            let workers = flag_value(&args, "--workers").unwrap_or(2);
+            let devices = flag_value(&args, "--devices").unwrap_or(2);
+            let mut bundles: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read {dir}: {e}");
+                    exit(1)
+                })
+                .filter_map(|entry| {
+                    let path = entry.ok()?.path();
+                    path.join("app.jil").exists().then_some(path)
+                })
+                .collect();
+            bundles.sort();
+            if bundles.is_empty() {
+                eprintln!("no bundles (dirs containing app.jil) under {dir}");
+                exit(1);
+            }
+            let n = bundles.len();
+            let svc = VettingService::start(ServiceConfig {
+                prep_workers: workers,
+                devices,
+                ..ServiceConfig::default()
+            });
+            for path in bundles {
+                svc.submit(Priority::Standard, JobSource::Bundle(path)).unwrap_or_else(|e| {
+                    eprintln!("submit failed: {e}");
+                    exit(1)
+                });
+            }
+            exit(finish_service(svc, &args, n));
         }
         "export" => {
             let (Some(n), Some(dir)) =

@@ -16,13 +16,16 @@
 //! | [`gpusim`] | warp-synchronous SIMT GPU simulator (TESLA P40 model) |
 //! | [`core`] | the GDroid kernels: plain, MAT, MAT+GRP, full GDroid |
 //! | [`vetting`] | taint analysis plugin, IDFG-reuse plugins, risk assessment, end-to-end pipeline |
+//! | [`serve`] | in-process vetting service: priority queue, device scheduler, result cache |
 //!
 //! Beyond the paper's core, the stack implements its stated future work:
 //! multi-GPU analysis ([`core::multigpu`]), launch auto-tuning
 //! ([`core::autotune`]), incremental re-analysis across app updates
 //! ([`analysis::incremental`]), a concrete-execution soundness oracle
-//! ([`analysis::concrete`]), and the conventional full-sweep baseline
-//! ([`analysis::sweep`]).
+//! ([`analysis::concrete`]), the conventional full-sweep baseline
+//! ([`analysis::sweep`]), and an app-store-style serving layer
+//! ([`serve`]) that packs jobs onto a pool of long-lived simulated
+//! devices with caching, fault retry, and per-stage observability.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use gdroid_core as core;
 pub use gdroid_gpusim as gpusim;
 pub use gdroid_icfg as icfg;
 pub use gdroid_ir as ir;
+pub use gdroid_serve as serve;
 pub use gdroid_vetting as vetting;
 
 /// Crate version (workspace-wide).

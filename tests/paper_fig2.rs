@@ -43,15 +43,15 @@ fn build_fig2() -> (gdroid::ir::Program, gdroid::ir::MethodId) {
     mb.stmt(Stmt::Assign { lhs: Lhs::Var(y), rhs: Expr::Var(x) }); // L2
     let skip = mb.stmt(Stmt::Goto { target: StmtIdx(0) }); // L3
     let else_at = mb.next_idx();
-    mb.patch_target(br, else_at);
+    mb.patch_target(br, else_at).expect("br is a branch");
     mb.stmt(Stmt::Assign { lhs: Lhs::Var(z), rhs: Expr::Var(x) }); // L4
     let join = mb.next_idx();
-    mb.patch_target(skip, join);
+    mb.patch_target(skip, join).expect("skip is a goto");
     mb.stmt(Stmt::Assign { lhs: Lhs::Field { base: w, field: f }, rhs: Expr::Var(y) }); // L5
     let exit_if = mb.stmt(Stmt::If { cond: c2, target: StmtIdx(0) }); // L6
     mb.stmt(Stmt::Goto { target: StmtIdx(0) }); // L7 (back edge)
     let end = mb.next_idx();
-    mb.patch_target(exit_if, end);
+    mb.patch_target(exit_if, end).expect("exit_if is a branch");
     mb.stmt(Stmt::Return { var: None }); // L8
     let mid = mb.build();
 
