@@ -29,4 +29,19 @@ echo "$serve_out" | grep -q '"quarantined":0,' || {
   exit 1
 }
 
+echo "==> sumstore smoke: 10 apps cold then warm against one store"
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+cold=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --digest)
+warm_json=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --json)
+warm=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --digest)
+[ "$cold" = "$warm" ] || {
+  echo "sumstore smoke: warm digests differ from cold" >&2
+  exit 1
+}
+if echo "$warm_json" | grep -q '"sumstore":{"hits":0,'; then
+  echo "sumstore smoke: warm run never hit the store" >&2
+  exit 1
+fi
+
 echo "ci/check.sh: all green"

@@ -42,7 +42,8 @@ pub use fact::{Fact, Instance, InstanceIdx, MethodSpace, Slot, SlotIdx};
 pub use incremental::{analyze_app_incremental, IncrementalStats};
 pub use parallel::analyze_app_parallel;
 pub use solver::{
-    analyze_app, merge_site_summaries, solve_method, AppAnalysis, StoreKind, WorklistTelemetry,
+    analyze_app, analyze_app_presolved, merge_site_summaries, solve_method, AppAnalysis, StoreKind,
+    WorklistTelemetry,
 };
 pub use store::{FactStore, Geometry, MatrixStore, NodeFacts, SetStore, UnionOutcome};
 pub use summary::{derive_summary, MethodSummary, SummaryMap, Token};

@@ -236,6 +236,22 @@ pub fn analyze_app(
     roots: &[MethodId],
     store_kind: StoreKind,
 ) -> AppAnalysis {
+    analyze_app_presolved(program, cg, roots, store_kind, &HashMap::new())
+}
+
+/// [`analyze_app`] with a set of *pre-solved* methods whose summaries and
+/// node facts are already known (summary-store hits). Pre-solved methods
+/// are never re-solved: their results are injected up front and their
+/// callers consume the summaries as usual. Callers must guarantee the
+/// injected results are what solving would have produced (the summary
+/// store's canonical-hash contract).
+pub fn analyze_app_presolved(
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    store_kind: StoreKind,
+    presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
+) -> AppAnalysis {
     let layers = gdroid_icfg::CallLayers::compute(cg, roots);
     let mut spaces = HashMap::new();
     let mut cfgs = HashMap::new();
@@ -250,6 +266,17 @@ pub fn analyze_app(
     for mid in layers.scc_of.keys() {
         spaces.insert(*mid, MethodSpace::build(program, *mid));
         cfgs.insert(*mid, Cfg::build(&program.methods[*mid]));
+    }
+
+    // Inject pre-solved results before the bottom-up walk so callers see
+    // the summaries at their first solve.
+    for (&mid, (summary, store)) in presolved {
+        if !layers.scc_of.contains_key(&mid) {
+            continue; // not reachable in this run
+        }
+        summaries.insert(mid, summary.clone());
+        bytes_per_method.insert(mid, store.memory_bytes());
+        facts.insert(mid, store.clone());
     }
 
     // Bottom-up over layers; within a layer, SCC by SCC.
@@ -268,6 +295,9 @@ pub fn analyze_app(
             loop {
                 let mut changed = false;
                 for &mid in scc {
+                    if presolved.contains_key(&mid) {
+                        continue;
+                    }
                     let space = &spaces[&mid];
                     let cfg = &cfgs[&mid];
                     let geometry = Geometry::of(space);

@@ -69,6 +69,16 @@ impl NodeFacts {
         NodeFacts { geometry, words: vec![0; geometry.words()] }
     }
 
+    /// Rebuilds a bitmap from raw words previously obtained via
+    /// [`NodeFacts::words`]. `None` when the word count does not match
+    /// the geometry (the summary-store integrity check).
+    pub fn from_words(geometry: Geometry, words: Vec<u64>) -> Option<NodeFacts> {
+        if words.len() != geometry.words() {
+            return None;
+        }
+        Some(NodeFacts { geometry, words })
+    }
+
     /// The geometry.
     #[inline]
     pub fn geometry(&self) -> Geometry {
@@ -286,6 +296,34 @@ impl MatrixStore {
     /// Direct read access to a node's bitmap (no copy).
     pub fn node(&self, node: usize) -> &NodeFacts {
         &self.nodes[node]
+    }
+
+    /// Flattens every node bitmap into one row-major word vector — the
+    /// relocatable form the summary store persists (bit positions are
+    /// purely positional, so no translation is needed across programs
+    /// with structurally identical bodies).
+    pub fn flat_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.nodes.len() * self.geometry.words());
+        for n in &self.nodes {
+            out.extend_from_slice(n.words());
+        }
+        out
+    }
+
+    /// Inverse of [`MatrixStore::flat_words`]: rebuilds a store from
+    /// flattened words. `None` when the word count does not match
+    /// `nodes × geometry.words()`.
+    pub fn from_flat_words(geometry: Geometry, nodes: usize, words: &[u64]) -> Option<MatrixStore> {
+        let per = geometry.words();
+        if words.len() != nodes * per {
+            return None;
+        }
+        let nodes = if per == 0 {
+            vec![NodeFacts::empty(geometry); nodes]
+        } else {
+            words.chunks(per).map(|chunk| NodeFacts { geometry, words: chunk.to_vec() }).collect()
+        };
+        MatrixStore { geometry, nodes }.into()
     }
 }
 

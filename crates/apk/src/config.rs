@@ -56,6 +56,20 @@ pub struct GenConfig {
     /// Probability that an app contains a deliberate source→sink data-flow
     /// (a "leak" the vetting layer should flag).
     pub leak_prob: f64,
+    /// Shared-library packages drawn per app from the common pool.
+    /// `0` (the default) disables library generation entirely.
+    pub lib_packages_per_app: usize,
+    /// Size of the common library-package pool the corpus draws from.
+    /// The expected cross-app duplication factor is
+    /// `apps × lib_packages_per_app / lib_pool_size`.
+    pub lib_pool_size: usize,
+    /// Seed of the shared pool. Library package `k` is generated from
+    /// `Rng::new(lib_pool_seed).derive(k)` regardless of which app
+    /// materializes it, so the same package is byte-identical in every
+    /// app of a corpus (the summary store's premise).
+    pub lib_pool_seed: u64,
+    /// Uniform range of classes per library package.
+    pub lib_classes_per_package: (usize, usize),
 }
 
 impl Default for GenConfig {
@@ -82,6 +96,10 @@ impl Default for GenConfig {
             fields_per_class: (4, 10),
             ref_field_fraction: 0.7,
             leak_prob: 0.35,
+            lib_packages_per_app: 0,
+            lib_pool_size: 0,
+            lib_pool_seed: 0x5d_1b00,
+            lib_classes_per_package: (3, 6),
         }
     }
 }
@@ -96,6 +114,13 @@ impl GenConfig {
     /// A mid-size configuration for integration tests.
     pub fn small() -> Self {
         Self { scale: 0.25, ..Self::default() }
+    }
+
+    /// Enables the shared-library pool: each app draws `per_app` packages
+    /// from a pool of `pool` packages generated from this config's
+    /// `lib_pool_seed`.
+    pub fn with_libraries(self, per_app: usize, pool: usize) -> Self {
+        Self { lib_packages_per_app: per_app, lib_pool_size: pool, ..self }
     }
 }
 

@@ -23,7 +23,7 @@ use crate::manifest::{Component, ComponentKind, IntentFilter, Manifest, Permissi
 use crate::rng::Rng;
 use gdroid_ir::{
     BinOp, CallKind, ClassId, CmpKind, Expr, FieldId, JType, Lhs, Literal, MethodBuilder,
-    MethodKind, MonitorOp, ProgramBuilder, Signature, Stmt, UnOp, VarId, Visibility,
+    MethodKind, MonitorOp, ProgramBuilder, Signature, Stmt, Symbol, UnOp, VarId, Visibility,
 };
 
 /// A planned (not yet generated) method.
@@ -167,6 +167,31 @@ impl<'a> AppGen<'a> {
             }
         }
 
+        // --- shared-library packages --------------------------------------
+        // Each app draws K distinct packages from the corpus-wide pool.
+        // Package bodies are generated from the *pool* seed (not the app
+        // seed), so a package is byte-identical — up to symbol/field
+        // numbering — in every app that bundles it. Library plan entries
+        // are appended after the app's so app bodies can call into them
+        // via the layer lanes; library bodies are emitted inside
+        // `gen_lib_package` against package-local state only.
+        let app_plan_len = plan.len();
+        if cfg.lib_packages_per_app > 0 && cfg.lib_pool_size > 0 {
+            let k = cfg.lib_packages_per_app.min(cfg.lib_pool_size);
+            let mut picks: Vec<usize> = Vec::with_capacity(k);
+            while picks.len() < k {
+                let c = self.rng.below(cfg.lib_pool_size as u64) as usize;
+                if !picks.contains(&c) {
+                    picks.push(c);
+                }
+            }
+            picks.sort_unstable();
+            for pkg in picks {
+                let pkg_plan = self.gen_lib_package(&mut pb, &fw, pkg);
+                plan.extend(pkg_plan);
+            }
+        }
+
         // Pre-compute signatures for call generation.
         let obj_ty = JType::Object(fw.object_sym);
         let sigs: Vec<Signature> = plan
@@ -192,8 +217,13 @@ impl<'a> AppGen<'a> {
         let leaky = self.rng.chance(cfg.leak_prob);
 
         // --- generate bodies ----------------------------------------------
+        // App bodies allocate over every class in the program (framework,
+        // app, and bundled libraries); the pool is fixed once planning is
+        // complete, so hoisting it out of the per-body loop preserves the
+        // historical draw sequence exactly.
+        let app_pool: Vec<Symbol> = pb.program().classes.iter().map(|c| c.name).collect();
         let mut uses_source_api = false;
-        for (i, pm) in plan.iter().enumerate() {
+        for (i, pm) in plan.iter().enumerate().take(app_plan_len) {
             let budget = self.rng.log_normal_int(cfg.stmts_median, cfg.stmts_sigma, 3, 320);
             // The first lifecycle callback of a leaky app gets the planted
             // source→sink flow.
@@ -214,6 +244,7 @@ impl<'a> AppGen<'a> {
                 &static_ref_fields,
                 budget,
                 plant_leak,
+                &app_pool,
             );
             uses_source_api |= used_source;
         }
@@ -265,6 +296,130 @@ impl<'a> AppGen<'a> {
         }
     }
 
+    /// Plans and generates one shared-library package from the pool seed.
+    ///
+    /// Everything inside runs on `Rng::new(lib_pool_seed).derive(pkg)` —
+    /// independent of the app's rng state — and references only
+    /// package-local classes, fields, and methods (plus the framework),
+    /// so package `pkg` has the same structural content in every app of a
+    /// corpus. Library classes all extend `Object` directly: no app class
+    /// can alter CHA dispatch over them, which keeps the canonical method
+    /// hash stable across apps. Returns the package's plan entries for the
+    /// caller to append (app bodies call them via the layer lanes).
+    fn gen_lib_package(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        fw: &Framework,
+        pkg: usize,
+    ) -> Vec<PlannedMethod> {
+        let cfg = self.config;
+        let pool_rng = Rng::new(cfg.lib_pool_seed).derive(pkg as u64);
+        let saved_rng = std::mem::replace(&mut self.rng, pool_rng);
+
+        // Classes.
+        let n_classes =
+            self.rng.range(cfg.lib_classes_per_package.0, cfg.lib_classes_per_package.1).max(1);
+        let mut classes: Vec<ClassId> = Vec::with_capacity(n_classes);
+        for ci in 0..n_classes {
+            let name = format!("com/lib/p{pkg}/C{ci}");
+            classes.push(pb.class(&name).extends(fw.object).build());
+        }
+
+        // Fields (package-local pools).
+        let mut ref_fields: Vec<FieldId> = Vec::new();
+        let mut prim_fields: Vec<FieldId> = Vec::new();
+        let mut static_ref_fields: Vec<FieldId> = Vec::new();
+        for (ci, &class) in classes.iter().enumerate() {
+            let n_fields = self.rng.range(cfg.fields_per_class.0, cfg.fields_per_class.1);
+            for fi in 0..n_fields {
+                let is_ref = self.rng.chance(cfg.ref_field_fraction);
+                let is_static = self.rng.chance(0.12);
+                let ty = if is_ref {
+                    if self.rng.chance(0.6) {
+                        let target = classes[self.rng.zipf(classes.len(), 1.1)];
+                        JType::Object(pb.program().classes[target].name)
+                    } else {
+                        JType::Object(fw.object_sym)
+                    }
+                } else {
+                    JType::Int
+                };
+                let fid = pb.field(class, &format!("f{ci}_{fi}"), ty, is_static);
+                match (is_ref, is_static) {
+                    (true, true) => static_ref_fields.push(fid),
+                    (true, false) => ref_fields.push(fid),
+                    (false, _) => prim_fields.push(fid),
+                }
+            }
+        }
+
+        // Method plan.
+        let mut pkg_plan: Vec<PlannedMethod> = Vec::new();
+        for (ci, &class) in classes.iter().enumerate() {
+            let n_methods = self.rng.range(cfg.methods_per_class.0, cfg.methods_per_class.1);
+            for mi in 0..n_methods {
+                let ref_params = self.rng.range(0, cfg.max_params.min(2));
+                let prim_params = self.rng.range(0, cfg.max_params - ref_params);
+                pkg_plan.push(PlannedMethod {
+                    class,
+                    name: format!("m{ci}_{mi}"),
+                    ref_params,
+                    prim_params,
+                    returns_ref: self.rng.chance(0.4),
+                    is_static: self.rng.chance(0.25),
+                    layer: self.rng.range(0, cfg.layers - 1),
+                    lifecycle: false,
+                });
+            }
+        }
+
+        // Package-local signatures and layer lanes: library bodies only
+        // call within the package (and the framework).
+        let obj_ty = JType::Object(fw.object_sym);
+        let pkg_sigs: Vec<Signature> = pkg_plan
+            .iter()
+            .map(|pm| {
+                let mut params = vec![obj_ty; pm.ref_params];
+                params.extend(std::iter::repeat_n(JType::Int, pm.prim_params));
+                Signature::new(
+                    pb.program().classes[pm.class].name,
+                    pb.intern(&pm.name),
+                    params,
+                    if pm.returns_ref { obj_ty } else { JType::Void },
+                )
+            })
+            .collect();
+        let mut pkg_by_layer: Vec<Vec<usize>> = vec![Vec::new(); cfg.layers + 1];
+        for (i, pm) in pkg_plan.iter().enumerate() {
+            pkg_by_layer[pm.layer].push(i);
+        }
+        let mut pkg_pool: Vec<Symbol> = vec![fw.object_sym];
+        pkg_pool.extend(classes.iter().map(|&c| pb.program().classes[c].name));
+
+        // Bodies.
+        for (i, pm) in pkg_plan.iter().enumerate() {
+            let budget = self.rng.log_normal_int(cfg.stmts_median, cfg.stmts_sigma, 3, 320);
+            self.gen_body(
+                pb,
+                pm,
+                &pkg_sigs[i],
+                &pkg_plan,
+                &pkg_sigs,
+                &pkg_by_layer,
+                fw,
+                &ref_fields,
+                &prim_fields,
+                &static_ref_fields,
+                budget,
+                false,
+                &pkg_pool,
+            );
+        }
+
+        self.rng = saved_rng;
+        pkg_plan
+    }
+
     // One method body. Returns whether a taint-source API was called.
     #[allow(clippy::too_many_arguments)]
     fn gen_body(
@@ -281,6 +436,7 @@ impl<'a> AppGen<'a> {
         static_ref_fields: &[FieldId],
         budget: usize,
         plant_leak: bool,
+        class_pool: &[Symbol],
     ) -> bool {
         let cfg = self.config;
         let kind = if pm.lifecycle {
@@ -319,12 +475,8 @@ impl<'a> AppGen<'a> {
         let arr = mb.local("arr", JType::object_array(fw.object_sym));
 
         // Initialize a couple of locals so reads are meaningful.
-        let app_classes: Vec<gdroid_ir::Symbol> = {
-            let p = mb.pb_program();
-            p.classes.iter().map(|c| c.name).collect()
-        };
         let seed_ref = refs[self.rng.below(refs.len() as u64) as usize];
-        let cls = app_classes[self.rng.zipf(app_classes.len(), 1.0)];
+        let cls = class_pool[self.rng.zipf(class_pool.len(), 1.0)];
         mb.stmt(Stmt::Assign {
             lhs: Lhs::Var(seed_ref),
             rhs: Expr::New { ty: JType::Object(cls) },
@@ -355,6 +507,7 @@ impl<'a> AppGen<'a> {
             used_source: false,
             layer: pm.layer,
             lifecycle: pm.lifecycle,
+            class_pool,
         };
 
         // Planted leak: t = <source>(); Log.d(tag, t) — routed through a
@@ -391,7 +544,7 @@ impl<'a> AppGen<'a> {
     fn emit_leak(
         &mut self,
         mb: &mut MethodBuilder<'_>,
-        ctx: &mut BodyCtx,
+        ctx: &mut BodyCtx<'_>,
         fw: &Framework,
         ref_fields: &[FieldId],
     ) {
@@ -456,7 +609,7 @@ impl<'a> AppGen<'a> {
     fn gen_block(
         &mut self,
         mb: &mut MethodBuilder<'_>,
-        ctx: &mut BodyCtx,
+        ctx: &mut BodyCtx<'_>,
         plan: &[PlannedMethod],
         sigs: &[Signature],
         by_layer: &[Vec<usize>],
@@ -621,7 +774,7 @@ impl<'a> AppGen<'a> {
     fn emit_simple(
         &mut self,
         mb: &mut MethodBuilder<'_>,
-        ctx: &mut BodyCtx,
+        ctx: &mut BodyCtx<'_>,
         plan: &[PlannedMethod],
         sigs: &[Signature],
         by_layer: &[Vec<usize>],
@@ -682,9 +835,7 @@ impl<'a> AppGen<'a> {
             }
             3 => {
                 let dst = r(self, ctx);
-                let classes: Vec<gdroid_ir::Symbol> =
-                    mb.pb_program().classes.iter().map(|c| c.name).collect();
-                let cls = classes[self.rng.zipf(classes.len(), 1.0)];
+                let cls = ctx.class_pool[self.rng.zipf(ctx.class_pool.len(), 1.0)];
                 mb.stmt(Stmt::Assign {
                     lhs: Lhs::Var(dst),
                     rhs: Expr::New { ty: JType::Object(cls) },
@@ -825,7 +976,7 @@ impl<'a> AppGen<'a> {
     fn emit_call(
         &mut self,
         mb: &mut MethodBuilder<'_>,
-        ctx: &mut BodyCtx,
+        ctx: &mut BodyCtx<'_>,
         plan: &[PlannedMethod],
         sigs: &[Signature],
         by_layer: &[Vec<usize>],
@@ -898,13 +1049,16 @@ impl<'a> AppGen<'a> {
     }
 }
 
-struct BodyCtx {
+struct BodyCtx<'p> {
     refs: Vec<VarId>,
     prims: Vec<VarId>,
     arr: VarId,
     used_source: bool,
     layer: usize,
     lifecycle: bool,
+    /// Classes `new` expressions draw from: the whole program for app
+    /// bodies, the package (plus `Object`) for library bodies.
+    class_pool: &'p [Symbol],
 }
 
 /// Extension helpers the generator needs on [`MethodBuilder`] /
@@ -1019,6 +1173,39 @@ mod tests {
             .count();
         assert!(leaky > 0, "no app used a source API in 20 draws");
         assert!(leaky < 20, "every app leaked");
+    }
+
+    #[test]
+    fn library_pool_generates_valid_shared_packages() {
+        let cfg = GenConfig::tiny().with_libraries(2, 3);
+        let a = generate_app(0, 111, &cfg);
+        let b = generate_app(1, 222, &cfg);
+        let lib_classes = |app: &App| -> std::collections::HashSet<String> {
+            app.program
+                .classes
+                .iter()
+                .map(|c| app.program.interner.resolve(c.name).to_owned())
+                .filter(|n| n.starts_with("com/lib/"))
+                .collect()
+        };
+        for app in [&a, &b] {
+            assert!(validate_program(&app.program).is_empty());
+            assert!(!lib_classes(app).is_empty(), "no library classes generated");
+        }
+        // Two draws of 2 from a pool of 3 always overlap in ≥1 package.
+        let (la, lb) = (lib_classes(&a), lib_classes(&b));
+        assert!(la.intersection(&lb).next().is_some(), "apps share no library classes");
+    }
+
+    #[test]
+    fn library_generation_is_deterministic() {
+        let cfg = GenConfig::tiny().with_libraries(2, 4);
+        let a = generate_app(5, 777, &cfg);
+        let b = generate_app(5, 777, &cfg);
+        assert_eq!(a.program.methods.len(), b.program.methods.len());
+        for (m1, m2) in a.program.methods.iter().zip(b.program.methods.iter()) {
+            assert_eq!(m1.body.as_slice(), m2.body.as_slice());
+        }
     }
 
     #[test]

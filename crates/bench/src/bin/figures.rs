@@ -3,21 +3,23 @@
 //! ```text
 //! figures <experiment> [--apps N] [--scale S]
 //!
-//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all serve
+//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all serve sumstore
 //!   --apps N   analyze the first N corpus apps (default 100; paper: 1000)
 //!   --scale S  generator scale factor (default 1.0 = Table I calibration)
 //! ```
 //!
 //! `serve` benchmarks the vetting service (worker/device scaling and a
-//! cache-hit sweep) and writes `BENCH_serve.json`.
+//! cache-hit sweep) and writes `BENCH_serve.json`. `sumstore` sweeps the
+//! cross-app summary store over library duplication factors and writes
+//! the byte-deterministic `BENCH_sumstore.json`.
 
 use gdroid_apk::Corpus;
-use gdroid_bench::{experiments, run_corpus, sancheck_corpus, serve_benchmark};
+use gdroid_bench::{experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -60,6 +62,20 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_serve.json");
+        return;
+    }
+
+    if experiment == "sumstore" {
+        eprintln!("benchmarking the summary store (dup factors 1/2/4/8)…");
+        let t0 = Instant::now();
+        let (json, summary) = sumstore_benchmark(apps.min(20));
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_sumstore.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_sumstore.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_sumstore.json");
         return;
     }
 

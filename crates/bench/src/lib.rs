@@ -18,8 +18,10 @@ pub mod record;
 pub mod sancheck;
 pub mod serve;
 pub mod stats;
+pub mod sumstore;
 
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};
 pub use stats::{percent_below, percent_between, Series};
+pub use sumstore::{run_sumstore_point, sumstore_benchmark, SumstorePoint};

@@ -62,7 +62,7 @@ pub fn run_service(workers: usize, devices: usize, jobs: usize, distinct: usize)
     let source = |i: usize| JobSource::Seed {
         index: i % distinct,
         seed: 0x5eed ^ (i % distinct) as u64,
-        config: GenConfig::tiny(),
+        config: Box::new(GenConfig::tiny()),
     };
     for i in 0..distinct.min(jobs) {
         svc.submit(Priority::Standard, source(i)).expect("queue sized for the whole run");

@@ -69,16 +69,39 @@ pub fn gpu_analyze_app_on(
     roots: &[MethodId],
     opts: OptConfig,
 ) -> Result<GpuAnalysis, DeviceFault> {
+    gpu_analyze_app_presolved_on(device, program, cg, roots, opts, &HashMap::new())
+}
+
+/// [`gpu_analyze_app_on`] with a set of *pre-solved* methods (summary-store
+/// hits) whose summaries and node facts are injected instead of computed.
+///
+/// Pre-solved methods are treated as leaves by the layer schedule: their
+/// subtrees never enter a kernel launch, no device buffers are planned for
+/// them, and no bytes are transferred — that is the warm-corpus win. The
+/// caller must pass a *closed* set: every internal callee of a pre-solved
+/// method is itself pre-solved (otherwise its summary would never become
+/// available, since cut subtrees are unscheduled).
+pub fn gpu_analyze_app_presolved_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+    presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
+) -> Result<GpuAnalysis, DeviceFault> {
     device.reset();
-    let layers = CallLayers::compute(cg, roots);
+    let leaf_set: std::collections::HashSet<MethodId> = presolved.keys().copied().collect();
+    let layers = CallLayers::compute_with_leaves(cg, roots, &leaf_set);
+    // Methods that actually run on the device: scheduled and not pre-solved.
     let methods: Vec<MethodId> = {
-        let mut m: Vec<MethodId> = layers.scc_of.keys().copied().collect();
+        let mut m: Vec<MethodId> =
+            layers.scc_of.keys().copied().filter(|m| !leaf_set.contains(m)).collect();
         m.sort_unstable();
         m
     };
     let mut spaces: HashMap<MethodId, MethodSpace> = HashMap::new();
     let mut cfgs: HashMap<MethodId, Cfg> = HashMap::new();
-    for &mid in &methods {
+    for &mid in methods.iter().chain(presolved.keys()) {
         spaces.insert(mid, MethodSpace::build(program, mid));
         cfgs.insert(mid, Cfg::build(&program.methods[mid]));
     }
@@ -87,6 +110,12 @@ pub fn gpu_analyze_app_on(
 
     let mut summaries: SummaryMap = HashMap::new();
     let mut facts: HashMap<MethodId, MatrixStore> = HashMap::new();
+    // Inject pre-solved results before any launch so callers' call sites
+    // resolve against final summaries from the first kernel on.
+    for (&mid, (summary, store)) in presolved {
+        summaries.insert(mid, summary.clone());
+        facts.insert(mid, store.clone());
+    }
     let mut telemetry = WorklistTelemetry::default();
     let mut stats = GpuRunStats::default();
     // (h2d bytes, kernel ns, d2h bytes) per launch, for the transfer
@@ -103,8 +132,13 @@ pub fn gpu_analyze_app_on(
             .collect();
 
         // Methods still needing a solve in this layer (SCC iteration).
-        let mut pending: Vec<MethodId> =
-            layer_sccs.iter().flat_map(|s| s.iter().copied()).collect();
+        // Pre-solved leaves are scheduled (they occupy layer slots) but
+        // never launch.
+        let mut pending: Vec<MethodId> = layer_sccs
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .filter(|m| !leaf_set.contains(m))
+            .collect();
         pending.sort_unstable();
 
         while !pending.is_empty() {
@@ -181,6 +215,7 @@ pub fn gpu_analyze_app_on(
                         && scc.iter().any(|m| changed_methods.contains(m))
                 })
                 .flat_map(|s| s.iter().copied())
+                .filter(|m| !leaf_set.contains(m))
                 .collect();
             pending.sort_unstable();
             pending.dedup();

@@ -33,7 +33,7 @@ pub mod opts;
 pub mod stats;
 
 pub use autotune::{tune_blocks_per_sm, TuneResult};
-pub use driver::{gpu_analyze_app, gpu_analyze_app_on, GpuAnalysis};
+pub use driver::{gpu_analyze_app, gpu_analyze_app_on, gpu_analyze_app_presolved_on, GpuAnalysis};
 pub use kernel::run_method_block;
 pub use layout::{plan_layout, AppLayout, MethodLayout};
 pub use multigpu::{gpu_analyze_app_multi, MultiGpuAnalysis, MultiGpuConfig, MultiGpuStats};

@@ -38,7 +38,47 @@ impl CallLayers {
     /// Computes the schedule for the methods reachable from `roots`.
     pub fn compute(cg: &CallGraph, roots: &[MethodId]) -> CallLayers {
         let methods = cg.reachable_from(roots);
-        let tarjan = Tarjan::run(&methods, cg);
+        Self::condense(&methods, &|m| cg.callees_of(m))
+    }
+
+    /// Like [`CallLayers::compute`], but treats every method in `leaves`
+    /// as pre-summarized: its call edges are not traversed, so it sits at
+    /// layer 0 and methods reachable only *through* it are not scheduled
+    /// at all. This is the summary-store schedule — store-hit methods
+    /// become leaves whose blocks never enter the GPU worklist, and the
+    /// layers above them compress accordingly.
+    pub fn compute_with_leaves(
+        cg: &CallGraph,
+        roots: &[MethodId],
+        leaves: &std::collections::HashSet<MethodId>,
+    ) -> CallLayers {
+        let empty: &[MethodId] = &[];
+        let callees = |m: MethodId| if leaves.contains(&m) { empty } else { cg.callees_of(m) };
+        // Reachability honoring leaves (same traversal as
+        // `CallGraph::reachable_from`, with leaf edges cut).
+        let mut seen = std::collections::HashSet::new();
+        let mut methods = Vec::new();
+        let mut stack: Vec<MethodId> = roots.to_vec();
+        for &r in roots {
+            seen.insert(r);
+        }
+        while let Some(m) = stack.pop() {
+            methods.push(m);
+            for &c in callees(m) {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        Self::condense(&methods, &callees)
+    }
+
+    /// Shared condensation + layering over a callee view of the graph.
+    fn condense<'f>(
+        methods: &[MethodId],
+        callees: &impl Fn(MethodId) -> &'f [MethodId],
+    ) -> CallLayers {
+        let tarjan = Tarjan::run(methods, callees);
 
         // Condensation edges and per-SCC layer (bottom-up: Tarjan emits
         // SCCs in reverse topological order, i.e. callees before callers).
@@ -47,7 +87,7 @@ impl CallLayers {
         for (scc_idx, members) in tarjan.members.iter().enumerate() {
             let mut layer = 0;
             for &m in members {
-                for &callee in cg.callees_of(m) {
+                for &callee in callees(m) {
                     let Some(&callee_scc) = tarjan.scc_of.get(&callee) else { continue };
                     if callee_scc.0 as usize != scc_idx {
                         layer = layer.max(scc_layer[callee_scc.0 as usize] + 1);
@@ -105,7 +145,7 @@ struct Tarjan {
 }
 
 impl Tarjan {
-    fn run(methods: &[MethodId], cg: &CallGraph) -> Tarjan {
+    fn run<'f>(methods: &[MethodId], callees_of: &impl Fn(MethodId) -> &'f [MethodId]) -> Tarjan {
         #[derive(Clone, Copy)]
         struct NodeState {
             index: u32,
@@ -131,7 +171,7 @@ impl Tarjan {
             stack.push(root);
 
             while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
-                let callees = cg.callees_of(v);
+                let callees = callees_of(v);
                 if *cursor < callees.len() {
                     let w = callees[*cursor];
                     *cursor += 1;
@@ -298,6 +338,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn leaves_compress_layers_and_cut_subtrees() {
+        // m0 -> m1 -> m2 -> m3; with m1 pre-summarized, m2/m3 never enter
+        // the schedule and m0 drops from layer 3 to layer 1.
+        let (p, m) = call_chain(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cg = CallGraph::build(&p);
+        let leaves: std::collections::HashSet<MethodId> = [m[1]].into_iter().collect();
+        let layers = CallLayers::compute_with_leaves(&cg, &[m[0]], &leaves);
+        assert_eq!(layers.layer_of(m[1]), Some(0));
+        assert_eq!(layers.layer_of(m[0]), Some(1));
+        assert_eq!(layers.layer_of(m[2]), None);
+        assert_eq!(layers.layer_of(m[3]), None);
+        assert_eq!(layers.layer_count(), 2);
+        // An empty leaf set reproduces the plain schedule.
+        let plain = CallLayers::compute(&cg, &[m[0]]);
+        let none = CallLayers::compute_with_leaves(&cg, &[m[0]], &Default::default());
+        assert_eq!(plain.layers, none.layers);
     }
 
     #[test]

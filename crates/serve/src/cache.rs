@@ -159,7 +159,8 @@ impl ResultCache {
 
     /// Exact-hash lookup; clones the cached outcome on a hit.
     pub fn lookup(&self, hash: u64) -> Option<VettingOutcome> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("result-cache mutex poisoned: a service thread panicked");
         match inner.by_hash.get(&hash) {
             Some(entry) => {
                 let outcome = entry.outcome.clone();
@@ -177,7 +178,8 @@ impl ResultCache {
     /// entry under a *different* content hash, removes it and hands the
     /// previous analysis out for an incremental warm start.
     pub fn take_previous(&self, package: &str, new_hash: u64) -> Option<PrevAnalysis> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("result-cache mutex poisoned: a service thread panicked");
         let old_hash = *inner.by_package.get(package)?;
         if old_hash == new_hash {
             return None;
@@ -202,7 +204,8 @@ impl ResultCache {
         method_hashes: HashMap<MethodId, u64>,
         interner_fingerprint: u64,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("result-cache mutex poisoned: a service thread panicked");
         if let Some(old_hash) = inner.by_package.insert(package.to_owned(), hash) {
             if old_hash != hash && inner.by_hash.remove(&old_hash).is_some() {
                 inner.stats.invalidations += 1;
@@ -223,12 +226,16 @@ impl ResultCache {
 
     /// Snapshot of the lifetime stats.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().unwrap().stats
+        self.inner.lock().expect("result-cache mutex poisoned: a service thread panicked").stats
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().by_hash.len()
+        self.inner
+            .lock()
+            .expect("result-cache mutex poisoned: a service thread panicked")
+            .by_hash
+            .len()
     }
 
     /// Whether the cache holds no entries.
@@ -238,7 +245,8 @@ impl ResultCache {
 
     /// Packages currently cached (diagnostics).
     pub fn packages(&self) -> Vec<String> {
-        let inner = self.inner.lock().unwrap();
+        let inner =
+            self.inner.lock().expect("result-cache mutex poisoned: a service thread panicked");
         let mut p: Vec<String> = inner.by_hash.values().map(|e| e.package.clone()).collect();
         p.sort();
         p

@@ -25,6 +25,12 @@
 //!   poison-job quarantine, and the graceful drain protocol;
 //! * [`job`] — job descriptions, priorities, and per-job results.
 //!
+//! A shared [`gdroid_sumstore::SumStore`] can be attached via
+//! [`ServiceConfig::sumstore`]: executors then vet through
+//! `gdroid-vetting`'s store-aware path, pre-solving library methods
+//! contributed by earlier jobs, and the [`ServiceReport`] surfaces the
+//! store's hit/miss counters beside the result cache's.
+//!
 //! Verdicts are engine-independent: a cached, incremental, or device
 //! outcome renders the byte-identical report JSON a sequential
 //! [`gdroid_vetting::vet_app`] run produces (the soak test in

@@ -6,6 +6,7 @@
 //! a metrics mutex.
 
 use crate::cache::CacheStats;
+use gdroid_sumstore::SumStoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -264,6 +265,7 @@ impl ServiceMetrics {
     pub fn report(
         &self,
         cache: CacheStats,
+        sumstore: SumStoreStats,
         device_launches: u64,
         device_faults: u64,
     ) -> ServiceReport {
@@ -279,6 +281,7 @@ impl ServiceMetrics {
             kernel_model: self.kernel_model.snapshot(),
             taint_model: self.taint_model.snapshot(),
             cache,
+            sumstore,
             wall_ns,
             apps_per_sec,
             device_launches,
@@ -304,6 +307,9 @@ pub struct ServiceReport {
     pub taint_model: HistogramSnapshot,
     /// Cache behavior.
     pub cache: CacheStats,
+    /// Cross-app summary-store behavior (zeroed when no store is
+    /// configured).
+    pub sumstore: SumStoreStats,
     /// Service wall-clock from start to report.
     pub wall_ns: u64,
     /// Terminal results per second of service wall-clock.
@@ -320,8 +326,8 @@ impl ServiceReport {
         format!(
             "{{\"counters\":{},\"latency\":{{\"queue_wait\":{},\"prep\":{},\"exec_wall\":{},\
              \"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\
-             \"invalidations\":{},\"insertions\":{}}},\"wall_ns\":{},\"apps_per_sec\":{:.3},\
-             \"device_launches\":{},\"device_faults\":{}}}",
+             \"invalidations\":{},\"insertions\":{}}},\"sumstore\":{},\"wall_ns\":{},\
+             \"apps_per_sec\":{:.3},\"device_launches\":{},\"device_faults\":{}}}",
             self.counters.to_json(),
             self.queue_wait.to_json(),
             self.prep.to_json(),
@@ -332,6 +338,7 @@ impl ServiceReport {
             self.cache.misses,
             self.cache.invalidations,
             self.cache.insertions,
+            self.sumstore.to_json(),
             self.wall_ns,
             self.apps_per_sec,
             self.device_launches,
@@ -369,11 +376,18 @@ mod tests {
         let m = ServiceMetrics::new();
         Counters::bump(&m.counters.completed);
         m.exec_wall.record(1_000);
-        let r = m.report(CacheStats::default(), 3, 1);
+        let r = m.report(CacheStats::default(), SumStoreStats::default(), 3, 1);
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"completed\":1"));
         assert!(j.contains("\"device_faults\":1"));
         assert!(j.contains("\"apps_per_sec\":"));
+        assert!(j.contains("\"cache\":{"));
+        assert!(
+            j.contains(
+                "\"sumstore\":{\"hits\":0,\"misses\":0,\"insertions\":0,\"reloc_failures\":0}"
+            ),
+            "sumstore stats must sit beside the cache stats: {j}"
+        );
     }
 }

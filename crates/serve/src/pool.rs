@@ -31,32 +31,49 @@ impl DevicePool {
 
     /// Number of devices in the pool.
     pub fn size(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        self.slots.lock().expect("device-pool mutex poisoned: an executor panicked mid-lease").len()
     }
 
     /// Blocks until a device is free, then leases it. The lease returns
     /// the device on drop.
     pub fn lease(&self) -> DeviceLease<'_> {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots =
+            self.slots.lock().expect("device-pool mutex poisoned: an executor panicked mid-lease");
         loop {
             if let Some(slot) = slots.iter().position(|s| s.is_some()) {
-                let device = slots[slot].take().unwrap();
+                let device =
+                    slots[slot].take().expect("slot observed occupied under the pool lock");
                 return DeviceLease { pool: self, slot, device: Some(device) };
             }
-            slots = self.available.wait(slots).unwrap();
+            slots = self
+                .available
+                .wait(slots)
+                .expect("device-pool mutex poisoned while waiting for a free device");
         }
     }
 
     /// Lifetime fault count across currently idle devices. Call when no
     /// leases are outstanding (e.g. after drain) for the full total.
     pub fn total_faults(&self) -> u64 {
-        self.slots.lock().unwrap().iter().flatten().map(Device::faults_injected).sum()
+        self.slots
+            .lock()
+            .expect("device-pool mutex poisoned: an executor panicked mid-lease")
+            .iter()
+            .flatten()
+            .map(Device::faults_injected)
+            .sum()
     }
 
     /// Lifetime launch count across currently idle devices (same caveat
     /// as [`DevicePool::total_faults`]).
     pub fn total_launches(&self) -> u64 {
-        self.slots.lock().unwrap().iter().flatten().map(Device::launches).sum()
+        self.slots
+            .lock()
+            .expect("device-pool mutex poisoned: an executor panicked mid-lease")
+            .iter()
+            .flatten()
+            .map(Device::launches)
+            .sum()
     }
 }
 
@@ -78,19 +95,25 @@ impl DeviceLease<'_> {
 impl std::ops::Deref for DeviceLease<'_> {
     type Target = Device;
     fn deref(&self) -> &Device {
-        self.device.as_ref().unwrap()
+        self.device.as_ref().expect("device present for the lease lifetime (None only during drop)")
     }
 }
 
 impl std::ops::DerefMut for DeviceLease<'_> {
     fn deref_mut(&mut self) -> &mut Device {
-        self.device.as_mut().unwrap()
+        self.device.as_mut().expect("device present for the lease lifetime (None only during drop)")
     }
 }
 
 impl Drop for DeviceLease<'_> {
     fn drop(&mut self) {
-        let mut slots = self.pool.slots.lock().unwrap();
+        // Recover from poisoning instead of panicking inside drop (which
+        // would abort): losing a device to a poisoned pool is worse than
+        // returning it to a pool whose other slots are intact.
+        let mut slots = match self.pool.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         slots[self.slot] = self.device.take();
         self.pool.available.notify_one();
     }

@@ -62,9 +62,13 @@ impl SubmitQueue {
     /// Blocking submission: waits for space while the queue is full
     /// (backpressure), fails only once the queue is closed.
     pub fn submit(&self, job: JobSpec) -> Result<(), SubmitError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("submit-queue mutex poisoned: a queue user panicked");
         while inner.len >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).unwrap();
+            inner = self
+                .not_full
+                .wait(inner)
+                .expect("submit-queue mutex poisoned while waiting for space");
         }
         if inner.closed {
             return Err(SubmitError::Closed);
@@ -79,7 +83,8 @@ impl SubmitQueue {
     // The fat Err *is* the contract: a rejected job must come back whole.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, job: JobSpec) -> Result<(), (JobSpec, SubmitError)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("submit-queue mutex poisoned: a queue user panicked");
         if inner.closed {
             return Err((job, SubmitError::Closed));
         }
@@ -99,7 +104,8 @@ impl SubmitQueue {
     /// Takes the next job: highest non-empty class, FIFO within it.
     /// Blocks while empty; returns `None` once closed *and* drained.
     pub fn pop(&self) -> Option<JobSpec> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("submit-queue mutex poisoned: a queue user panicked");
         loop {
             if inner.len > 0 {
                 for lane in (0..Priority::ALL.len()).rev() {
@@ -114,13 +120,17 @@ impl SubmitQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("submit-queue mutex poisoned while waiting for work");
         }
     }
 
     /// Closes the queue: pending jobs still drain, new submissions fail.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner =
+            self.inner.lock().expect("submit-queue mutex poisoned: a queue user panicked");
         inner.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -128,7 +138,7 @@ impl SubmitQueue {
 
     /// Jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len
+        self.inner.lock().expect("submit-queue mutex poisoned: a queue user panicked").len
     }
 
     /// Whether no jobs are waiting.
@@ -150,7 +160,7 @@ mod tests {
             source: JobSource::Seed {
                 index: id as usize,
                 seed: id,
-                config: gdroid_apk::GenConfig::tiny(),
+                config: Box::new(gdroid_apk::GenConfig::tiny()),
             },
             submitted_at: Instant::now(),
         }

@@ -114,9 +114,12 @@ impl DispatchHeap {
     // The fat Err *is* the contract: a rejected job must come back whole.
     #[allow(clippy::result_large_err)]
     pub fn push(&self, job: ReadyJob) -> Result<(), ReadyJob> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked");
         while inner.heap.len() >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).unwrap();
+            inner = self
+                .not_full
+                .wait(inner)
+                .expect("dispatch-heap mutex poisoned while waiting for space");
         }
         if inner.closed {
             return Err(job);
@@ -130,7 +133,7 @@ impl DispatchHeap {
     /// bound and accepted even after close — a drain must retry, not
     /// drop.
     pub fn requeue(&self, job: ReadyJob) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked");
         inner.heap.push(HeapEntry(job));
         self.not_empty.notify_one();
     }
@@ -138,7 +141,7 @@ impl DispatchHeap {
     /// Takes the most urgent ready job (priority, then heaviest — LPT).
     /// Blocks while empty; `None` once closed *and* drained.
     pub fn pop(&self) -> Option<ReadyJob> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked");
         loop {
             if let Some(entry) = inner.heap.pop() {
                 self.not_full.notify_one();
@@ -147,13 +150,16 @@ impl DispatchHeap {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("dispatch-heap mutex poisoned while waiting for work");
         }
     }
 
     /// Closes the heap: waiting executors drain what remains, then stop.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked");
         inner.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -161,7 +167,7 @@ impl DispatchHeap {
 
     /// Ready jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().heap.len()
+        self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked").heap.len()
     }
 
     /// Whether no ready jobs are waiting.

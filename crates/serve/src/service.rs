@@ -30,8 +30,10 @@ use crate::scheduler::{work_estimate, DispatchHeap, ReadyJob};
 use gdroid_apk::{generate_app, load_bundle, App};
 use gdroid_core::OptConfig;
 use gdroid_gpusim::{DeviceConfig, FaultPlan};
+use gdroid_sumstore::SumStore;
 use gdroid_vetting::{
-    execute_vetting_incremental, execute_vetting_on_device, prepare_vetting, VettingRun,
+    execute_vetting_incremental, execute_vetting_on_device, execute_vetting_on_device_with_store,
+    prepare_vetting, VettingRun,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,7 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables of a [`VettingService`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Host-side prep worker threads (K).
     pub prep_workers: usize,
@@ -61,6 +63,10 @@ pub struct ServiceConfig {
     pub device_config: DeviceConfig,
     /// Kernel optimization ladder rung to vet with.
     pub opt: OptConfig,
+    /// Optional cross-app summary store shared by every executor. Full
+    /// runs pre-solve store-hit methods and feed fresh summaries back;
+    /// `None` disables the store entirely.
+    pub sumstore: Option<Arc<SumStore>>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +81,7 @@ impl Default for ServiceConfig {
             fault_plan: None,
             device_config: DeviceConfig::tesla_p40(),
             opt: OptConfig::gdroid(),
+            sumstore: None,
         }
     }
 }
@@ -89,12 +96,16 @@ struct ServiceState {
     max_retries: u32,
     timeout: Duration,
     opt: OptConfig,
+    sumstore: Option<Arc<SumStore>>,
 }
 
 impl ServiceState {
     fn deliver(&self, result: JobResult) {
         Counters::bump(&self.metrics.counters.completed);
-        self.results.lock().unwrap().push(result);
+        self.results
+            .lock()
+            .expect("results mutex poisoned: a service thread panicked")
+            .push(result);
         self.results_cv.notify_all();
     }
 }
@@ -127,6 +138,7 @@ impl VettingService {
             max_retries: config.max_retries,
             timeout: Duration::from_millis(config.job_timeout_ms.max(1)),
             opt: config.opt,
+            sumstore: config.sumstore,
         });
         let prep_handles = (0..config.prep_workers.max(1))
             .map(|_| {
@@ -180,16 +192,22 @@ impl VettingService {
 
     /// Terminal results produced so far.
     pub fn completed(&self) -> u64 {
-        self.state.results.lock().unwrap().len() as u64
+        self.state.results.lock().expect("results mutex poisoned: a service thread panicked").len()
+            as u64
     }
 
     /// Blocks until at least `n` jobs have produced terminal results.
     /// Lets a caller fence between submission waves (e.g. to guarantee a
     /// resubmission observes a warm cache).
     pub fn wait_for(&self, n: u64) {
-        let mut results = self.state.results.lock().unwrap();
+        let mut results =
+            self.state.results.lock().expect("results mutex poisoned: a service thread panicked");
         while (results.len() as u64) < n {
-            results = self.state.results_cv.wait(results).unwrap();
+            results = self
+                .state
+                .results_cv
+                .wait(results)
+                .expect("results mutex poisoned while waiting for completions");
         }
     }
 
@@ -207,10 +225,13 @@ impl VettingService {
         }
         let report = self.state.metrics.report(
             self.state.cache.stats(),
+            self.state.sumstore.as_ref().map(|s| s.stats()).unwrap_or_default(),
             self.state.pool.total_launches(),
             self.state.pool.total_faults(),
         );
-        let mut results = std::mem::take(&mut *self.state.results.lock().unwrap());
+        let mut results = std::mem::take(
+            &mut *self.state.results.lock().expect("results mutex poisoned during drain"),
+        );
         results.sort_by_key(|r| r.id);
         (report, results)
     }
@@ -368,7 +389,14 @@ fn exec_loop(state: &ServiceState) {
 
         let mut lease = state.pool.lease();
         let t = Instant::now();
-        match execute_vetting_on_device(&job.prep, &mut lease, state.opt) {
+        let attempt = match state.sumstore.as_deref() {
+            Some(store) => {
+                execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
+                    .map(|(run, _)| run)
+            }
+            None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
+        };
+        match attempt {
             Ok(run) => {
                 let exec_wall_ns = t.elapsed().as_nanos() as u64;
                 drop(lease);
@@ -459,7 +487,7 @@ mod tests {
     use gdroid_vetting::vet_app;
 
     fn seed_source(index: usize, seed: u64) -> JobSource {
-        JobSource::Seed { index, seed, config: GenConfig::tiny() }
+        JobSource::Seed { index, seed, config: Box::new(GenConfig::tiny()) }
     }
 
     #[test]
@@ -518,6 +546,36 @@ mod tests {
         assert_eq!(report.counters.retries, 2);
         assert_eq!(report.device_faults, 2);
         assert_eq!(report.counters.quarantined, 0);
+    }
+
+    #[test]
+    fn shared_sumstore_reports_hits_beside_cache() {
+        let store = Arc::new(SumStore::new());
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            sumstore: Some(Arc::clone(&store)),
+            ..ServiceConfig::default()
+        });
+        let config = GenConfig::tiny().with_libraries(2, 2);
+        for seed in 0..3u64 {
+            svc.submit(
+                Priority::Standard,
+                JobSource::Seed {
+                    index: seed as usize,
+                    seed: 5300 + seed,
+                    config: Box::new(config.clone()),
+                },
+            )
+            .unwrap();
+        }
+        let (report, results) = svc.drain();
+        assert!(results.iter().all(|r| r.status == JobStatus::Completed));
+        assert!(report.sumstore.insertions > 0);
+        assert!(report.sumstore.hits > 0, "shared-library corpus must hit the store");
+        assert_eq!(report.sumstore.hits, store.stats().hits);
+        let j = report.to_json();
+        assert!(j.contains("\"cache\":{") && j.contains("\"sumstore\":{\"hits\":"));
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn soak_100_jobs_with_faults() {
         let id = svc
             .submit(
                 priority,
-                JobSource::Seed { index: i, seed: 9000 + i as u64, config: GenConfig::tiny() },
+                JobSource::Seed {
+                    index: i,
+                    seed: 9000 + i as u64,
+                    config: Box::new(GenConfig::tiny()),
+                },
             )
             .expect("queue accepts with backpressure");
         assert!(expected_ids.insert(id), "duplicate job id {id}");

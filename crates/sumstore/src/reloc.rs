@@ -1,0 +1,189 @@
+//! Relocatable summaries — SBDA summaries expressed symbolically.
+//!
+//! A [`gdroid_analysis::MethodSummary`] is already *almost* relocatable:
+//! its [`Token`]s are formal positions and fresh markers, both
+//! program-independent. The one program-relative ingredient is
+//! [`FieldId`], which numbers fields in declaration order of the owning
+//! program. [`RelocSummary`] replaces every `FieldId` with the pair
+//! *(declaring-class name, field name)* so a summary computed in app A
+//! instantiates at a call site in app B — provided B declares the same
+//! class and field, which the canonical hash guarantees for store hits
+//! (the field access is part of the hashed body).
+//!
+//! Per-node fact matrices need **no** translation at all: the analysis'
+//! slot/instance pools are positional functions of the body, so
+//! structurally identical bodies produce same-shaped matrices whose bit
+//! positions mean the corresponding (target-program) slots. The store
+//! therefore keeps raw fact words next to the symbolic summary and
+//! validates only the geometry at instantiation time.
+
+use gdroid_analysis::{MethodSummary, Token};
+use gdroid_ir::{FieldId, Program};
+
+/// A field identified symbolically: declaring class + field name.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RelocField {
+    /// Fully-qualified declaring class name.
+    pub class: String,
+    /// Field name.
+    pub name: String,
+}
+
+impl RelocField {
+    /// Resolves a program-relative field to its symbolic form.
+    pub fn of(field: FieldId, program: &Program) -> RelocField {
+        let fd = &program.fields[field];
+        RelocField {
+            class: program.interner.resolve(program.classes[fd.class].name).to_owned(),
+            name: program.interner.resolve(fd.name).to_owned(),
+        }
+    }
+
+    /// Re-binds the symbolic field in `program`, or `None` when the
+    /// program declares no such class/field (a relocation failure).
+    pub fn bind(&self, program: &Program) -> Option<FieldId> {
+        let class_sym = program.interner.get(&self.class)?;
+        let class = program.class_by_name(class_sym)?;
+        let name_sym = program.interner.get(&self.name)?;
+        program.classes[class].fields.iter().copied().find(|&f| program.fields[f].name == name_sym)
+    }
+}
+
+/// A [`Token`] with fields symbolic instead of program-relative.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RelocToken {
+    /// Caller argument `k` (0 = receiver).
+    Formal(u8),
+    /// A fresh escaping object.
+    Fresh,
+    /// The caller's view of a static field.
+    StaticIn(RelocField),
+}
+
+impl RelocToken {
+    fn of(token: Token, program: &Program) -> RelocToken {
+        match token {
+            Token::Formal(k) => RelocToken::Formal(k),
+            Token::Fresh => RelocToken::Fresh,
+            Token::StaticIn(f) => RelocToken::StaticIn(RelocField::of(f, program)),
+        }
+    }
+
+    fn bind(&self, program: &Program) -> Option<Token> {
+        Some(match self {
+            RelocToken::Formal(k) => Token::Formal(*k),
+            RelocToken::Fresh => Token::Fresh,
+            RelocToken::StaticIn(f) => Token::StaticIn(f.bind(program)?),
+        })
+    }
+}
+
+/// A method summary in fully symbolic (cross-program) form. Vectors are
+/// kept sorted so extraction is deterministic and persistence byte-stable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RelocSummary {
+    /// Possible sources of the return value.
+    pub returns: Vec<RelocToken>,
+    /// Escaping field writes `recv.field ← src`.
+    pub field_writes: Vec<(RelocToken, RelocField, RelocToken)>,
+    /// Static writes `field ← src`.
+    pub static_writes: Vec<(RelocField, RelocToken)>,
+    /// Array-element writes `recv[…] ← src`.
+    pub array_writes: Vec<(RelocToken, RelocToken)>,
+}
+
+impl RelocSummary {
+    /// Extracts the symbolic form of a summary computed in `program`.
+    pub fn extract(summary: &MethodSummary, program: &Program) -> RelocSummary {
+        let mut out = RelocSummary {
+            returns: summary.returns.iter().map(|&t| RelocToken::of(t, program)).collect(),
+            field_writes: summary
+                .field_writes
+                .iter()
+                .map(|&(r, f, s)| {
+                    (
+                        RelocToken::of(r, program),
+                        RelocField::of(f, program),
+                        RelocToken::of(s, program),
+                    )
+                })
+                .collect(),
+            static_writes: summary
+                .static_writes
+                .iter()
+                .map(|&(f, s)| (RelocField::of(f, program), RelocToken::of(s, program)))
+                .collect(),
+            array_writes: summary
+                .array_writes
+                .iter()
+                .map(|&(r, s)| (RelocToken::of(r, program), RelocToken::of(s, program)))
+                .collect(),
+        };
+        out.returns.sort();
+        out.field_writes.sort();
+        out.static_writes.sort();
+        out.array_writes.sort();
+        out
+    }
+
+    /// Instantiates the summary into `program`, re-binding every symbolic
+    /// field. `None` when any field fails to bind (relocation failure —
+    /// the store treats the lookup as a miss).
+    pub fn instantiate(&self, program: &Program) -> Option<MethodSummary> {
+        let mut s = MethodSummary::default();
+        for t in &self.returns {
+            s.returns.insert(t.bind(program)?);
+        }
+        for (r, f, src) in &self.field_writes {
+            s.field_writes.insert((r.bind(program)?, f.bind(program)?, src.bind(program)?));
+        }
+        for (f, src) in &self.static_writes {
+            s.static_writes.insert((f.bind(program)?, src.bind(program)?));
+        }
+        for (r, src) in &self.array_writes {
+            s.array_writes.insert((r.bind(program)?, src.bind(program)?));
+        }
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_ir::text::{parse_program, print_program};
+
+    #[test]
+    fn summary_roundtrips_across_reinterning() {
+        // Build a program, summarize symbolically, re-parse (fresh
+        // interner order), and instantiate: the result must denote the
+        // same fields by name.
+        let app = gdroid_apk::generate_app(0, 8700, &gdroid_apk::GenConfig::tiny());
+        let program = &app.program;
+        // A synthetic summary touching a real static field, if any.
+        let mut summary = MethodSummary::default();
+        summary.returns.insert(Token::Formal(0));
+        summary.returns.insert(Token::Fresh);
+        if let Some((fid, _)) = program.fields.iter_enumerated().find(|(_, f)| f.is_static) {
+            summary.static_writes.insert((fid, Token::Formal(1)));
+            summary.returns.insert(Token::StaticIn(fid));
+        }
+        let reloc = RelocSummary::extract(&summary, program);
+        let reparsed = parse_program(&print_program(program)).expect("reparse");
+        let bound = reloc.instantiate(&reparsed).expect("fields exist in reparsed program");
+        assert_eq!(bound.returns.len(), summary.returns.len());
+        assert_eq!(bound.static_writes.len(), summary.static_writes.len());
+        // And extraction from the re-bound form is identical symbolically.
+        assert_eq!(RelocSummary::extract(&bound, &reparsed), reloc);
+    }
+
+    #[test]
+    fn missing_field_is_a_relocation_failure() {
+        let app = gdroid_apk::generate_app(0, 8701, &gdroid_apk::GenConfig::tiny());
+        let mut summary = RelocSummary::default();
+        summary.static_writes.push((
+            RelocField { class: "com/does/not/Exist".into(), name: "ghost".into() },
+            RelocToken::Fresh,
+        ));
+        assert!(summary.instantiate(&app.program).is_none());
+    }
+}

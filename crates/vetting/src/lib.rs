@@ -15,6 +15,9 @@
 //!   against any engine: sequential Amandroid-style CPU, the
 //!   multithreaded-C baseline, or the simulated GPU with any optimization
 //!   ladder rung;
+//! * [`store_exec`] — the same pipeline backed by a cross-app
+//!   [`gdroid_sumstore::SumStore`]: store-hit library methods are
+//!   pre-solved and never scheduled;
 //! * [`plugins`] — further IDFG-reuse plugins in the Amandroid style:
 //!   intent exposure, hardcoded payloads, permission audit;
 //! * [`assess`] — the composite, reviewer-auditable risk assessment
@@ -26,6 +29,7 @@ pub mod pipeline;
 pub mod plugins;
 pub mod registry;
 pub mod report;
+pub mod store_exec;
 pub mod taint;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
@@ -39,4 +43,7 @@ pub use plugins::{
 };
 pub use registry::{SourceId, SourceSinkRegistry};
 pub use report::{Leak, Verdict, VettingReport};
+pub use store_exec::{
+    execute_vetting_full_with_store, execute_vetting_on_device_with_store, StoreUse,
+};
 pub use taint::{TaintAnalysis, TaintStats};

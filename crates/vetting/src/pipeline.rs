@@ -142,7 +142,11 @@ pub fn prepare_vetting(mut app: App) -> PreparedApp {
 }
 
 /// Runs the taint plugin over a finished IDFG and assembles the outcome.
-fn finish_vetting(prep: &PreparedApp, analysis: AppAnalysis, idfg_ns: f64) -> VettingRun {
+pub(crate) fn finish_vetting(
+    prep: &PreparedApp,
+    analysis: AppAnalysis,
+    idfg_ns: f64,
+) -> VettingRun {
     let mut timing = prep.prep_timing;
     timing.idfg_ns = idfg_ns;
     let registry = SourceSinkRegistry::for_program(&prep.app.program);
@@ -168,7 +172,7 @@ fn finish_vetting(prep: &PreparedApp, analysis: AppAnalysis, idfg_ns: f64) -> Ve
 /// Folds a GPU analysis into the CPU-shaped [`AppAnalysis`] a cache or
 /// incremental re-analysis consumes (the facts/summaries are bit-identical
 /// across engines; only cost models differ).
-fn gpu_to_app_analysis(gpu: gdroid_core::GpuAnalysis) -> AppAnalysis {
+pub(crate) fn gpu_to_app_analysis(gpu: gdroid_core::GpuAnalysis) -> AppAnalysis {
     let store_bytes = gpu.facts.values().map(FactStore::memory_bytes).sum();
     AppAnalysis {
         spaces: gpu.spaces,

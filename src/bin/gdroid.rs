@@ -13,7 +13,16 @@
 //!                                     run N corpus apps through the vetting service
 //! gdroid batch <bundle-dir> [--workers K] [--devices D] [--json]
 //!                                     vet every bundle under a directory via the service
+//! gdroid sumstore stats <dir>         inspect a persisted summary store
+//! gdroid sumstore clear <dir>         reset a persisted summary store
 //! ```
+//!
+//! `vet`, `serve`, and `batch` accept `--sumstore <dir>`: the cross-app
+//! summary store is loaded from `<dir>` before the run and saved back
+//! after, so shared-library methods analyzed once are pre-solved in every
+//! later run. `serve` and `batch` also accept `--digest`, which prints
+//! one sorted `package report-hash` line per completed job — a
+//! timing-independent fingerprint for comparing cold and warm runs.
 //!
 //! `vet` and `assess` accept `--json` for machine-readable output that is
 //! byte-comparable with what the service caches and returns.
@@ -30,20 +39,27 @@ use gdroid::icfg::prepare_app;
 use gdroid::ir::text::{parse_program, print_program};
 use gdroid::ir::MethodId;
 use gdroid::serve::{
-    CacheDisposition, JobResult, JobSource, JobStatus, Priority, ServiceConfig, VettingService,
+    fnv1a, CacheDisposition, JobResult, JobSource, JobStatus, Priority, ServiceConfig,
+    VettingService,
 };
-use gdroid::vetting::{vet_app, Engine};
+use gdroid::sumstore::SumStore;
+use gdroid::vetting::{execute_vetting_full_with_store, prepare_vetting, vet_app, Engine};
 use std::process::exit;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--json]\n  gdroid lint <app.jil|seed>\n  \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--sumstore <dir>] [--json]\n  \
+         gdroid lint <app.jil|seed>\n  \
          gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
-         gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] [--json]\n  \
-         gdroid batch <bundle-dir> [--workers K] [--devices D] [--json]"
+         gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] \
+         [--sumstore <dir>] [--digest] [--json]\n  \
+         gdroid batch <bundle-dir> [--workers K] [--devices D] \
+         [--sumstore <dir>] [--digest] [--json]\n  \
+         gdroid sumstore stats|clear <dir>"
     );
     exit(2)
 }
@@ -53,21 +69,58 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)?.parse().ok())
 }
 
+/// Parses `--flag value` style string options.
+fn flag_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Opens (or starts empty) the summary store persisted under `dir`.
+fn open_sumstore(dir: &str) -> SumStore {
+    SumStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open summary store {dir}: {e}");
+        exit(1)
+    })
+}
+
+/// Saves the summary store back to `dir`.
+fn save_sumstore(store: &SumStore, dir: &str) {
+    if let Err(e) = store.save(std::path::Path::new(dir)) {
+        eprintln!("cannot save summary store {dir}: {e}");
+        exit(1);
+    }
+}
+
 /// Drains a service, prints results (`--json` for the machine-readable
 /// report), and returns the process exit code: nonzero when any job was
 /// quarantined, failed, or never produced a result.
 fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 {
     let (report, results) = svc.drain();
     let json = args.iter().any(|a| a == "--json");
+    // Timing-independent stdout: one sorted `package report-hash` line per
+    // completed job. Byte-comparable across cold and warm store runs.
+    let digest = args.iter().any(|a| a == "--digest");
     let mut bad = 0usize;
     if json {
         let jobs: Vec<String> = results.iter().map(JobResult::to_json).collect();
         println!("{{\"report\":{},\"jobs\":[{}]}}", report.to_json(), jobs.join(","));
     }
+    if digest {
+        let mut lines: Vec<String> = results
+            .iter()
+            .filter_map(|r| {
+                let outcome = r.outcome.as_ref()?;
+                Some(format!("{} {:016x}", r.package, fnv1a(outcome.report.to_json().as_bytes())))
+            })
+            .collect();
+        lines.sort();
+        for line in lines {
+            println!("{line}");
+        }
+    }
     for r in &results {
         match &r.status {
             JobStatus::Completed => {
-                if !json {
+                if !json && !digest {
                     let verdict = r
                         .outcome
                         .as_ref()
@@ -112,6 +165,15 @@ fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 
             report.counters.retries,
             report.apps_per_sec,
         );
+        if report.sumstore.hits + report.sumstore.insertions > 0 {
+            eprintln!(
+                "sumstore: {} hit(s), {} miss(es), {} inserted, {} reloc failure(s)",
+                report.sumstore.hits,
+                report.sumstore.misses,
+                report.sumstore.insertions,
+                report.sumstore.reloc_failures,
+            );
+        }
     }
     if results.len() != expected {
         eprintln!("expected {} results, got {}", expected, results.len());
@@ -200,7 +262,17 @@ fn main() {
                 None => Engine::Gpu(OptConfig::gdroid()),
             };
             let app = load_app(target);
-            let outcome = vet_app(app, engine);
+            let outcome = match flag_str(&args, "--sumstore") {
+                Some(dir) => {
+                    let store = open_sumstore(dir);
+                    let prep = prepare_vetting(app);
+                    let (run, used) = execute_vetting_full_with_store(&prep, engine, &store);
+                    save_sumstore(&store, dir);
+                    eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
+                    run.outcome
+                }
+                None => vet_app(app, engine),
+            };
             if args.iter().any(|a| a == "--json") {
                 println!("{}", outcome.to_json());
             } else {
@@ -291,10 +363,13 @@ fn main() {
                     budget: b.parse().unwrap_or_else(|_| usage()),
                 }
             });
+            let store_dir = flag_str(&args, "--sumstore");
+            let sumstore = store_dir.map(|dir| Arc::new(open_sumstore(dir)));
             let svc = VettingService::start(ServiceConfig {
                 prep_workers: workers,
                 devices,
                 fault_plan,
+                sumstore: sumstore.clone(),
                 ..ServiceConfig::default()
             });
             for i in 0..apps {
@@ -303,14 +378,18 @@ fn main() {
                 let source = JobSource::Seed {
                     index: i,
                     seed: gdroid::apk::PAPER_MASTER_SEED ^ (i as u64),
-                    config: GenConfig::small(),
+                    config: Box::new(GenConfig::small()),
                 };
                 svc.submit(priority, source).unwrap_or_else(|e| {
                     eprintln!("submit failed: {e}");
                     exit(1)
                 });
             }
-            exit(finish_service(svc, &args, apps));
+            let code = finish_service(svc, &args, apps);
+            if let (Some(dir), Some(store)) = (store_dir, &sumstore) {
+                save_sumstore(store, dir);
+            }
+            exit(code);
         }
         "batch" => {
             let Some(dir) = args.get(1) else { usage() };
@@ -332,9 +411,12 @@ fn main() {
                 exit(1);
             }
             let n = bundles.len();
+            let store_dir = flag_str(&args, "--sumstore");
+            let sumstore = store_dir.map(|dir| Arc::new(open_sumstore(dir)));
             let svc = VettingService::start(ServiceConfig {
                 prep_workers: workers,
                 devices,
+                sumstore: sumstore.clone(),
                 ..ServiceConfig::default()
             });
             for path in bundles {
@@ -343,7 +425,11 @@ fn main() {
                     exit(1)
                 });
             }
-            exit(finish_service(svc, &args, n));
+            let code = finish_service(svc, &args, n);
+            if let (Some(dir), Some(store)) = (store_dir, &sumstore) {
+                save_sumstore(store, dir);
+            }
+            exit(code);
         }
         "export" => {
             let (Some(n), Some(dir)) =
@@ -358,6 +444,25 @@ fn main() {
                     eprintln!("export failed: {e}");
                     exit(1);
                 }
+            }
+        }
+        "sumstore" => {
+            let (Some(action), Some(dir)) = (args.get(1), args.get(2)) else { usage() };
+            match action.as_str() {
+                "stats" => {
+                    let store = open_sumstore(dir);
+                    let file =
+                        std::path::Path::new(dir).join(gdroid::sumstore::persist::STORE_FILE);
+                    let bytes = std::fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
+                    println!("store:   {}", file.display());
+                    println!("entries: {}", store.len());
+                    println!("bytes:   {bytes}");
+                }
+                "clear" => {
+                    save_sumstore(&SumStore::new(), dir);
+                    eprintln!("cleared summary store under {dir}");
+                }
+                _ => usage(),
             }
         }
         "corpus" => {

@@ -16,6 +16,7 @@
 //! | [`gpusim`] | warp-synchronous SIMT GPU simulator (TESLA P40 model) |
 //! | [`core`] | the GDroid kernels: plain, MAT, MAT+GRP, full GDroid |
 //! | [`vetting`] | taint analysis plugin, IDFG-reuse plugins, risk assessment, end-to-end pipeline |
+//! | [`sumstore`] | cross-app shared-library summary store keyed by canonical method hashes |
 //! | [`serve`] | in-process vetting service: priority queue, device scheduler, result cache |
 //!
 //! Beyond the paper's core, the stack implements its stated future work:
@@ -49,6 +50,7 @@ pub use gdroid_gpusim as gpusim;
 pub use gdroid_icfg as icfg;
 pub use gdroid_ir as ir;
 pub use gdroid_serve as serve;
+pub use gdroid_sumstore as sumstore;
 pub use gdroid_vetting as vetting;
 
 /// Crate version (workspace-wide).

@@ -154,3 +154,75 @@ fn reachability_is_closed() {
     let reach2 = cg2.reachable_from(&roots);
     assert_eq!(reach.len(), reach2.len());
 }
+
+/// Canonical hashes for every method, rooted at the whole program.
+fn canonical_hashes_of(program: &gdroid::ir::Program) -> std::collections::HashMap<MethodId, u128> {
+    let cg = CallGraph::build(program);
+    let roots: Vec<MethodId> = (0..program.methods.len() as u32).map(MethodId).collect();
+    gdroid::sumstore::canonical_hashes(program, &cg, &roots)
+}
+
+proptest! {
+    /// The summary store's canonical method hash is position-independent:
+    /// shuffling the method table (i.e. reordering unrelated code) leaves
+    /// every method's hash unchanged.
+    #[test]
+    fn canonical_hashes_ignore_method_order(seed in 0u64..200, shuffle_seed: u64) {
+        let app = generate_app(0, seed, &GenConfig::tiny());
+        let base = canonical_hashes_of(&app.program);
+
+        // Seeded Fisher-Yates: perm[new] = old, inv[old] = new.
+        let n = app.program.methods.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = Rng::new(shuffle_seed);
+        for i in (1..n).rev() {
+            let j = rng.range(0, i);
+            perm.swap(i, j);
+        }
+        let mut inv = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+
+        let mut permuted = app.program.clone();
+        permuted.methods =
+            perm.iter().map(|&old| app.program.methods[MethodId(old)].clone()).collect();
+        // Calls reference signatures, not method ids, so only the class
+        // rosters need remapping.
+        for cid in permuted.classes.indices() {
+            for m in &mut permuted.classes[cid].methods {
+                *m = MethodId(inv[m.0 as usize]);
+            }
+        }
+        permuted.rebuild_lookups();
+        prop_assert!(validate_program(&permuted).is_empty());
+
+        let shuffled = canonical_hashes_of(&permuted);
+        prop_assert_eq!(base.len(), shuffled.len());
+        for (old, h) in &base {
+            let new = MethodId(inv[old.0 as usize]);
+            prop_assert_eq!(shuffled[&new], *h, "hash moved with method {:?}", old);
+        }
+    }
+
+    /// Alpha-renaming every local leaves the canonical hashes untouched:
+    /// the hash folds variable *indices*, never their display names.
+    #[test]
+    fn canonical_hashes_ignore_local_names(seed in 0u64..200) {
+        use gdroid::ir::VarId;
+        let app = generate_app(0, seed, &GenConfig::tiny());
+        let base = canonical_hashes_of(&app.program);
+
+        let mut renamed = app.program.clone();
+        let mut counter = 0usize;
+        for mid in renamed.methods.indices() {
+            for v in 0..renamed.methods[mid].vars.len() {
+                let fresh = renamed.interner.intern(&format!("alpha_{counter}"));
+                counter += 1;
+                renamed.methods[mid].vars[VarId(v as u32)].name = fresh;
+            }
+        }
+        prop_assert!(validate_program(&renamed).is_empty());
+        prop_assert_eq!(canonical_hashes_of(&renamed), base);
+    }
+}
