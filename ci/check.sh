@@ -29,9 +29,22 @@ echo "$serve_out" | grep -q '"quarantined":0,' || {
   exit 1
 }
 
-echo "==> sumstore smoke: 10 apps cold then warm against one store"
+echo "==> trace smoke: same-seed traces parse and are byte-identical"
+trace_dir=$(mktemp -d)
 store_dir=$(mktemp -d)
-trap 'rm -rf "$store_dir"' EXIT
+trap 'rm -rf "$trace_dir" "$store_dir"' EXIT
+./target/release/gdroid vet 42 --trace "$trace_dir/a.json" >/dev/null
+./target/release/gdroid vet 42 --trace "$trace_dir/b.json" >/dev/null
+python3 -m json.tool "$trace_dir/a.json" >/dev/null || {
+  echo "trace smoke: trace is not valid JSON" >&2
+  exit 1
+}
+cmp -s "$trace_dir/a.json" "$trace_dir/b.json" || {
+  echo "trace smoke: same-seed traces differ byte-for-byte" >&2
+  exit 1
+}
+
+echo "==> sumstore smoke: 10 apps cold then warm against one store"
 cold=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --digest)
 warm_json=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --json)
 warm=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 2 --sumstore "$store_dir" --digest)

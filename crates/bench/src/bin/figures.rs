@@ -11,15 +11,19 @@
 //! `serve` benchmarks the vetting service (worker/device scaling and a
 //! cache-hit sweep) and writes `BENCH_serve.json`. `sumstore` sweeps the
 //! cross-app summary store over library duplication factors and writes
-//! the byte-deterministic `BENCH_sumstore.json`.
+//! the byte-deterministic `BENCH_sumstore.json`. `trace` vets the corpus
+//! traced and untraced, proving tracing never perturbs outcomes, and
+//! writes the byte-deterministic `BENCH_trace.json`.
 
 use gdroid_apk::Corpus;
-use gdroid_bench::{experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark};
+use gdroid_bench::{
+    experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark, trace_benchmark,
+};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -76,6 +80,20 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_sumstore.json");
+        return;
+    }
+
+    if experiment == "trace" {
+        eprintln!("checking trace invariance over the corpus (traced vs untraced runs)…");
+        let t0 = Instant::now();
+        let (json, summary) = trace_benchmark(apps.min(20));
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_trace.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_trace.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_trace.json");
         return;
     }
 

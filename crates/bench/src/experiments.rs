@@ -263,7 +263,8 @@ pub fn ext_multigpu(records: &[AppRecord]) -> String {
                 &roots,
                 MultiGpuConfig::nvlink(n),
                 gdroid_core::OptConfig::gdroid(),
-            );
+            )
+            .expect("valid multi-GPU config");
             if n == 1 {
                 base.push(run.stats.total_ns);
                 speedups.push(1.0);
@@ -313,6 +314,7 @@ pub fn ext_multigpu(records: &[AppRecord]) -> String {
                 MultiGpuConfig::nvlink(1),
                 gdroid_core::OptConfig::gdroid(),
             )
+            .expect("valid multi-GPU config")
             .stats
             .total_ns
         })

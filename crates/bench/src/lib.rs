@@ -19,9 +19,11 @@ pub mod sancheck;
 pub mod serve;
 pub mod stats;
 pub mod sumstore;
+pub mod trace;
 
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};
 pub use stats::{percent_below, percent_between, Series};
 pub use sumstore::{run_sumstore_point, sumstore_benchmark, SumstorePoint};
+pub use trace::{trace_benchmark, TracePoint};

@@ -48,10 +48,13 @@ pub fn tune_blocks_per_sm(
         let run = gpu_analyze_app(program, cg, roots, config, opts);
         candidate_ns.push(run.stats.total_ns);
     }
+    // total_cmp, not partial_cmp: a degenerate probe set (e.g. zero
+    // reachable nodes) can produce NaN candidate times, which must pick
+    // *some* candidate rather than panic mid-sweep.
     let best = candidate_ns
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i + 1)
         .unwrap_or(base.blocks_per_sm);
     let min = candidate_ns.iter().copied().fold(f64::INFINITY, f64::min);
@@ -83,6 +86,21 @@ mod tests {
         let tuned = result.candidate_ns[result.blocks_per_sm - 1];
         let manual = result.candidate_ns[base.blocks_per_sm - 1];
         assert!(tuned <= manual + 1e-9, "tuned {tuned} worse than manual {manual}");
+    }
+
+    #[test]
+    fn degenerate_zero_node_input_does_not_panic() {
+        // An empty program with no roots: every candidate measures a
+        // trivial (possibly 0/0-derived) cost. The sweep must still
+        // return a candidate in range instead of panicking on the
+        // comparison.
+        let program = Program::default();
+        let cg = CallGraph::default();
+        let result =
+            tune_blocks_per_sm(&program, &cg, &[], DeviceConfig::tiny(), OptConfig::gdroid(), 4);
+        assert!((1..=4).contains(&result.blocks_per_sm));
+        assert_eq!(result.candidate_ns.len(), 4);
+        assert!(result.spread >= 1.0 || result.spread.is_nan());
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub fn gpu_analyze_app_presolved_on(
     presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
 ) -> Result<GpuAnalysis, DeviceFault> {
     device.reset();
+    let tracer = device.tracer().clone();
     let leaf_set: std::collections::HashSet<MethodId> = presolved.keys().copied().collect();
     let layers = CallLayers::compute_with_leaves(cg, roots, &leaf_set);
     // Methods that actually run on the device: scheduled and not pre-solved.
@@ -107,6 +108,22 @@ pub fn gpu_analyze_app_presolved_on(
     }
 
     let layout: AppLayout = plan_layout(program, device, &spaces, &cfgs, &methods, opts);
+    if tracer.enabled() {
+        tracer.instant(
+            "driver",
+            "opt-config",
+            device.clock_ns(),
+            0,
+            vec![
+                ("mat", opts.mat.into()),
+                ("grp", opts.grp.into()),
+                ("mer", opts.mer.into()),
+                ("methods", methods.len().into()),
+                ("presolved", presolved.len().into()),
+                ("layers", layers.layer_count().into()),
+            ],
+        );
+    }
 
     let mut summaries: SummaryMap = HashMap::new();
     let mut facts: HashMap<MethodId, MatrixStore> = HashMap::new();
@@ -141,8 +158,11 @@ pub fn gpu_analyze_app_presolved_on(
             .collect();
         pending.sort_unstable();
 
+        let mut round = 0usize;
         while !pending.is_empty() {
-            // --- one kernel launch: one block per pending method --------
+            let round_start_ns = device.clock_ns();
+            let round_bytes: (u64, u64); // (h2d, d2h)
+                                         // --- one kernel launch: one block per pending method --------
             let block_results: Vec<(MethodId, MatrixStore, WorklistTelemetry)>;
             {
                 // Pre-compute per-method inputs.
@@ -184,13 +204,25 @@ pub fn gpu_analyze_app_presolved_on(
                 let h2d: u64 = pending.iter().map(|m| layout.methods[m].h2d_bytes).sum();
                 let d2h: u64 = pending.iter().map(|m| layout.methods[m].d2h_bytes).sum();
                 chunks.push((h2d, kernel_stats.time_ns(&device.config), d2h));
+                round_bytes = (h2d, d2h);
                 stats.absorb_kernel(&kernel_stats);
                 block_results = results.into_inner();
             }
 
             // --- host side: derive summaries, decide SCC re-iteration ---
+            let launched = pending.len();
             let mut changed_methods: Vec<MethodId> = Vec::new();
             for (mid, store, tele) in block_results {
+                if tracer.enabled() {
+                    trace_method_worklist(
+                        &tracer,
+                        device.clock_ns(),
+                        mid,
+                        &tele,
+                        opts,
+                        device.config.warp_size,
+                    );
+                }
                 telemetry.absorb(&tele);
                 stats.record_method(&tele);
                 let space = &spaces[&mid];
@@ -221,16 +253,82 @@ pub fn gpu_analyze_app_presolved_on(
             pending.dedup();
             // A changed singleton recursive SCC stabilizes once its
             // summary stops changing — guaranteed by monotonicity.
+            if tracer.enabled() {
+                tracer.span(
+                    "driver",
+                    format!("layer {layer_idx} round {round}"),
+                    round_start_ns,
+                    device.clock_ns() - round_start_ns,
+                    0,
+                    vec![
+                        ("methods_launched", launched.into()),
+                        ("summaries_changed", changed_methods.len().into()),
+                        ("h2d_bytes", round_bytes.0.into()),
+                        ("d2h_bytes", round_bytes.1.into()),
+                    ],
+                );
+            }
+            round += 1;
         }
     }
 
     // Transfer pipeline: the per-launch chunks ran through dual buffering.
     let pipeline = dual_buffered(&device.config, &chunks);
+    if tracer.enabled() {
+        tracer.instant(
+            "driver",
+            "transfer-pipeline",
+            device.clock_ns(),
+            0,
+            vec![
+                ("launches", chunks.len().into()),
+                ("h2d_bytes", chunks.iter().map(|c| c.0).sum::<u64>().into()),
+                ("d2h_bytes", chunks.iter().map(|c| c.2).sum::<u64>().into()),
+                ("exposed_copy_ns", pipeline.exposed_copy_ns.into()),
+                ("total_ns", pipeline.total_ns.into()),
+            ],
+        );
+    }
     stats.finish(pipeline, &device.config, device.heap.allocations, device.heap.bytes);
     stats.profile = WorklistProfile::from_round_sizes(&telemetry.round_sizes, telemetry.rounds);
 
     let sanitizer = device.san_report();
     Ok(GpuAnalysis { facts, summaries, spaces, cfgs, stats, telemetry, sanitizer })
+}
+
+/// Emits one instant per solved method with its worklist telemetry,
+/// including the per-round head/tail split the MER regime induces (head =
+/// the warp-sized list the kernel processes, tail = the postponed rest).
+/// Only called when tracing is enabled.
+fn trace_method_worklist(
+    tracer: &gdroid_trace::Tracer,
+    ts_ns: u64,
+    mid: MethodId,
+    tele: &WorklistTelemetry,
+    opts: OptConfig,
+    warp: usize,
+) {
+    use std::fmt::Write;
+    let mut head_tail = String::new();
+    for (i, &size) in tele.round_sizes.iter().enumerate() {
+        let head = if opts.mer { (size as usize).min(warp) } else { size as usize };
+        if i > 0 {
+            head_tail.push(' ');
+        }
+        write!(head_tail, "{head}/{}", size as usize - head).unwrap();
+    }
+    tracer.instant(
+        "driver",
+        format!("worklist {mid:?}"),
+        ts_ns,
+        1,
+        vec![
+            ("rounds", tele.rounds.into()),
+            ("nodes_processed", tele.nodes_processed.into()),
+            ("max_worklist", tele.max_worklist.into()),
+            ("head_tail_per_round", head_tail.into()),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -36,6 +36,8 @@ pub use autotune::{tune_blocks_per_sm, TuneResult};
 pub use driver::{gpu_analyze_app, gpu_analyze_app_on, gpu_analyze_app_presolved_on, GpuAnalysis};
 pub use kernel::run_method_block;
 pub use layout::{plan_layout, AppLayout, MethodLayout};
-pub use multigpu::{gpu_analyze_app_multi, MultiGpuAnalysis, MultiGpuConfig, MultiGpuStats};
+pub use multigpu::{
+    gpu_analyze_app_multi, MultiGpuAnalysis, MultiGpuConfig, MultiGpuError, MultiGpuStats,
+};
 pub use opts::OptConfig;
 pub use stats::{GpuRunStats, WorklistProfile};

@@ -80,6 +80,26 @@ pub struct MultiGpuStats {
     pub balance: f64,
 }
 
+/// An invalid [`MultiGpuConfig`]: the run cannot start, so no partition
+/// or launch is attempted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultiGpuError {
+    /// `config.devices == 0` — there is no device to partition work onto.
+    NoDevices,
+}
+
+impl std::fmt::Display for MultiGpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiGpuError::NoDevices => {
+                write!(f, "multi-GPU config has zero devices; need at least one")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiGpuError {}
+
 /// Result of a multi-GPU analysis.
 pub struct MultiGpuAnalysis {
     /// Final summaries (identical to the single-GPU run).
@@ -103,13 +123,20 @@ fn summary_bytes(s: &gdroid_analysis::MethodSummary) -> u64 {
 }
 
 /// Analyzes one app across multiple simulated GPUs.
+///
+/// Fails with [`MultiGpuError::NoDevices`] when the config names zero
+/// devices — validated up front, before any partitioning, rather than
+/// panicking mid-partition on an empty load vector.
 pub fn gpu_analyze_app_multi(
     program: &Program,
     cg: &CallGraph,
     roots: &[MethodId],
     config: MultiGpuConfig,
     opts: OptConfig,
-) -> MultiGpuAnalysis {
+) -> Result<MultiGpuAnalysis, MultiGpuError> {
+    if config.devices == 0 {
+        return Err(MultiGpuError::NoDevices);
+    }
     let layers = CallLayers::compute(cg, roots);
     let methods: Vec<MethodId> = {
         let mut m: Vec<MethodId> = layers.scc_of.keys().copied().collect();
@@ -167,7 +194,9 @@ pub fn gpu_analyze_app_multi(
             let mut assignment: Vec<Vec<MethodId>> = vec![Vec::new(); config.devices];
             let mut loads = vec![0u64; config.devices];
             for (m, w) in est {
-                let dev = (0..config.devices).min_by_key(|&d| loads[d]).unwrap();
+                let dev = (0..config.devices)
+                    .min_by_key(|&d| loads[d])
+                    .expect("devices > 0 validated at entry");
                 assignment[dev].push(m);
                 loads[dev] += w;
                 stats.methods_per_device[dev] += 1;
@@ -274,7 +303,7 @@ pub fn gpu_analyze_app_multi(
 
     stats.total_ns = stats.kernel_ns + stats.exchange_ns;
     stats.balance = if balance_samples == 0 { 1.0 } else { balance_acc / balance_samples as f64 };
-    MultiGpuAnalysis { summaries, facts, telemetry, stats }
+    Ok(MultiGpuAnalysis { summaries, facts, telemetry, stats })
 }
 
 #[cfg(test)]
@@ -307,7 +336,8 @@ mod tests {
             &roots,
             MultiGpuConfig::nvlink(4),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         assert_eq!(single.summaries, multi.summaries);
         for (mid, s) in &single.facts {
             let m = &multi.facts[mid];
@@ -326,7 +356,8 @@ mod tests {
             &roots,
             MultiGpuConfig::nvlink(1),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         assert_eq!(multi.stats.devices, 1);
         assert_eq!(multi.stats.exchange_ns, 0.0, "no interconnect traffic with one GPU");
         assert!(multi.stats.total_ns > 0.0);
@@ -341,14 +372,16 @@ mod tests {
             &roots,
             MultiGpuConfig::nvlink(1),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         let four = gpu_analyze_app_multi(
             &app.program,
             &cg,
             &roots,
             MultiGpuConfig::nvlink(4),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         assert!(four.stats.kernel_ns <= one.stats.kernel_ns * 1.01);
         assert!(four.stats.exchange_ns > 0.0);
         assert_eq!(four.stats.methods_per_device.len(), 4);
@@ -365,15 +398,25 @@ mod tests {
             &roots,
             MultiGpuConfig::nvlink(4),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         let pcie = gpu_analyze_app_multi(
             &app.program,
             &cg,
             &roots,
             MultiGpuConfig::pcie(4),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         assert!(pcie.stats.exchange_ns >= nv.stats.exchange_ns);
+    }
+
+    #[test]
+    fn zero_devices_is_an_error_not_a_panic() {
+        let (app, cg, roots) = prepared(8806);
+        let cfg = MultiGpuConfig { devices: 0, ..MultiGpuConfig::nvlink(1) };
+        let err = gpu_analyze_app_multi(&app.program, &cg, &roots, cfg, OptConfig::gdroid());
+        assert_eq!(err.err(), Some(MultiGpuError::NoDevices));
     }
 
     #[test]
@@ -385,7 +428,8 @@ mod tests {
             &roots,
             MultiGpuConfig::nvlink(2),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         assert!((0.0..=1.0).contains(&multi.stats.balance));
     }
 }

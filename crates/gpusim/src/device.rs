@@ -13,6 +13,7 @@ use crate::block::{BlockCtx, BlockStats};
 use crate::config::DeviceConfig;
 use crate::memory::{AddressSpace, DeviceBuffer, DeviceHeap};
 use crate::sancheck::{SanReport, Sanitizer};
+use gdroid_trace::Tracer;
 
 /// A boxed block program, for launches whose blocks are heterogeneous
 /// closures (homogeneous launches can pass plain closures to
@@ -63,6 +64,14 @@ pub struct Device {
     launches: u64,
     /// Faults injected so far (survives [`Device::reset`]).
     faults_injected: u64,
+    /// Modeled device clock in ns: each launch advances it by the
+    /// kernel's modeled time, so traces get a monotone per-device
+    /// timeline. Survives [`Device::reset`] (the clock is lifetime
+    /// state, like the launch counter).
+    clock_ns: u64,
+    /// Trace sink. Disabled by default — recording then costs one
+    /// branch per launch.
+    tracer: Tracer,
 }
 
 /// Aggregated result of one kernel launch.
@@ -155,7 +164,32 @@ impl Device {
             fault_plan: None,
             launches: 0,
             faults_injected: 0,
+            clock_ns: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace sink; pass `Tracer::disabled()` to stop recording.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed trace sink (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The modeled device clock, ns: the sum of all launch times so far,
+    /// plus any host-side time acknowledged via [`Device::advance_clock`].
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the modeled clock to at least `ns` — used by hosts to
+    /// align the device timeline with modeled host-side work (e.g. app
+    /// preparation) that happened before the next launch.
+    pub fn advance_clock(&mut self, ns: u64) {
+        self.clock_ns = self.clock_ns.max(ns);
     }
 
     /// Returns the device to its freshly-constructed memory state — a new
@@ -263,7 +297,48 @@ impl Device {
             f(&mut ctx);
             per_block.push(ctx.stats);
         }
-        self.pack(per_block)
+        let trace_blocks = if self.tracer.enabled() { per_block.clone() } else { Vec::new() };
+        let stats = self.pack(per_block);
+        let launch_ns = stats.time_ns(&self.config).round() as u64;
+        if self.tracer.enabled() {
+            self.trace_launch(&stats, &trace_blocks, launch_ns);
+        }
+        self.clock_ns += launch_ns;
+        stats
+    }
+
+    /// Emits one span for the launch plus one per block (on the block's
+    /// slot track), all in modeled time. Only called when tracing is on.
+    fn trace_launch(&self, stats: &KernelStats, per_block: &[BlockStats], launch_ns: u64) {
+        let overhead_ns = (self.config.launch_overhead_us * 1e3).round() as u64;
+        self.tracer.span(
+            "gpusim",
+            format!("launch #{}", self.launches),
+            self.clock_ns,
+            launch_ns,
+            0,
+            vec![
+                ("blocks", stats.blocks.into()),
+                ("makespan_cycles", stats.makespan_cycles.into()),
+                ("transactions", stats.transactions.into()),
+                ("divergence_passes", stats.divergence_passes.into()),
+                ("utilization", stats.utilization.into()),
+            ],
+        );
+        for (i, (&(slot, start, end), b)) in stats.schedule.iter().zip(per_block).enumerate() {
+            self.tracer.span(
+                "gpusim",
+                format!("block {i}"),
+                self.clock_ns + overhead_ns + self.config.cycles_to_ns(start).round() as u64,
+                self.config.cycles_to_ns(end - start).round() as u64,
+                slot + 1,
+                vec![
+                    ("transactions", b.transactions.into()),
+                    ("divergence_passes", b.divergence_passes.into()),
+                    ("warp_steps", b.warp_steps.into()),
+                ],
+            );
+        }
     }
 
     /// Packs finished block timelines onto slots and aggregates stats.
@@ -474,6 +549,47 @@ mod tests {
             assert_eq!(stats.blocks, 1);
         }
         assert_eq!(dev.faults_injected(), 0);
+    }
+
+    #[test]
+    fn tracer_records_launch_and_block_spans_in_modeled_time() {
+        let mut traced = Device::new(flat_config());
+        traced.set_tracer(Tracer::enabled_new());
+        let mut plain = Device::new(flat_config());
+        let mk = || {
+            (0..3)
+                .map(|_| {
+                    |ctx: &mut BlockCtx<'_>| {
+                        ctx.compute(100);
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = traced.launch(mk());
+        let b = plain.launch(mk());
+        assert_eq!(a, b, "tracing must not perturb kernel stats");
+        let evs = traced.tracer().events();
+        assert_eq!(evs.len(), 4, "one launch span + three block spans");
+        assert_eq!(evs[0].name, "launch #1");
+        assert_eq!(evs[0].ts_ns, 0, "first launch starts at modeled zero");
+        assert_eq!(evs[0].dur_ns, a.time_ns(&traced.config).round() as u64);
+        assert!(evs.iter().filter(|e| e.name.starts_with("block")).count() == 3);
+        assert_eq!(traced.clock_ns(), evs[0].dur_ns, "clock advances by the launch time");
+        assert_eq!(plain.clock_ns(), traced.clock_ns(), "clock is trace-independent");
+        // A second launch lands after the first on the device timeline.
+        traced.launch(mk());
+        let evs = traced.tracer().events();
+        let second = evs.iter().find(|e| e.name == "launch #2").unwrap();
+        assert_eq!(second.ts_ns, a.time_ns(&traced.config).round() as u64);
+    }
+
+    #[test]
+    fn advance_clock_is_monotone() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.advance_clock(500);
+        assert_eq!(dev.clock_ns(), 500);
+        dev.advance_clock(100);
+        assert_eq!(dev.clock_ns(), 500, "advance never rewinds");
     }
 
     #[test]

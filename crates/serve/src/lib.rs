@@ -23,7 +23,9 @@
 //!   machine-readable [`ServiceReport`];
 //! * [`service`] — the worker/executor threads, per-job retry with
 //!   poison-job quarantine, and the graceful drain protocol;
-//! * [`job`] — job descriptions, priorities, and per-job results.
+//! * [`job`] — job descriptions, priorities, and per-job results;
+//! * [`trace`] — post-drain per-job Chrome traces in modeled time
+//!   (wall-clock jitter never reaches a trace file).
 //!
 //! A shared [`gdroid_sumstore::SumStore`] can be attached via
 //! [`ServiceConfig::sumstore`]: executors then vet through
@@ -43,6 +45,7 @@ pub mod pool;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
+pub mod trace;
 
 pub use cache::{
     app_content_hash, changed_methods, fnv1a, interner_fingerprint, method_hashes, CacheStats,
@@ -56,3 +59,4 @@ pub use pool::{DeviceLease, DevicePool};
 pub use queue::{SubmitError, SubmitQueue};
 pub use scheduler::{work_estimate, DispatchHeap, ReadyJob};
 pub use service::{ServiceConfig, VettingService};
+pub use trace::{job_trace, write_job_traces};

@@ -73,17 +73,28 @@ impl Histogram {
         let count: u64 = counts.iter().sum();
         let sum = self.sum.load(Ordering::Relaxed);
         let max = self.max.load(Ordering::Relaxed);
+        // Linear interpolation within the landing bucket (the Prometheus
+        // `histogram_quantile` scheme). With ×4-geometric buckets, the
+        // old "return the bucket upper bound" answer overestimated by up
+        // to 4×; interpolating on the continuous rank `q·count` keeps the
+        // estimate inside the bucket, and the upper edge is clamped to
+        // the observed max so the overflow bucket stays finite.
         let quantile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let rank = q * count as f64;
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(max);
+                let next = seen + c;
+                if c > 0 && next as f64 >= rank {
+                    let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                    let upper = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(max).min(max);
+                    let lower = lower.min(upper);
+                    let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                    return lower + ((upper - lower) as f64 * frac).round() as u64;
                 }
+                seen = next;
             }
             max
         };
@@ -92,23 +103,26 @@ impl Histogram {
             mean_ns: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
             p50_ns: quantile(0.50),
             p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
             max_ns: max,
         }
     }
 }
 
-/// Frozen summary of a [`Histogram`]. Percentiles are bucket upper
-/// bounds (conservative).
+/// Frozen summary of a [`Histogram`]. Percentiles interpolate linearly
+/// within their bucket (clamped to the observed max).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
     pub count: u64,
     /// Mean sample.
     pub mean_ns: f64,
-    /// Median (bucket upper bound).
+    /// Median (interpolated).
     pub p50_ns: u64,
-    /// 95th percentile (bucket upper bound).
+    /// 95th percentile (interpolated).
     pub p95_ns: u64,
+    /// 99th percentile (interpolated).
+    pub p99_ns: u64,
     /// Largest sample.
     pub max_ns: u64,
 }
@@ -117,8 +131,8 @@ impl HistogramSnapshot {
     /// JSON rendering.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
-            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.max_ns
+            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns
         )
     }
 }
@@ -360,9 +374,29 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 5);
         assert_eq!(s.max_ns, 5_000_000_000);
-        assert!(s.p50_ns <= s.p95_ns);
+        // Interpolated values, pinned. p50: rank 2.5 lands in the
+        // (1 µs, 4 µs] bucket after 1 sample → 1000 + 3000·(1.5/2).
+        assert_eq!(s.p50_ns, 3_250);
+        // p95/p99: rank 4.75/4.95 land in the overflow-side bucket after
+        // 4 samples; its upper edge is clamped to max = 5 s.
+        assert_eq!(s.p95_ns, 4_798_576_000);
+        assert_eq!(s.p99_ns, 4_959_715_200);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
         assert!(s.mean_ns > 0.0);
         assert!(s.to_json().contains("\"count\":5"));
+        assert!(s.to_json().contains("\"p99_ns\":4959715200"));
+    }
+
+    #[test]
+    fn boundary_sample_lands_in_lower_bucket() {
+        // 1 µs is exactly the first bucket's upper bound: it must count
+        // in that bucket (bounds are inclusive), so the median of
+        // {1 µs, 4 s} interpolates up to 1 µs — not into (1 µs, 4 µs].
+        let h = Histogram::new();
+        h.record(1_000);
+        h.record(4_000_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50_ns, 1_000);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Per-job lifecycle traces in modeled time.
+//!
+//! The service's threads run on wall clock, which varies run to run —
+//! useless for byte-deterministic traces. Instead, each job's trace is
+//! reconstructed *after the drain* from its [`JobResult`]: the lifecycle
+//! instants (enqueue → dispatch → complete) anchor at modeled time zero,
+//! and the pipeline's stage spans come from the outcome's modeled
+//! [`gdroid_vetting::VettingTiming`]. Two runs of the same job set
+//! therefore write byte-identical trace files, whatever the thread
+//! interleaving was.
+
+use crate::job::{CacheDisposition, JobResult, JobStatus};
+use gdroid_trace::Tracer;
+use std::path::{Path, PathBuf};
+
+/// Builds the modeled-time trace of one finished job: `enqueue` and
+/// `dispatch` instants at time zero, the four pipeline stage spans (when
+/// the job produced an outcome), one `job` span covering the modeled
+/// total, and a `complete` instant carrying the terminal status,
+/// attempts, and cache/fault accounting.
+pub fn job_trace(result: &JobResult) -> Tracer {
+    let tracer = Tracer::enabled_new();
+    tracer.instant(
+        "serve",
+        format!("enqueue job {}", result.id),
+        0,
+        0,
+        vec![
+            ("package", result.package.as_str().into()),
+            ("priority", result.priority.as_str().into()),
+        ],
+    );
+    let cache = match result.cache {
+        CacheDisposition::Miss => "miss",
+        CacheDisposition::Hit => "hit",
+        CacheDisposition::Incremental { .. } => "incremental",
+    };
+    tracer.instant(
+        "serve",
+        "dispatch",
+        0,
+        0,
+        vec![("cache", cache.into()), ("attempts", u64::from(result.attempts).into())],
+    );
+    let end_ns = match &result.outcome {
+        Some(outcome) => {
+            let end = gdroid_vetting::trace_stage_spans(&tracer, &outcome.timing, 0, 1);
+            tracer.span(
+                "serve",
+                format!("job {}", result.id),
+                0,
+                end,
+                0,
+                vec![
+                    ("modeled_total_ns", outcome.timing.total_ns().into()),
+                    ("idfg_fraction", outcome.timing.idfg_fraction().into()),
+                ],
+            );
+            end
+        }
+        None => 0,
+    };
+    let status = match &result.status {
+        JobStatus::Completed => "completed",
+        JobStatus::Quarantined => "quarantined",
+        JobStatus::Failed(_) => "failed",
+    };
+    tracer.instant(
+        "serve",
+        "complete",
+        end_ns,
+        0,
+        vec![
+            ("status", status.into()),
+            ("faults_seen", u64::from(result.faults_seen).into()),
+            ("timeouts_seen", u64::from(result.timeouts_seen).into()),
+        ],
+    );
+    tracer
+}
+
+/// Writes one Chrome-trace JSON file per job (`job-<id>.json`, ascending
+/// ids) into `dir`, creating it if needed; returns the paths written.
+pub fn write_job_traces(results: &[JobResult], dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut sorted: Vec<&JobResult> = results.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    let mut paths = Vec::with_capacity(sorted.len());
+    for result in sorted {
+        let path = dir.join(format!("job-{:05}.json", result.id));
+        std::fs::write(&path, job_trace(result).to_chrome_json())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+
+    fn sample_result(id: u64) -> JobResult {
+        JobResult {
+            id,
+            package: format!("com.gen.app{id:04}"),
+            priority: Priority::Standard,
+            content_hash: 42,
+            status: JobStatus::Completed,
+            cache: CacheDisposition::Miss,
+            outcome: None,
+            attempts: 1,
+            faults_seen: 0,
+            timeouts_seen: 0,
+            queue_wait_ns: 123, // wall clock: must NOT appear in the trace
+            prep_ns: 456,
+            exec_wall_ns: 789,
+        }
+    }
+
+    #[test]
+    fn job_trace_is_deterministic_and_ignores_wall_clock() {
+        let a = sample_result(3);
+        let mut b = sample_result(3);
+        // Different wall-clock numbers — a rerun's jitter.
+        b.queue_wait_ns = 999_999;
+        b.exec_wall_ns = 1;
+        let ta = job_trace(&a).to_chrome_json();
+        let tb = job_trace(&b).to_chrome_json();
+        assert_eq!(ta, tb, "wall-clock fields must not leak into the trace");
+        assert!(ta.contains("enqueue job 3"));
+        assert!(ta.contains("\"cache\":\"miss\""));
+        assert!(ta.contains("\"status\":\"completed\""));
+    }
+
+    #[test]
+    fn traces_are_written_per_job_in_id_order() {
+        let dir = std::env::temp_dir().join(format!("gdroid-trace-test-{}", std::process::id()));
+        let results = vec![sample_result(2), sample_result(1)];
+        let paths = write_job_traces(&results, &dir).expect("writable temp dir");
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].ends_with("job-00001.json"));
+        assert!(paths[1].ends_with("job-00002.json"));
+        for p in &paths {
+            let body = std::fs::read_to_string(p).unwrap();
+            assert!(body.contains("\"traceEvents\""));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

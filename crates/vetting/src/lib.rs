@@ -34,8 +34,9 @@ pub mod taint;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
 pub use pipeline::{
-    execute_vetting, execute_vetting_full, execute_vetting_incremental, execute_vetting_on_device,
-    prepare_vetting, vet_app, Engine, PreparedApp, VettingOutcome, VettingRun, VettingTiming,
+    execute_vetting, execute_vetting_full, execute_vetting_gpu_traced, execute_vetting_incremental,
+    execute_vetting_on_device, prepare_vetting, trace_stage_spans, vet_app, Engine, PreparedApp,
+    VettingOutcome, VettingRun, VettingTiming,
 };
 pub use plugins::{
     hardcoded_payloads, intent_exposure, permission_audit, ExposureFinding, HardcodedFinding,
@@ -44,6 +45,7 @@ pub use plugins::{
 pub use registry::{SourceId, SourceSinkRegistry};
 pub use report::{Leak, Verdict, VettingReport};
 pub use store_exec::{
-    execute_vetting_full_with_store, execute_vetting_on_device_with_store, StoreUse,
+    execute_vetting_full_with_store, execute_vetting_gpu_traced_with_store,
+    execute_vetting_on_device_with_store, StoreUse,
 };
 pub use taint::{TaintAnalysis, TaintStats};

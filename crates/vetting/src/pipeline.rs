@@ -269,6 +269,56 @@ pub fn vet_app(app: App, engine: Engine) -> VettingOutcome {
     execute_vetting(&prepare_vetting(app), engine)
 }
 
+/// Emits the pipeline's four stage spans — envgen, callgraph, idfg,
+/// taint — back to back in modeled time starting at `base_ns`, and
+/// returns the modeled end of the last stage. Works for any engine: the
+/// stages are the modeled [`VettingTiming`], not wall clock.
+pub fn trace_stage_spans(
+    tracer: &gdroid_trace::Tracer,
+    timing: &VettingTiming,
+    base_ns: u64,
+    track: u32,
+) -> u64 {
+    let mut t = base_ns;
+    for (name, ns) in [
+        ("envgen", timing.envgen_ns),
+        ("callgraph", timing.callgraph_ns),
+        ("idfg", timing.idfg_ns),
+        ("taint", timing.taint_ns),
+    ] {
+        let dur = ns.round() as u64;
+        tracer.span("vetting", name, t, dur, track, vec![]);
+        t += dur;
+    }
+    t
+}
+
+/// GPU execution with tracing: a fresh device records its kernel-launch
+/// and driver events into `tracer`, with its modeled clock advanced past
+/// the prep stages so those events nest inside the `idfg` stage span;
+/// the four stage spans are emitted once the run finishes. With a
+/// disabled tracer this is exactly [`execute_vetting_full`] on a GPU
+/// engine (asserted in tests and the tier-1 trace gate).
+pub fn execute_vetting_gpu_traced(
+    prep: &PreparedApp,
+    opts: OptConfig,
+    tracer: &gdroid_trace::Tracer,
+) -> VettingRun {
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    device.set_tracer(tracer.clone());
+    let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
+    device.advance_clock(prep_ns.round() as u64);
+    let gpu = gpu_analyze_app_on(&mut device, &prep.app.program, &prep.cg, &prep.roots, opts)
+        .expect("a fresh device has no fault plan");
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    if tracer.enabled() {
+        trace_stage_spans(tracer, &run.outcome.timing, 0, 0);
+    }
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +394,30 @@ mod tests {
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"report\":"));
         assert!(a.contains("\"idfg_ns\":"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_trace_is_deterministic() {
+        let prep = prepare_vetting(generate_app(0, 6500, &GenConfig::tiny()));
+        let untraced = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+        let run_traced = || {
+            let tracer = gdroid_trace::Tracer::enabled_new();
+            let run = execute_vetting_gpu_traced(&prep, OptConfig::gdroid(), &tracer);
+            (run.outcome.to_json(), tracer.to_chrome_json())
+        };
+        let (json_a, trace_a) = run_traced();
+        let (json_b, trace_b) = run_traced();
+        assert_eq!(json_a, untraced.to_json(), "tracing must not perturb the outcome");
+        assert_eq!(json_a, json_b);
+        assert_eq!(trace_a, trace_b, "same seed must give a byte-identical trace");
+        for cat in ["gpusim", "driver", "vetting"] {
+            assert!(trace_a.contains(&format!("\"cat\":\"{cat}\"")), "missing layer {cat}");
+        }
+        // Disabled tracer records nothing and still matches.
+        let off = gdroid_trace::Tracer::disabled();
+        let run = execute_vetting_gpu_traced(&prep, OptConfig::gdroid(), &off);
+        assert_eq!(run.outcome.to_json(), json_a);
+        assert!(off.events().is_empty());
     }
 
     #[test]

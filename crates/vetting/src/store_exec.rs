@@ -13,7 +13,8 @@
 //! only the modeled IDFG time shrinks.
 
 use crate::pipeline::{
-    execute_vetting_full, finish_vetting, gpu_to_app_analysis, Engine, PreparedApp, VettingRun,
+    execute_vetting_full, finish_vetting, gpu_to_app_analysis, trace_stage_spans, Engine,
+    PreparedApp, VettingRun,
 };
 use gdroid_analysis::{
     analyze_app_presolved, CpuCostModel, Geometry, MatrixStore, MethodSpace, MethodSummary,
@@ -178,6 +179,49 @@ pub fn execute_vetting_full_with_store(
             run
         }
     };
+    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis);
+    (run, store_use)
+}
+
+/// [`crate::execute_vetting_gpu_traced`] backed by a summary store: the
+/// traced GPU path with pre-solved leaves. Store hits short-circuit whole
+/// subtrees out of the kernel schedule, so the trace records them as one
+/// `sumstore` instant (hit/miss counts and the hit methods) at the start
+/// of the IDFG stage rather than as launch spans.
+pub fn execute_vetting_gpu_traced_with_store(
+    prep: &PreparedApp,
+    opts: gdroid_core::OptConfig,
+    store: &SumStore,
+    tracer: &gdroid_trace::Tracer,
+) -> (VettingRun, StoreUse) {
+    let program = &prep.app.program;
+    let (presolved, hashes) = collect_presolved(prep, store);
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    device.set_tracer(tracer.clone());
+    let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
+    device.advance_clock(prep_ns.round() as u64);
+    if tracer.enabled() {
+        tracer.instant(
+            "vetting",
+            "sumstore",
+            device.clock_ns(),
+            0,
+            vec![
+                ("hits", (presolved.len() as u64).into()),
+                ("candidates", (hashes.len() as u64).into()),
+                ("package", prep.app.name.as_str().into()),
+            ],
+        );
+    }
+    let gpu =
+        gpu_analyze_app_presolved_on(&mut device, program, &prep.cg, &prep.roots, opts, &presolved)
+            .expect("a fresh device has no fault plan");
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    if tracer.enabled() {
+        trace_stage_spans(tracer, &run.outcome.timing, 0, 0);
+    }
     let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis);
     (run, store_use)
 }

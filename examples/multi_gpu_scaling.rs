@@ -34,7 +34,8 @@ fn main() {
             &roots,
             MultiGpuConfig::nvlink(n),
             OptConfig::gdroid(),
-        );
+        )
+        .expect("valid multi-GPU config");
         let total = run.stats.total_ns / 1e6;
         let speedup = match baseline {
             None => {

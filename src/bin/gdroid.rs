@@ -27,6 +27,13 @@
 //! `vet` and `assess` accept `--json` for machine-readable output that is
 //! byte-comparable with what the service caches and returns.
 //!
+//! `vet` accepts `--trace <out.json>`: the run is traced in modeled time
+//! and written as Chrome `trace_event` JSON (open in `about:tracing` or
+//! Perfetto), with a top-span summary on stderr. Traces are
+//! byte-deterministic: two runs of the same seed write identical files.
+//! `serve` and `batch` accept `--trace-dir <dir>`, writing one modeled-
+//! time trace per job after the drain.
+//!
 //! Apps can come from a `.jil` file (the textual IR) or be generated on
 //! the fly from a numeric seed.
 
@@ -43,22 +50,27 @@ use gdroid::serve::{
     VettingService,
 };
 use gdroid::sumstore::SumStore;
-use gdroid::vetting::{execute_vetting_full_with_store, prepare_vetting, vet_app, Engine};
+use gdroid::trace::Tracer;
+use gdroid::vetting::{
+    execute_vetting, execute_vetting_full_with_store, execute_vetting_gpu_traced,
+    execute_vetting_gpu_traced_with_store, prepare_vetting, trace_stage_spans, vet_app, Engine,
+};
 use std::process::exit;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--sumstore <dir>] [--json]\n  \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--sumstore <dir>] \
+         [--trace <out.json>] [--json]\n  \
          gdroid lint <app.jil|seed>\n  \
          gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
          gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] \
-         [--sumstore <dir>] [--digest] [--json]\n  \
+         [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid batch <bundle-dir> [--workers K] [--devices D] \
-         [--sumstore <dir>] [--digest] [--json]\n  \
+         [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid sumstore stats|clear <dir>"
     );
     exit(2)
@@ -95,6 +107,15 @@ fn save_sumstore(store: &SumStore, dir: &str) {
 /// quarantined, failed, or never produced a result.
 fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 {
     let (report, results) = svc.drain();
+    if let Some(dir) = flag_str(args, "--trace-dir") {
+        match gdroid::serve::write_job_traces(&results, std::path::Path::new(dir)) {
+            Ok(paths) => eprintln!("wrote {} modeled-time trace(s) under {dir}", paths.len()),
+            Err(e) => {
+                eprintln!("cannot write traces under {dir}: {e}");
+                return 1;
+            }
+        }
+    }
     let json = args.iter().any(|a| a == "--json");
     // Timing-independent stdout: one sorted `package report-hash` line per
     // completed job. Byte-comparable across cold and warm store runs.
@@ -262,17 +283,54 @@ fn main() {
                 None => Engine::Gpu(OptConfig::gdroid()),
             };
             let app = load_app(target);
+            let trace_path = flag_str(&args, "--trace");
+            let tracer =
+                if trace_path.is_some() { Tracer::enabled_new() } else { Tracer::disabled() };
             let outcome = match flag_str(&args, "--sumstore") {
                 Some(dir) => {
                     let store = open_sumstore(dir);
                     let prep = prepare_vetting(app);
-                    let (run, used) = execute_vetting_full_with_store(&prep, engine, &store);
+                    let (run, used) = match engine {
+                        Engine::Gpu(opts) if tracer.enabled() => {
+                            execute_vetting_gpu_traced_with_store(&prep, opts, &store, &tracer)
+                        }
+                        engine => {
+                            let (run, used) =
+                                execute_vetting_full_with_store(&prep, engine, &store);
+                            if tracer.enabled() {
+                                // CPU engines trace stage spans only.
+                                trace_stage_spans(&tracer, &run.outcome.timing, 0, 0);
+                            }
+                            (run, used)
+                        }
+                    };
                     save_sumstore(&store, dir);
                     eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
                     run.outcome
                 }
+                None if tracer.enabled() => {
+                    let prep = prepare_vetting(app);
+                    match engine {
+                        Engine::Gpu(opts) => {
+                            execute_vetting_gpu_traced(&prep, opts, &tracer).outcome
+                        }
+                        engine => {
+                            let outcome = execute_vetting(&prep, engine);
+                            trace_stage_spans(&tracer, &outcome.timing, 0, 0);
+                            outcome
+                        }
+                    }
+                }
                 None => vet_app(app, engine),
             };
+            if let Some(path) = trace_path {
+                std::fs::write(path, tracer.to_chrome_json()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprint!("{}", tracer.summary(10));
+                eprintln!("wrote {path}");
+            }
             if args.iter().any(|a| a == "--json") {
                 println!("{}", outcome.to_json());
             } else {

@@ -18,6 +18,7 @@
 //! | [`vetting`] | taint analysis plugin, IDFG-reuse plugins, risk assessment, end-to-end pipeline |
 //! | [`sumstore`] | cross-app shared-library summary store keyed by canonical method hashes |
 //! | [`serve`] | in-process vetting service: priority queue, device scheduler, result cache |
+//! | [`trace`] | modeled-time event tracing: Chrome `trace_event` export, zero-cost when disabled |
 //!
 //! Beyond the paper's core, the stack implements its stated future work:
 //! multi-GPU analysis ([`core::multigpu`]), launch auto-tuning
@@ -51,6 +52,7 @@ pub use gdroid_icfg as icfg;
 pub use gdroid_ir as ir;
 pub use gdroid_serve as serve;
 pub use gdroid_sumstore as sumstore;
+pub use gdroid_trace as trace;
 pub use gdroid_vetting as vetting;
 
 /// Crate version (workspace-wide).

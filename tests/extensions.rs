@@ -34,7 +34,8 @@ fn multigpu_agrees_with_all_engines() {
         &roots,
         MultiGpuConfig::pcie(3),
         OptConfig::gdroid(),
-    );
+    )
+    .expect("valid multi-GPU config");
     assert_eq!(cpu.summaries, single.summaries);
     assert_eq!(cpu.summaries, multi.summaries);
     // SCC re-launches re-assign their methods, so the per-device counter
