@@ -57,4 +57,24 @@ if echo "$warm_json" | grep -q '"sumstore":{"hits":0,'; then
   exit 1
 fi
 
+echo "==> batch smoke: co-residency sweep is byte-deterministic and batches form"
+repo_root=$PWD
+batch_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir" "$store_dir" "$batch_dir"' EXIT
+(cd "$batch_dir" && "$repo_root/target/release/figures" batch --apps 8 >/dev/null && mv BENCH_batch.json a.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" batch --apps 8 >/dev/null && mv BENCH_batch.json b.json)
+cmp -s "$batch_dir/a.json" "$batch_dir/b.json" || {
+  echo "batch smoke: BENCH_batch.json differs between identical runs" >&2
+  exit 1
+}
+batch_out=$(./target/release/gdroid serve --apps 10 --workers 2 --devices 1 --coresident 4 --json)
+echo "$batch_out" | grep -q '"quarantined":0,' || {
+  echo "batch smoke: quarantined jobs under co-residency" >&2
+  exit 1
+}
+echo "$batch_out" | grep -q '"coresidency":' || {
+  echo "batch smoke: report missing coresidency" >&2
+  exit 1
+}
+
 echo "ci/check.sh: all green"

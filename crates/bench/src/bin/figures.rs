@@ -3,7 +3,7 @@
 //! ```text
 //! figures <experiment> [--apps N] [--scale S]
 //!
-//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all serve sumstore
+//! experiments: table1 fig1 fig4 fig8 fig9 fig10 fig11 fig12 table2 all serve sumstore batch
 //!   --apps N   analyze the first N corpus apps (default 100; paper: 1000)
 //!   --scale S  generator scale factor (default 1.0 = Table I calibration)
 //! ```
@@ -13,17 +13,21 @@
 //! cross-app summary store over library duplication factors and writes
 //! the byte-deterministic `BENCH_sumstore.json`. `trace` vets the corpus
 //! traced and untraced, proving tracing never perturbs outcomes, and
-//! writes the byte-deterministic `BENCH_trace.json`.
+//! writes the byte-deterministic `BENCH_trace.json`. `batch` sweeps
+//! co-resident multi-app batching over degrees 1/2/4/8, asserts per-app
+//! outcomes byte-identical to solo, and writes the byte-deterministic
+//! `BENCH_batch.json`.
 
 use gdroid_apk::Corpus;
 use gdroid_bench::{
-    experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark, trace_benchmark,
+    batch_benchmark, experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark,
+    trace_benchmark,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -94,6 +98,20 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_trace.json");
+        return;
+    }
+
+    if experiment == "batch" {
+        eprintln!("benchmarking co-resident batching (degrees 1/2/4/8)…");
+        let t0 = Instant::now();
+        let (json, summary) = batch_benchmark(apps.min(20));
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_batch.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_batch.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_batch.json");
         return;
     }
 

@@ -13,6 +13,7 @@
 //! one app; [`experiments`] turns record sets into the paper's reported
 //! aggregates, labeling each with the paper's value for comparison.
 
+pub mod batch;
 pub mod experiments;
 pub mod record;
 pub mod sancheck;
@@ -21,6 +22,7 @@ pub mod stats;
 pub mod sumstore;
 pub mod trace;
 
+pub use batch::{batch_benchmark, run_batch_point, BatchPoint};
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};

@@ -211,7 +211,11 @@ pub fn gpu_analyze_app_presolved_on(
 
             // --- host side: derive summaries, decide SCC re-iteration ---
             let launched = pending.len();
-            let mut changed_methods: Vec<MethodId> = Vec::new();
+            // Membership is queried per SCC member below; a set keeps wide
+            // layers linear. Re-launch ordering stays deterministic because
+            // `pending` is rebuilt from `layer_sccs` order and re-sorted.
+            let mut changed_methods: std::collections::HashSet<MethodId> =
+                std::collections::HashSet::new();
             for (mid, store, tele) in block_results {
                 if tracer.enabled() {
                     trace_method_worklist(
@@ -235,7 +239,7 @@ pub fn gpu_analyze_app_presolved_on(
                 summaries.insert(mid, summary);
                 facts.insert(mid, store);
                 if changed {
-                    changed_methods.push(mid);
+                    changed_methods.insert(mid);
                 }
             }
 
@@ -300,7 +304,7 @@ pub fn gpu_analyze_app_presolved_on(
 /// including the per-round head/tail split the MER regime induces (head =
 /// the warp-sized list the kernel processes, tail = the postponed rest).
 /// Only called when tracing is enabled.
-fn trace_method_worklist(
+pub(crate) fn trace_method_worklist(
     tracer: &gdroid_trace::Tracer,
     ts_ns: u64,
     mid: MethodId,

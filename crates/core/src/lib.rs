@@ -25,6 +25,7 @@
 //! cost and schedule.
 
 pub mod autotune;
+pub mod batch;
 pub mod driver;
 pub mod kernel;
 pub mod layout;
@@ -33,6 +34,7 @@ pub mod opts;
 pub mod stats;
 
 pub use autotune::{tune_blocks_per_sm, TuneResult};
+pub use batch::{gpu_analyze_batch, gpu_analyze_batch_on, BatchAnalysis, BatchApp, BatchStats};
 pub use driver::{gpu_analyze_app, gpu_analyze_app_on, gpu_analyze_app_presolved_on, GpuAnalysis};
 pub use kernel::run_method_block;
 pub use layout::{plan_layout, AppLayout, MethodLayout};

@@ -75,6 +75,8 @@ pub struct BlockStats {
     pub ideal_transactions: u64,
     /// Dynamic allocations performed.
     pub mallocs: u64,
+    /// Bytes requested from the device heap.
+    pub malloc_bytes: u64,
     /// Cycles spent waiting on the allocator.
     pub malloc_cycles: u64,
     /// Cycles of dependent-load latency (hideable by co-resident blocks).
@@ -185,6 +187,7 @@ impl<'a> BlockCtx<'a> {
                         san.note_heap(buf);
                     }
                     self.stats.mallocs += 1;
+                    self.stats.malloc_bytes += bytes;
                     self.stats.malloc_cycles += cost;
                     self.stats.cycles += cost;
                 }
@@ -205,6 +208,7 @@ impl<'a> BlockCtx<'a> {
             san.note_heap(buf);
         }
         self.stats.mallocs += 1;
+        self.stats.malloc_bytes += bytes;
         self.stats.malloc_cycles += cost;
         self.stats.cycles += cost;
         buf

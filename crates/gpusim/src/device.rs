@@ -153,6 +153,32 @@ impl KernelStats {
     }
 }
 
+/// Result of a *sourced* launch ([`Device::try_launch_sourced`]): the
+/// combined packing plus the raw per-block counters and each block's
+/// caller-supplied source tag, so multi-app batches can attribute work
+/// back to the app that contributed each block.
+#[derive(Clone, Debug)]
+pub struct SourcedKernelStats {
+    /// The whole launch packed onto the device, all sources together.
+    pub combined: KernelStats,
+    /// Raw per-block counters, in launch order.
+    pub per_block: Vec<BlockStats>,
+    /// The source tag of each block, in launch order.
+    pub sources: Vec<u32>,
+}
+
+impl SourcedKernelStats {
+    /// The per-block stats contributed by one source, in launch order.
+    pub fn blocks_of(&self, source: u32) -> Vec<BlockStats> {
+        self.sources
+            .iter()
+            .zip(&self.per_block)
+            .filter(|&(&s, _)| s == source)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+}
+
 impl Device {
     /// A fresh device.
     pub fn new(config: DeviceConfig) -> Device {
@@ -265,21 +291,57 @@ impl Device {
         F: FnOnce(&mut BlockCtx<'_>),
     {
         self.launches += 1;
-        if let Some(plan) = self.fault_plan {
-            if plan.period > 0
-                && self.launches.is_multiple_of(plan.period)
-                && self.faults_injected < plan.budget
-            {
-                self.faults_injected += 1;
-                return Err(DeviceFault { launch_index: self.launches });
-            }
+        if let Some(fault) = self.check_fault() {
+            return Err(fault);
         }
         Ok(self.execute(blocks))
+    }
+
+    /// Launches a kernel whose blocks carry a caller-chosen source tag
+    /// (e.g. the index of the app that contributed the block in a
+    /// co-resident batch). Honors the installed [`FaultPlan`] exactly like
+    /// [`Device::try_launch`]; on success returns the combined packing
+    /// *and* the tagged per-block counters so callers can re-attribute
+    /// work per source via [`Device::repack`].
+    pub fn try_launch_sourced(
+        &mut self,
+        blocks: Vec<(u32, BlockFn<'_>)>,
+    ) -> Result<SourcedKernelStats, DeviceFault> {
+        self.launches += 1;
+        if let Some(fault) = self.check_fault() {
+            return Err(fault);
+        }
+        let (sources, fns): (Vec<u32>, Vec<BlockFn<'_>>) = blocks.into_iter().unzip();
+        let (combined, per_block) = self.execute_with_blocks(fns);
+        Ok(SourcedKernelStats { combined, per_block, sources })
+    }
+
+    /// Applies the installed fault plan to the launch counter just bumped;
+    /// shared by the faultable launch entry points.
+    fn check_fault(&mut self) -> Option<DeviceFault> {
+        let plan = self.fault_plan?;
+        if plan.period > 0
+            && self.launches.is_multiple_of(plan.period)
+            && self.faults_injected < plan.budget
+        {
+            self.faults_injected += 1;
+            return Some(DeviceFault { launch_index: self.launches });
+        }
+        None
     }
 
     /// Runs a launch's blocks and packs their timelines (shared by
     /// [`Device::launch`] and [`Device::try_launch`]).
     fn execute<F>(&mut self, blocks: Vec<F>) -> KernelStats
+    where
+        F: FnOnce(&mut BlockCtx<'_>),
+    {
+        self.execute_with_blocks(blocks).0
+    }
+
+    /// [`Device::execute`], also returning the raw per-block counters in
+    /// launch order (the attribution substrate for sourced launches).
+    fn execute_with_blocks<F>(&mut self, blocks: Vec<F>) -> (KernelStats, Vec<BlockStats>)
     where
         F: FnOnce(&mut BlockCtx<'_>),
     {
@@ -297,14 +359,24 @@ impl Device {
             f(&mut ctx);
             per_block.push(ctx.stats);
         }
-        let trace_blocks = if self.tracer.enabled() { per_block.clone() } else { Vec::new() };
-        let stats = self.pack(per_block);
+        let stats = self.pack(&per_block);
         let launch_ns = stats.time_ns(&self.config).round() as u64;
         if self.tracer.enabled() {
-            self.trace_launch(&stats, &trace_blocks, launch_ns);
+            self.trace_launch(&stats, &per_block, launch_ns);
         }
         self.clock_ns += launch_ns;
-        stats
+        (stats, per_block)
+    }
+
+    /// Re-packs a set of already-executed block timelines as if they had
+    /// been the whole launch. Pure: touches no device state, charges no
+    /// time. Because the per-block dilation factors depend only on the
+    /// *configured* blocks-per-SM (never the launch size), re-packing the
+    /// blocks one app contributed to a co-resident launch reproduces that
+    /// app's solo [`KernelStats`] exactly — the attribution rule behind
+    /// multi-app batching.
+    pub fn repack(&self, per_block: &[BlockStats]) -> KernelStats {
+        self.pack(per_block)
     }
 
     /// Emits one span for the launch plus one per block (on the block's
@@ -349,7 +421,7 @@ impl Device {
     /// share the SM's issue/cache resources (non-latency cycles dilated by
     /// `1 + 0.06·(k−1)`). The optimum lands at the paper's empirical 4–5
     /// blocks/SM for typical layer widths.
-    fn pack(&self, per_block: Vec<BlockStats>) -> KernelStats {
+    fn pack(&self, per_block: &[BlockStats]) -> KernelStats {
         let k = self.config.blocks_per_sm.max(1) as u64;
         let dilation_num = 100 + 6 * (k - 1);
         let hide = k.min(6);
@@ -360,7 +432,7 @@ impl Device {
         let slots = self.config.block_slots().max(1);
         let mut slot_end = vec![0u64; slots.min(per_block.len().max(1))];
         let mut stats = KernelStats { blocks: per_block.len(), ..Default::default() };
-        for b in &per_block {
+        for b in per_block {
             stats.total_block_cycles += b.cycles;
             stats.warp_steps += b.warp_steps;
             stats.divergence_passes += b.divergence_passes;
@@ -581,6 +653,43 @@ mod tests {
         let evs = traced.tracer().events();
         let second = evs.iter().find(|e| e.name == "launch #2").unwrap();
         assert_eq!(second.ts_ns, a.time_ns(&traced.config).round() as u64);
+    }
+
+    #[test]
+    fn sourced_launch_repacks_to_solo_stats() {
+        // Interleaved blocks from two "apps"; re-packing each app's
+        // blocks must reproduce the stats of launching that app alone.
+        let mk = |cycles: u64| {
+            Box::new(move |ctx: &mut BlockCtx<'_>| ctx.compute(cycles)) as BlockFn<'_>
+        };
+        let mut dev = Device::new(flat_config());
+        let tagged: Vec<(u32, BlockFn<'_>)> =
+            vec![(0, mk(100)), (1, mk(70)), (0, mk(300)), (1, mk(70)), (0, mk(200))];
+        let sourced = dev.try_launch_sourced(tagged).unwrap();
+        assert_eq!(sourced.combined.blocks, 5);
+        assert_eq!(sourced.sources, vec![0, 1, 0, 1, 0]);
+        let app0 = dev.repack(&sourced.blocks_of(0));
+        let app1 = dev.repack(&sourced.blocks_of(1));
+        let mut solo0 = Device::new(flat_config());
+        let mut solo1 = Device::new(flat_config());
+        assert_eq!(app0, solo0.launch(vec![mk(100), mk(300), mk(200)]));
+        assert_eq!(app1, solo1.launch(vec![mk(70), mk(70)]));
+        // The combined launch covers both apps' work.
+        assert_eq!(
+            sourced.combined.total_block_cycles,
+            app0.total_block_cycles + app1.total_block_cycles
+        );
+    }
+
+    #[test]
+    fn sourced_launch_honors_fault_plan() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.set_fault_plan(Some(FaultPlan { period: 2, budget: 1 }));
+        let mk = || vec![(0u32, Box::new(|ctx: &mut BlockCtx<'_>| ctx.compute(1)) as BlockFn<'_>)];
+        assert!(dev.try_launch_sourced(mk()).is_ok());
+        assert_eq!(dev.try_launch_sourced(mk()).unwrap_err().launch_index, 2);
+        assert!(dev.try_launch_sourced(mk()).is_ok());
+        assert_eq!(dev.faults_injected(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod stream;
 
 pub use block::{BlockCtx, BlockStats, LaneWork};
 pub use config::DeviceConfig;
-pub use device::{BlockFn, Device, DeviceFault, FaultPlan, KernelStats};
+pub use device::{BlockFn, Device, DeviceFault, FaultPlan, KernelStats, SourcedKernelStats};
 pub use memory::{transactions, AddressSpace, DevAddr, DeviceBuffer, DeviceHeap};
 pub use sancheck::{AccessOrder, AccessSite, Finding, FindingKind, SanReport, Sanitizer};
 pub use stream::{dual_buffered, synchronous, PipelineTiming};

@@ -56,18 +56,22 @@ pub fn dual_buffered(config: &DeviceConfig, chunks: &[(u64, f64, u64)]) -> Pipel
         h2d_done[i] = copy_free;
     }
 
-    let mut d2h_total = 0.0;
+    // Result copies ride the return direction of the full-duplex copy
+    // engine: chunk i's d2h starts once its kernel finishes AND the
+    // return engine has drained the previous result, so d2h-heavy
+    // pipelines serialize on bandwidth instead of hiding behind kernels
+    // they outlast.
+    let mut d2h_free = 0.0f64;
     for (i, &(_, kernel_ns, d2h)) in chunks.iter().enumerate() {
         let start = kernel_free.max(h2d_done[i]);
         kernel_free = start + kernel_ns;
         timing.kernel_ns += kernel_ns;
-        d2h_total += config.transfer_ns(d2h);
+        let t = config.transfer_ns(d2h);
+        timing.copy_ns += t;
+        d2h_free = d2h_free.max(kernel_free) + t;
     }
 
-    // Result copies drain after their kernels; the last one is exposed.
-    let last_d2h = config.transfer_ns(chunks.last().unwrap().2);
-    timing.copy_ns += d2h_total;
-    timing.total_ns = kernel_free + last_d2h;
+    timing.total_ns = kernel_free.max(d2h_free);
     timing.exposed_copy_ns = (timing.total_ns - timing.kernel_ns).max(0.0);
     timing
 }
@@ -131,6 +135,25 @@ mod tests {
         let t = dual_buffered(&c, &chunks);
         let per_copy = c.transfer_ns(64 << 20);
         assert!(t.total_ns >= per_copy * 8.0 * 0.95);
+    }
+
+    #[test]
+    fn d2h_bound_pipeline_serializes_on_the_return_engine() {
+        // Results much larger than inputs or kernels: the return engine
+        // is the bottleneck, so total time must cover every d2h
+        // back-to-back — not just the last one.
+        let c = cfg();
+        let chunks: Vec<(u64, f64, u64)> = (0..8).map(|_| (1 << 10, 1000.0, 64 << 20)).collect();
+        let t = dual_buffered(&c, &chunks);
+        let per_d2h = c.transfer_ns(64 << 20);
+        assert!(
+            t.total_ns >= per_d2h * 8.0 * 0.95,
+            "d2h occupancy not modeled: {} < {}",
+            t.total_ns,
+            per_d2h * 8.0
+        );
+        // Nearly all of that copy time is exposed past the tiny kernels.
+        assert!(t.exposed_copy_ns > per_d2h * 7.0);
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   blocking backpressure, and admission-control shedding;
 //! * [`scheduler`] — the bounded ready-heap between host-side prep and
 //!   device execution: executors pop priority-then-heaviest (greedy LPT,
-//!   the same policy `gdroid-core::multigpu` applies to methods), and the
-//!   bound double-buffers prep against execution;
+//!   the same policy `gdroid-core::multigpu` applies to methods), the
+//!   bound double-buffers prep against execution, aged jobs are promoted
+//!   past the bound ([`scheduler::STARVATION_BOUND`]), and
+//!   [`ServiceConfig::coresident`] lets executors top a device up with
+//!   co-resident jobs whose combined block demand fits its block slots;
 //! * [`pool`] — long-lived simulated devices with RAII leases; devices
 //!   are `reset` between apps, and lifetime fault schedules survive;
 //! * [`cache`] — content-hash result cache (bundle bytes → outcome) whose
@@ -57,6 +60,6 @@ pub use metrics::{
 };
 pub use pool::{DeviceLease, DevicePool};
 pub use queue::{SubmitError, SubmitQueue};
-pub use scheduler::{work_estimate, DispatchHeap, ReadyJob};
+pub use scheduler::{block_demand, work_estimate, DispatchHeap, ReadyJob, STARVATION_BOUND};
 pub use service::{ServiceConfig, VettingService};
 pub use trace::{job_trace, write_job_traces};

@@ -162,6 +162,10 @@ pub struct Counters {
     pub quarantined: AtomicU64,
     /// Jobs that produced a terminal result (any status).
     pub completed: AtomicU64,
+    /// Co-resident batch launches (groups of ≥ 2 jobs on one device).
+    pub batches: AtomicU64,
+    /// Jobs executed inside a co-resident batch.
+    pub batched_jobs: AtomicU64,
 }
 
 impl Counters {
@@ -185,6 +189,8 @@ impl Counters {
             timeouts: load(&self.timeouts),
             quarantined: load(&self.quarantined),
             completed: load(&self.completed),
+            batches: load(&self.batches),
+            batched_jobs: load(&self.batched_jobs),
         }
     }
 }
@@ -214,6 +220,10 @@ pub struct CountersSnapshot {
     pub quarantined: u64,
     /// Jobs that produced a terminal result.
     pub completed: u64,
+    /// Co-resident batch launches (groups of ≥ 2 jobs on one device).
+    pub batches: u64,
+    /// Jobs executed inside a co-resident batch.
+    pub batched_jobs: u64,
 }
 
 impl CountersSnapshot {
@@ -222,7 +232,7 @@ impl CountersSnapshot {
         format!(
             "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
-             \"quarantined\":{},\"completed\":{}}}",
+             \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -234,6 +244,8 @@ impl CountersSnapshot {
             self.timeouts,
             self.quarantined,
             self.completed,
+            self.batches,
+            self.batched_jobs,
         )
     }
 }
@@ -287,6 +299,10 @@ impl ServiceMetrics {
         let counters = self.counters.snapshot();
         let apps_per_sec =
             if wall_ns == 0 { 0.0 } else { counters.completed as f64 / (wall_ns as f64 / 1e9) };
+        // Mean jobs per device execution: batched jobs collapse into one
+        // launch group each, solo executions count as groups of one.
+        let groups = counters.executed.saturating_sub(counters.batched_jobs) + counters.batches;
+        let coresidency = if groups == 0 { 1.0 } else { counters.executed as f64 / groups as f64 };
         ServiceReport {
             counters,
             queue_wait: self.queue_wait.snapshot(),
@@ -298,6 +314,7 @@ impl ServiceMetrics {
             sumstore,
             wall_ns,
             apps_per_sec,
+            coresidency,
             device_launches,
             device_faults,
         }
@@ -328,6 +345,8 @@ pub struct ServiceReport {
     pub wall_ns: u64,
     /// Terminal results per second of service wall-clock.
     pub apps_per_sec: f64,
+    /// Mean jobs per device execution (1.0 when nothing batched).
+    pub coresidency: f64,
     /// Lifetime device launches (including faulted ones).
     pub device_launches: u64,
     /// Lifetime injected device faults.
@@ -341,7 +360,8 @@ impl ServiceReport {
             "{{\"counters\":{},\"latency\":{{\"queue_wait\":{},\"prep\":{},\"exec_wall\":{},\
              \"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\
              \"invalidations\":{},\"insertions\":{}}},\"sumstore\":{},\"wall_ns\":{},\
-             \"apps_per_sec\":{:.3},\"device_launches\":{},\"device_faults\":{}}}",
+             \"apps_per_sec\":{:.3},\"coresidency\":{:.3},\"device_launches\":{},\
+             \"device_faults\":{}}}",
             self.counters.to_json(),
             self.queue_wait.to_json(),
             self.prep.to_json(),
@@ -355,6 +375,7 @@ impl ServiceReport {
             self.sumstore.to_json(),
             self.wall_ns,
             self.apps_per_sec,
+            self.coresidency,
             self.device_launches,
             self.device_faults,
         )

@@ -26,14 +26,14 @@ use crate::job::{CacheDisposition, JobResult, JobSource, JobSpec, JobStatus, Pri
 use crate::metrics::{Counters, ServiceMetrics, ServiceReport};
 use crate::pool::DevicePool;
 use crate::queue::{SubmitError, SubmitQueue};
-use crate::scheduler::{work_estimate, DispatchHeap, ReadyJob};
+use crate::scheduler::{block_demand, work_estimate, DispatchHeap, ReadyJob};
 use gdroid_apk::{generate_app, load_bundle, App};
 use gdroid_core::OptConfig;
 use gdroid_gpusim::{DeviceConfig, FaultPlan};
 use gdroid_sumstore::SumStore;
 use gdroid_vetting::{
-    execute_vetting_incremental, execute_vetting_on_device, execute_vetting_on_device_with_store,
-    prepare_vetting, VettingRun,
+    execute_vetting_batch_on_device, execute_vetting_incremental, execute_vetting_on_device,
+    execute_vetting_on_device_with_store, prepare_vetting, PreparedApp, VettingRun,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +67,13 @@ pub struct ServiceConfig {
     /// runs pre-solve store-hit methods and feed fresh summaries back;
     /// `None` disables the store entirely.
     pub sumstore: Option<Arc<SumStore>>,
+    /// Co-residency degree: an executor that pops a job tops the device
+    /// up with up to `coresident - 1` further ready jobs whose combined
+    /// block demand fits the device's block slots, and runs the group as
+    /// one batched analysis ([`gdroid_core::gpu_analyze_batch_on`]).
+    /// `1` (the default) disables batching. Ignored when a summary store
+    /// is configured (store pre-solving is a per-app path).
+    pub coresident: usize,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +89,7 @@ impl Default for ServiceConfig {
             device_config: DeviceConfig::tesla_p40(),
             opt: OptConfig::gdroid(),
             sumstore: None,
+            coresident: 1,
         }
     }
 }
@@ -97,6 +105,10 @@ struct ServiceState {
     timeout: Duration,
     opt: OptConfig,
     sumstore: Option<Arc<SumStore>>,
+    coresident: usize,
+    /// Total block slots of one device (`sm_count × blocks_per_sm`) — the
+    /// budget co-resident top-ups must fit into.
+    block_slots: u64,
 }
 
 impl ServiceState {
@@ -139,6 +151,9 @@ impl VettingService {
             timeout: Duration::from_millis(config.job_timeout_ms.max(1)),
             opt: config.opt,
             sumstore: config.sumstore,
+            coresident: config.coresident.max(1),
+            block_slots: (config.device_config.sm_count as u64)
+                * (config.device_config.blocks_per_sm as u64),
         });
         let prep_handles = (0..config.prep_workers.max(1))
             .map(|_| {
@@ -302,6 +317,7 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
             id: job.id,
             priority: job.priority,
             estimate,
+            block_demand: block_demand(&prep),
             prep,
             content_hash,
             package,
@@ -354,64 +370,134 @@ fn load_source(source: JobSource) -> (Result<App, String>, String) {
     }
 }
 
-/// Executor: LPT pop → (incremental warm start | device lease + run) →
-/// retry/quarantine on failure.
+/// Executor: LPT pop → (incremental warm start | co-resident top-up |
+/// device lease + run) → retry/quarantine on failure.
 fn exec_loop(state: &ServiceState) {
-    while let Some(mut job) = state.dispatch.pop() {
-        // Incremental warm start — only on the first attempt, and only
-        // when a previous version of the same package is cached. The
-        // stale entry is invalidated either way.
-        if job.failures == 0 {
-            if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
-                if let Some(changed) =
-                    changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
-                {
-                    let t = Instant::now();
-                    let (run, stats) =
-                        execute_vetting_incremental(&job.prep, &prev.analysis, &changed);
-                    let exec_wall_ns = t.elapsed().as_nanos() as u64;
-                    Counters::bump(&state.metrics.counters.cache_incremental);
-                    finish(
-                        state,
-                        job,
-                        run,
-                        exec_wall_ns,
-                        CacheDisposition::Incremental {
-                            resolved: stats.resolved,
-                            reused: stats.reused,
-                        },
-                    );
-                    continue;
-                }
-                // Incomparable versions: fall through to a full run.
+    while let Some(job) = state.dispatch.pop() {
+        let Some(job) = try_incremental(state, job) else { continue };
+
+        // Batch-forming: top the device up with further ready jobs whose
+        // combined block demand still fits its block slots. Extras run
+        // through the incremental path first — a warm-startable job never
+        // burns device time just because it was popped as a co-resident.
+        let mut group = vec![job];
+        if state.coresident > 1 && state.sumstore.is_none() {
+            let mut demand = group[0].block_demand;
+            while group.len() < state.coresident && demand < state.block_slots {
+                let Some(extra) = state.dispatch.try_pop_coresident(state.block_slots - demand)
+                else {
+                    break;
+                };
+                let Some(extra) = try_incremental(state, extra) else { continue };
+                demand += extra.block_demand;
+                group.push(extra);
             }
         }
 
-        let mut lease = state.pool.lease();
-        let t = Instant::now();
-        let attempt = match state.sumstore.as_deref() {
-            Some(store) => {
-                execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
-                    .map(|(run, _)| run)
-            }
-            None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
-        };
-        match attempt {
-            Ok(run) => {
+        if group.len() == 1 {
+            exec_solo(state, group.pop().expect("group holds the popped job"));
+        } else {
+            exec_batch(state, group);
+        }
+    }
+}
+
+/// Attempts an incremental warm start — only on the first attempt, and
+/// only when a previous version of the same package is cached (the stale
+/// entry is invalidated either way). Returns the job back when it still
+/// needs a full device run.
+fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
+    if job.failures == 0 {
+        if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
+            if let Some(changed) =
+                changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
+            {
+                let t = Instant::now();
+                let (run, stats) = execute_vetting_incremental(&job.prep, &prev.analysis, &changed);
                 let exec_wall_ns = t.elapsed().as_nanos() as u64;
-                drop(lease);
-                if t.elapsed() > state.timeout {
+                Counters::bump(&state.metrics.counters.cache_incremental);
+                finish(
+                    state,
+                    job,
+                    run,
+                    exec_wall_ns,
+                    CacheDisposition::Incremental {
+                        resolved: stats.resolved,
+                        reused: stats.reused,
+                    },
+                );
+                return None;
+            }
+            // Incomparable versions: fall through to a full run.
+        }
+    }
+    Some(job)
+}
+
+/// Runs one job alone on a leased device.
+fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
+    let mut lease = state.pool.lease();
+    let t = Instant::now();
+    let attempt = match state.sumstore.as_deref() {
+        Some(store) => {
+            execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
+                .map(|(run, _)| run)
+        }
+        None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
+    };
+    match attempt {
+        Ok(run) => {
+            let exec_wall_ns = t.elapsed().as_nanos() as u64;
+            drop(lease);
+            if t.elapsed() > state.timeout {
+                job.timeouts_seen += 1;
+                Counters::bump(&state.metrics.counters.timeouts);
+                retry_or_quarantine(state, job, exec_wall_ns);
+            } else {
+                Counters::bump(&state.metrics.counters.executed);
+                finish(state, job, run, exec_wall_ns, CacheDisposition::Miss);
+            }
+        }
+        Err(_fault) => {
+            let exec_wall_ns = t.elapsed().as_nanos() as u64;
+            drop(lease);
+            job.faults_seen += 1;
+            Counters::bump(&state.metrics.counters.faults);
+            retry_or_quarantine(state, job, exec_wall_ns);
+        }
+    }
+}
+
+/// Runs a group of co-resident jobs as one batched analysis on a leased
+/// device. Per-app results are bit-identical to solo runs (the batch
+/// driver repacks each app's own blocks), so the cache stays coherent. A
+/// device fault aborts the whole launch round: every member retries
+/// individually.
+fn exec_batch(state: &ServiceState, group: Vec<ReadyJob>) {
+    let mut lease = state.pool.lease();
+    let t = Instant::now();
+    let preps: Vec<&PreparedApp> = group.iter().map(|j| &j.prep).collect();
+    let attempt = execute_vetting_batch_on_device(&preps, &mut lease, state.opt);
+    let exec_wall_ns = t.elapsed().as_nanos() as u64;
+    drop(lease);
+    match attempt {
+        Ok((runs, _batch)) => {
+            Counters::bump(&state.metrics.counters.batches);
+            let timed_out = t.elapsed() > state.timeout;
+            for (mut job, run) in group.into_iter().zip(runs) {
+                if timed_out {
                     job.timeouts_seen += 1;
                     Counters::bump(&state.metrics.counters.timeouts);
                     retry_or_quarantine(state, job, exec_wall_ns);
                 } else {
                     Counters::bump(&state.metrics.counters.executed);
+                    Counters::bump(&state.metrics.counters.batched_jobs);
                     finish(state, job, run, exec_wall_ns, CacheDisposition::Miss);
                 }
             }
-            Err(_fault) => {
-                let exec_wall_ns = t.elapsed().as_nanos() as u64;
-                drop(lease);
+        }
+        Err(_fault) => {
+            for mut job in group {
                 job.faults_seen += 1;
                 Counters::bump(&state.metrics.counters.faults);
                 retry_or_quarantine(state, job, exec_wall_ns);
@@ -576,6 +662,106 @@ mod tests {
         assert_eq!(report.sumstore.hits, store.stats().hits);
         let j = report.to_json();
         assert!(j.contains("\"cache\":{") && j.contains("\"sumstore\":{\"hits\":"));
+    }
+
+    fn ready_job(id: u64, seed: u64) -> ReadyJob {
+        let prep = prepare_vetting(generate_app(id as usize, seed, &GenConfig::tiny()));
+        let hashes = method_hashes(&prep.app.program);
+        let fingerprint = interner_fingerprint(&prep.app.program.interner);
+        ReadyJob {
+            id,
+            priority: Priority::Standard,
+            estimate: work_estimate(&prep),
+            block_demand: block_demand(&prep),
+            content_hash: app_content_hash(&prep.app),
+            package: prep.app.manifest.package.clone(),
+            method_hashes: hashes,
+            interner_fingerprint: fingerprint,
+            prep,
+            queue_wait_ns: 0,
+            prep_ns: 0,
+            failures: 0,
+            faults_seen: 0,
+            timeouts_seen: 0,
+        }
+    }
+
+    #[test]
+    fn batch_executor_groups_ready_jobs_deterministically() {
+        // Drive one executor directly over a pre-filled heap: with every
+        // job already ready, batch forming is deterministic (no prep
+        // race), so batching MUST happen — and every batched result must
+        // still match the engine reference bit for bit.
+        let state = ServiceState {
+            dispatch: DispatchHeap::new(8),
+            cache: ResultCache::new(),
+            metrics: ServiceMetrics::new(),
+            pool: DevicePool::new(1, DeviceConfig::tesla_p40(), None),
+            results: Mutex::new(Vec::new()),
+            results_cv: std::sync::Condvar::new(),
+            max_retries: 3,
+            timeout: Duration::from_millis(30_000),
+            opt: OptConfig::gdroid(),
+            sumstore: None,
+            coresident: 4,
+            block_slots: 120,
+        };
+        for id in 0..5u64 {
+            assert!(state.dispatch.push(ready_job(id, 5500 + id)).is_ok());
+        }
+        state.dispatch.close();
+        exec_loop(&state);
+        let results = state.results.lock().unwrap();
+        assert_eq!(results.len(), 5);
+        let c = state.metrics.counters.snapshot();
+        assert_eq!(c.executed, 5);
+        assert!(
+            c.batches >= 1 && c.batched_jobs >= 2,
+            "a heap full of ready jobs must form a batch: {c:?}"
+        );
+        for r in results.iter() {
+            let reference = vet_app(
+                generate_app(r.id as usize, 5500 + r.id, &GenConfig::tiny()),
+                gdroid_vetting::Engine::Gpu(OptConfig::gdroid()),
+            );
+            assert_eq!(
+                r.outcome.as_ref().unwrap().report.to_json(),
+                reference.report.to_json(),
+                "job {} diverged from the engine reference",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn coresident_batching_preserves_outcomes() {
+        let run = |coresident: usize| {
+            let svc = VettingService::start(ServiceConfig {
+                prep_workers: 2,
+                devices: 1,
+                coresident,
+                ..ServiceConfig::default()
+            });
+            for seed in 0..6u64 {
+                svc.submit(Priority::Standard, seed_source(seed as usize, 5400 + seed)).unwrap();
+            }
+            svc.drain()
+        };
+        let (solo_report, solo) = run(1);
+        let (batch_report, batched) = run(4);
+        assert_eq!(solo_report.counters.batched_jobs, 0);
+        assert_eq!(solo.len(), 6);
+        assert_eq!(batched.len(), 6);
+        assert!(batched.iter().all(|r| r.status == JobStatus::Completed));
+        // Batched execution must not change a single outcome byte.
+        for (a, b) in solo.iter().zip(&batched) {
+            assert_eq!(a.id, b.id);
+            let aj = a.outcome.as_ref().map(|o| o.to_json());
+            let bj = b.outcome.as_ref().map(|o| o.to_json());
+            assert_eq!(aj, bj, "job {} diverged under coresident batching", a.id);
+        }
+        let j = batch_report.to_json();
+        assert!(j.contains("\"batched_jobs\":") && j.contains("\"coresidency\":"), "{j}");
     }
 
     #[test]

@@ -34,9 +34,10 @@ pub mod taint;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
 pub use pipeline::{
-    execute_vetting, execute_vetting_full, execute_vetting_gpu_traced, execute_vetting_incremental,
-    execute_vetting_on_device, prepare_vetting, trace_stage_spans, vet_app, Engine, PreparedApp,
-    VettingOutcome, VettingRun, VettingTiming,
+    execute_vetting, execute_vetting_batch_on_device, execute_vetting_full,
+    execute_vetting_gpu_traced, execute_vetting_incremental, execute_vetting_on_device,
+    prepare_vetting, trace_stage_spans, vet_app, Engine, PreparedApp, VettingOutcome, VettingRun,
+    VettingTiming,
 };
 pub use plugins::{
     hardcoded_payloads, intent_exposure, permission_audit, ExposureFinding, HardcodedFinding,

@@ -240,6 +240,39 @@ pub fn execute_vetting_on_device(
     Ok(run)
 }
 
+/// Co-resident batch execution of several prepared apps on one device
+/// (the serving layer's batch-forming mode): their per-layer launches are
+/// interleaved into shared kernels by [`gdroid_core::gpu_analyze_batch_on`]
+/// so small apps stop wasting block slots. Each returned [`VettingRun`] —
+/// report, timing, telemetry, the whole outcome JSON — is bit-identical
+/// to [`execute_vetting_on_device`] for the same app; the returned
+/// [`gdroid_core::BatchStats`] carries the shared-pipeline makespan and
+/// coresidency. An injected fault aborts the whole batch, and the caller
+/// retries the member jobs individually.
+pub fn execute_vetting_batch_on_device(
+    preps: &[&PreparedApp],
+    device: &mut Device,
+    opts: OptConfig,
+) -> Result<(Vec<VettingRun>, gdroid_core::BatchStats), DeviceFault> {
+    let apps: Vec<gdroid_core::BatchApp<'_>> = preps
+        .iter()
+        .map(|p| gdroid_core::BatchApp { program: &p.app.program, cg: &p.cg, roots: &p.roots })
+        .collect();
+    let analysis = gdroid_core::gpu_analyze_batch_on(device, &apps, opts)?;
+    let runs = analysis
+        .apps
+        .into_iter()
+        .zip(preps)
+        .map(|(gpu, prep)| {
+            let idfg_ns = gpu.stats.total_ns;
+            let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+            run.outcome.store_bytes = 0;
+            run
+        })
+        .collect();
+    Ok((runs, analysis.batch))
+}
+
 /// Incremental re-vetting of an updated app: methods not in `changed`
 /// must be body-identical to the run that produced `prev` (see
 /// [`gdroid_analysis::analyze_app_incremental`]). Facts — and therefore
@@ -383,6 +416,31 @@ mod tests {
         let fresh = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
         assert_eq!(on_device.outcome.report.to_json(), fresh.report.to_json());
         assert_eq!(on_device.outcome.timing.idfg_ns, fresh.timing.idfg_ns);
+    }
+
+    #[test]
+    fn batch_execution_matches_solo_byte_for_byte() {
+        use gdroid_gpusim::{Device, DeviceConfig};
+        let preps: Vec<PreparedApp> = [6403u64, 6404, 6405]
+            .iter()
+            .map(|&s| prepare_vetting(generate_app(0, s, &GenConfig::tiny())))
+            .collect();
+        let refs: Vec<&PreparedApp> = preps.iter().collect();
+        let mut device = Device::new(DeviceConfig::tesla_p40());
+        let (runs, batch) =
+            execute_vetting_batch_on_device(&refs, &mut device, OptConfig::gdroid())
+                .expect("no fault plan");
+        assert_eq!(runs.len(), preps.len());
+        let mut solo_sum = 0.0f64;
+        for (prep, run) in preps.iter().zip(&runs) {
+            let mut solo_dev = Device::new(DeviceConfig::tesla_p40());
+            let solo = execute_vetting_on_device(prep, &mut solo_dev, OptConfig::gdroid())
+                .expect("no fault plan");
+            assert_eq!(run.outcome.to_json(), solo.outcome.to_json());
+            solo_sum += solo.outcome.timing.idfg_ns;
+        }
+        assert!(batch.makespan_ns <= solo_sum, "{} > {}", batch.makespan_ns, solo_sum);
+        assert!(batch.launches > 0);
     }
 
     #[test]

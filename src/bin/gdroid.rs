@@ -9,13 +9,20 @@
 //! gdroid dot   <app.jil|seed> [out]   Graphviz call graph (reachable part)
 //! gdroid export <n> <dir>             write the first n corpus apps as bundles
 //! gdroid assess <app.jil|seed>        composite risk assessment (all plugins)
-//! gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] [--json]
+//! gdroid serve --apps N [--workers K] [--devices D] [--coresident C] [--faults P:B] [--json]
 //!                                     run N corpus apps through the vetting service
-//! gdroid batch <bundle-dir> [--workers K] [--devices D] [--json]
+//! gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] [--json]
 //!                                     vet every bundle under a directory via the service
 //! gdroid sumstore stats <dir>         inspect a persisted summary store
 //! gdroid sumstore clear <dir>         reset a persisted summary store
 //! ```
+//!
+//! `serve` and `batch` accept `--coresident C`: each executor tops its
+//! device up with up to `C - 1` further ready jobs whose combined block
+//! demand fits the device's block slots and runs the group as one
+//! co-resident batched analysis. Per-app results are bit-identical to
+//! solo runs; the drained report shows `batched_jobs` and the mean
+//! `coresidency`.
 //!
 //! `vet`, `serve`, and `batch` accept `--sumstore <dir>`: the cross-app
 //! summary store is loaded from `<dir>` before the run and saved back
@@ -67,9 +74,9 @@ fn usage() -> ! {
          gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
-         gdroid serve --apps N [--workers K] [--devices D] [--faults P:B] \
+         gdroid serve --apps N [--workers K] [--devices D] [--coresident C] [--faults P:B] \
          [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
-         gdroid batch <bundle-dir> [--workers K] [--devices D] \
+         gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] \
          [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid sumstore stats|clear <dir>"
     );
@@ -428,6 +435,7 @@ fn main() {
                 devices,
                 fault_plan,
                 sumstore: sumstore.clone(),
+                coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 ..ServiceConfig::default()
             });
             for i in 0..apps {
@@ -475,6 +483,7 @@ fn main() {
                 prep_workers: workers,
                 devices,
                 sumstore: sumstore.clone(),
+                coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 ..ServiceConfig::default()
             });
             for path in bundles {
