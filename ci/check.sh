@@ -77,4 +77,25 @@ echo "$batch_out" | grep -q '"coresidency":' || {
   exit 1
 }
 
+echo "==> targeted smoke: sliced sweep is byte-deterministic and verdicts agree"
+(cd "$batch_dir" && "$repo_root/target/release/figures" targeted --apps 8 >/dev/null && mv BENCH_targeted.json ta.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" targeted --apps 8 >/dev/null && mv BENCH_targeted.json tb.json)
+cmp -s "$batch_dir/ta.json" "$batch_dir/tb.json" || {
+  echo "targeted smoke: BENCH_targeted.json differs between identical runs" >&2
+  exit 1
+}
+full_vet=$(./target/release/gdroid vet 42 --json)
+targeted_vet=$(./target/release/gdroid vet 42 --targeted --json)
+if ! python3 - "$full_vet" "$targeted_vet" <<'PY'
+import json, sys
+full, targeted = json.loads(sys.argv[1]), json.loads(sys.argv[2])
+assert full["report"] == targeted["report"], "targeted verdict diverged from full"
+assert "targeted" not in full, "full outcome must carry no provenance"
+assert targeted["targeted"]["sliced_fraction"] <= 1.0
+PY
+then
+  echo "targeted smoke: full vs targeted verdict mismatch" >&2
+  exit 1
+fi
+
 echo "ci/check.sh: all green"

@@ -23,13 +23,16 @@
 //! * [`incremental`] — summary-driven incremental re-analysis across app
 //!   updates (the introduction's "apps update weekly or daily" pressure);
 //! * [`sweep`] — the conventional full-sweep iterative solver (§VI's
-//!   algorithmic baseline), used to quantify the worklist's advantage.
+//!   algorithmic baseline), used to quantify the worklist's advantage;
+//! * [`slice`] — backward inter-procedural slicing from sink statements,
+//!   the demand-driven targeted-vetting core.
 
 pub mod concrete;
 pub mod costmodel;
 pub mod fact;
 pub mod incremental;
 pub mod parallel;
+pub mod slice;
 pub mod solver;
 pub mod store;
 pub mod summary;
@@ -41,6 +44,7 @@ pub use costmodel::{ns_to_ms, ns_to_s, CpuCostModel};
 pub use fact::{Fact, Instance, InstanceIdx, MethodSpace, Slot, SlotIdx};
 pub use incremental::{analyze_app_incremental, IncrementalStats};
 pub use parallel::analyze_app_parallel;
+pub use slice::BackwardSlice;
 pub use solver::{
     analyze_app, analyze_app_presolved, merge_site_summaries, solve_method, AppAnalysis, StoreKind,
     WorklistTelemetry,

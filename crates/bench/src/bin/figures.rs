@@ -16,18 +16,20 @@
 //! writes the byte-deterministic `BENCH_trace.json`. `batch` sweeps
 //! co-resident multi-app batching over degrees 1/2/4/8, asserts per-app
 //! outcomes byte-identical to solo, and writes the byte-deterministic
-//! `BENCH_batch.json`.
+//! `BENCH_batch.json`. `targeted` vets the corpus full and demand-driven
+//! (backward sink slice), asserts per-app verdict agreement, and writes
+//! the byte-deterministic `BENCH_targeted.json`.
 
 use gdroid_apk::Corpus;
 use gdroid_bench::{
     batch_benchmark, experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark,
-    trace_benchmark,
+    targeted_benchmark, trace_benchmark,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -112,6 +114,20 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_batch.json");
+        return;
+    }
+
+    if experiment == "targeted" {
+        eprintln!("benchmarking demand-driven targeted vetting (full vs sliced)…");
+        let t0 = Instant::now();
+        let (json, summary) = targeted_benchmark(apps.min(20));
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_targeted.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_targeted.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_targeted.json");
         return;
     }
 

@@ -20,6 +20,7 @@ pub mod sancheck;
 pub mod serve;
 pub mod stats;
 pub mod sumstore;
+pub mod targeted;
 pub mod trace;
 
 pub use batch::{batch_benchmark, run_batch_point, BatchPoint};
@@ -28,4 +29,5 @@ pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};
 pub use stats::{percent_below, percent_between, Series};
 pub use sumstore::{run_sumstore_point, sumstore_benchmark, SumstorePoint};
+pub use targeted::{run_targeted_point, targeted_benchmark, TargetedPoint};
 pub use trace::{trace_benchmark, TracePoint};

@@ -89,10 +89,58 @@ pub fn gpu_analyze_app_presolved_on(
     opts: OptConfig,
     presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
 ) -> Result<GpuAnalysis, DeviceFault> {
+    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, presolved, None)
+}
+
+/// Sliced (demand-driven) analysis: the worklist seeds and launches only
+/// methods in `slice`, with call edges leaving the slice cut from the
+/// schedule. The slice must be caller-closed over the reachable set (see
+/// `gdroid_analysis::BackwardSlice`) for the facts at sink statements to
+/// match a full run. An empty slice performs zero launches.
+pub fn gpu_analyze_app_sliced_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+    slice: &std::collections::HashSet<MethodId>,
+) -> Result<GpuAnalysis, DeviceFault> {
+    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, &HashMap::new(), Some(slice))
+}
+
+/// [`gpu_analyze_app_sliced_on`] with pre-solved summary-store hits. The
+/// presolved set must already be restricted to slice members that are
+/// closed under slice-internal call edges.
+pub fn gpu_analyze_app_sliced_presolved_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+    presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
+    slice: &std::collections::HashSet<MethodId>,
+) -> Result<GpuAnalysis, DeviceFault> {
+    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, presolved, Some(slice))
+}
+
+/// Shared driver body: a full schedule when `restrict` is `None`, a
+/// slice-restricted one otherwise.
+fn gpu_analyze_app_restricted_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+    presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
+    restrict: Option<&std::collections::HashSet<MethodId>>,
+) -> Result<GpuAnalysis, DeviceFault> {
     device.reset();
     let tracer = device.tracer().clone();
     let leaf_set: std::collections::HashSet<MethodId> = presolved.keys().copied().collect();
-    let layers = CallLayers::compute_with_leaves(cg, roots, &leaf_set);
+    let layers = match restrict {
+        None => CallLayers::compute_with_leaves(cg, roots, &leaf_set),
+        Some(allowed) => CallLayers::compute_within_with_leaves(cg, roots, allowed, &leaf_set),
+    };
     // Methods that actually run on the device: scheduled and not pre-solved.
     let methods: Vec<MethodId> = {
         let mut m: Vec<MethodId> =

@@ -195,6 +195,30 @@ impl Cfg {
         count
     }
 
+    /// All nodes that can reach one of `targets` by forward edges, i.e.
+    /// backward reachability over [`Cfg::pred`]. Returned as a dense
+    /// node-indexed mask (targets themselves included). The slicer uses
+    /// this to restrict a method to the statements that matter for a sink.
+    pub fn backward_reachable(&self, targets: &[NodeId]) -> Vec<bool> {
+        let mut mask = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &t in targets {
+            if !mask[t as usize] {
+                mask[t as usize] = true;
+                stack.push(t);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for &p in self.pred(n) {
+                if !mask[p as usize] {
+                    mask[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        mask
+    }
+
     /// Back edges (target dominates source approximated as target ≤ source
     /// in statement order) — the revisit drivers for the worklist analysis.
     pub fn back_edge_count(&self) -> usize {
@@ -337,6 +361,23 @@ mod tests {
                 assert!(cfg.pred(to).contains(&from));
             }
         }
+    }
+
+    #[test]
+    fn backward_reachable_follows_preds_only() {
+        let cfg = build_method(vec![
+            Stmt::If { cond: VarId(0), target: StmtIdx(3) },
+            Stmt::Empty,
+            Stmt::Return { var: None },
+            Stmt::Return { var: None },
+        ]);
+        // Target = node 2 (stmt 1): reaches entry, the if, itself — not the
+        // jump-only branch (stmt 3) or anything downstream.
+        let mask = cfg.backward_reachable(&[2]);
+        assert!(mask[0] && mask[1] && mask[2]);
+        assert!(!mask[3] && !mask[4] && !mask[cfg.exit() as usize]);
+        // Empty target set reaches nothing.
+        assert!(cfg.backward_reachable(&[]).iter().all(|&b| !b));
     }
 
     #[test]

@@ -73,6 +73,58 @@ impl CallLayers {
         Self::condense(&methods, &callees)
     }
 
+    /// Computes the schedule restricted to a slice: only methods in
+    /// `allowed` are traversed, and call edges leaving the slice are cut.
+    /// The targeted-vetting driver uses this so the GPU worklist seeds and
+    /// launches only slice members while keeping the bottom-up SCC layer
+    /// structure of the full schedule.
+    pub fn compute_within(
+        cg: &CallGraph,
+        roots: &[MethodId],
+        allowed: &std::collections::HashSet<MethodId>,
+    ) -> CallLayers {
+        Self::compute_within_with_leaves(cg, roots, allowed, &Default::default())
+    }
+
+    /// [`CallLayers::compute_within`] with the summary-store leaf cut of
+    /// [`CallLayers::compute_with_leaves`] applied on top: methods in
+    /// `leaves` keep their slice membership but contribute no call edges.
+    pub fn compute_within_with_leaves(
+        cg: &CallGraph,
+        roots: &[MethodId],
+        allowed: &std::collections::HashSet<MethodId>,
+        leaves: &std::collections::HashSet<MethodId>,
+    ) -> CallLayers {
+        // Filtered adjacency: callees ∩ allowed, empty for leaves. Built
+        // up-front so the condensation closure can hand out slices.
+        let mut filtered: HashMap<MethodId, Vec<MethodId>> = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut methods = Vec::new();
+        let mut stack: Vec<MethodId> = Vec::new();
+        for &r in roots {
+            if allowed.contains(&r) && seen.insert(r) {
+                stack.push(r);
+            }
+        }
+        while let Some(m) = stack.pop() {
+            methods.push(m);
+            let kept: Vec<MethodId> = if leaves.contains(&m) {
+                Vec::new()
+            } else {
+                cg.callees_of(m).iter().copied().filter(|c| allowed.contains(c)).collect()
+            };
+            for &c in &kept {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+            filtered.insert(m, kept);
+        }
+        let empty: &[MethodId] = &[];
+        let callees = |m: MethodId| filtered.get(&m).map_or(empty, Vec::as_slice);
+        Self::condense(&methods, &callees)
+    }
+
     /// Shared condensation + layering over a callee view of the graph.
     fn condense<'f>(
         methods: &[MethodId],
@@ -357,6 +409,37 @@ mod tests {
         let plain = CallLayers::compute(&cg, &[m[0]]);
         let none = CallLayers::compute_with_leaves(&cg, &[m[0]], &Default::default());
         assert_eq!(plain.layers, none.layers);
+    }
+
+    #[test]
+    fn compute_within_cuts_edges_leaving_the_slice() {
+        // m0 -> m1 -> m2, m0 -> m3; slicing to {m0, m1} drops m2/m3 and
+        // compresses m0 to layer 1.
+        let (p, m) = call_chain(4, &[(0, 1), (1, 2), (0, 3)]);
+        let cg = CallGraph::build(&p);
+        let allowed: std::collections::HashSet<MethodId> = [m[0], m[1]].into_iter().collect();
+        let layers = CallLayers::compute_within(&cg, &[m[0]], &allowed);
+        assert_eq!(layers.method_count(), 2);
+        assert_eq!(layers.layer_of(m[1]), Some(0));
+        assert_eq!(layers.layer_of(m[0]), Some(1));
+        assert_eq!(layers.layer_of(m[2]), None);
+        assert_eq!(layers.layer_of(m[3]), None);
+        // Allowing everything reproduces the plain schedule.
+        let all: std::collections::HashSet<MethodId> = m.iter().copied().collect();
+        let full = CallLayers::compute_within(&cg, &[m[0]], &all);
+        let plain = CallLayers::compute(&cg, &[m[0]]);
+        assert_eq!(full.layers, plain.layers);
+    }
+
+    #[test]
+    fn compute_within_keeps_sccs_whole() {
+        // m0 -> m1 <-> m2; the recursive pair stays one SCC in the slice.
+        let (p, m) = call_chain(3, &[(0, 1), (1, 2), (2, 1)]);
+        let cg = CallGraph::build(&p);
+        let allowed: std::collections::HashSet<MethodId> = m.iter().copied().collect();
+        let layers = CallLayers::compute_within(&cg, &[m[0]], &allowed);
+        assert_eq!(layers.scc_of[&m[1]], layers.scc_of[&m[2]]);
+        assert!(layers.is_recursive(m[1], &cg));
     }
 
     #[test]

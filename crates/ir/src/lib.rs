@@ -44,7 +44,7 @@ pub mod validate;
 pub use builder::{BuilderError, ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use expr::{BinOp, CmpKind, Expr, ExprKind, Literal, UnOp};
 pub use idx::{ClassId, FieldId, MethodId, StmtIdx, Symbol, VarId};
-pub use lint::{lint_program, LintDiagnostic, LintPass, LintRunner, Severity};
+pub use lint::{lint_program, LintDiagnostic, LintPass, LintRunner, Severity, SinkReachability};
 pub use method::{Method, MethodKind, ParamDecl, Signature, VarDecl, Visibility};
 pub use program::{ClassDef, FieldDef, Interner, Program};
 pub use stmt::{CallKind, Lhs, MonitorOp, Stmt, StmtKind};

@@ -114,7 +114,11 @@ impl LintRunner {
         self
     }
 
-    /// Runs every pass over every method.
+    /// Runs every pass over every method. Findings are sorted by
+    /// (declaring class, method, statement index) — a stable sort, so
+    /// same-statement findings keep pass registration order — making
+    /// `gdroid lint` output byte-deterministic regardless of how a pass
+    /// discovered its findings.
     pub fn run(&self, program: &Program) -> Vec<LintDiagnostic> {
         let mut out = Vec::new();
         for (mid, method) in program.methods.iter_enumerated() {
@@ -122,6 +126,7 @@ impl LintRunner {
                 pass.check_method(program, mid, method, &mut out);
             }
         }
+        out.sort_by_key(|d| (program.methods[d.method].sig.class, d.method, d.stmt));
         out
     }
 }
@@ -571,6 +576,53 @@ impl LintPass for DeadStore {
     }
 }
 
+/// Sink call sites that no inter-procedurally reachable source can feed —
+/// dead sinks a targeted (demand-driven) vetting run still has to slice
+/// for, and a vetting rule author probably mis-modeled.
+///
+/// The reachability computation needs the call graph and the backward
+/// slicer, which live *above* this crate (`gdroid-icfg` /
+/// `gdroid-analysis`), so the pass carries precomputed findings: the
+/// caller (e.g. `gdroid lint`) runs the slicer per sink site and hands
+/// the unreached ones here; the pass only renders them as diagnostics in
+/// the framework's ordering.
+pub struct SinkReachability {
+    findings: Vec<(MethodId, StmtIdx, String)>,
+}
+
+impl SinkReachability {
+    /// Wraps precomputed findings: `(method, sink statement, sink name)`
+    /// triples for sink sites whose backward slice contains no source
+    /// call site.
+    pub fn new(findings: Vec<(MethodId, StmtIdx, String)>) -> SinkReachability {
+        SinkReachability { findings }
+    }
+}
+
+impl LintPass for SinkReachability {
+    fn name(&self) -> &'static str {
+        "sink-reachability"
+    }
+
+    fn check_method(
+        &self,
+        _program: &Program,
+        mid: MethodId,
+        _method: &Method,
+        out: &mut Vec<LintDiagnostic>,
+    ) {
+        for (_, stmt, sink) in self.findings.iter().filter(|(m, _, _)| *m == mid) {
+            out.push(LintDiagnostic {
+                pass: self.name(),
+                severity: Severity::Warning,
+                method: mid,
+                stmt: Some(*stmt),
+                message: format!("sink {sink} is not reachable by any taint source"),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +801,49 @@ mod tests {
         });
         let d = lint_program(&p);
         assert!(diags_of(&d, "dead-store").is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sink_reachability_renders_precomputed_findings() {
+        let p = static_method(|mb| {
+            mb.stmt(Stmt::Return { var: None });
+        });
+        let mid = MethodId::new(0);
+        let pass =
+            SinkReachability::new(vec![(mid, StmtIdx(0), "Log.d(sink::SINK_LOG)".to_owned())]);
+        let diags = LintRunner::new().with_pass(pass).run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pass, "sink-reachability");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(diags[0].stmt, Some(StmtIdx(0)));
+        assert!(diags[0].message.contains("SINK_LOG"));
+    }
+
+    #[test]
+    fn findings_are_sorted_by_class_method_statement() {
+        // Two classes, interleaved construction: B's method is built
+        // before A2's, so raw pass order would put B first. The runner
+        // must re-sort by (class, method, stmt).
+        let mut pb = ProgramBuilder::new();
+        let a = pb.class("A").build();
+        let b = pb.class("B").build();
+        let mut mb = pb.method(b, "mb").kind(MethodKind::Static);
+        mb.stmt(Stmt::Return { var: None });
+        mb.build();
+        let mut mb = pb.method(a, "ma").kind(MethodKind::Static);
+        mb.stmt(Stmt::Return { var: None });
+        mb.build();
+        let p = pb.finish();
+        let b_mid = MethodId::new(0);
+        let a_mid = MethodId::new(1);
+        let pass = SinkReachability::new(vec![
+            (b_mid, StmtIdx(0), "s1".to_owned()),
+            (a_mid, StmtIdx(0), "s2".to_owned()),
+        ]);
+        let diags = LintRunner::new().with_pass(pass).run(&p);
+        let order: Vec<MethodId> = diags.iter().map(|d| d.method).collect();
+        let key = |mid: MethodId| (p.methods[mid].sig.class, mid);
+        assert!(key(order[0]) < key(order[1]), "diagnostics must sort by (class, method)");
     }
 
     #[test]

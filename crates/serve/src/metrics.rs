@@ -166,6 +166,11 @@ pub struct Counters {
     pub batches: AtomicU64,
     /// Jobs executed inside a co-resident batch.
     pub batched_jobs: AtomicU64,
+    /// Targeted (fast-lane, sliced) jobs completed.
+    pub targeted_jobs: AtomicU64,
+    /// Sum of targeted sliced fractions in micro-units (×1e6); divided by
+    /// `targeted_jobs` for the report's `mean_sliced_fraction`.
+    pub sliced_fraction_micros: AtomicU64,
 }
 
 impl Counters {
@@ -191,6 +196,7 @@ impl Counters {
             completed: load(&self.completed),
             batches: load(&self.batches),
             batched_jobs: load(&self.batched_jobs),
+            targeted_jobs: load(&self.targeted_jobs),
         }
     }
 }
@@ -224,6 +230,8 @@ pub struct CountersSnapshot {
     pub batches: u64,
     /// Jobs executed inside a co-resident batch.
     pub batched_jobs: u64,
+    /// Targeted (fast-lane, sliced) jobs completed.
+    pub targeted_jobs: u64,
 }
 
 impl CountersSnapshot {
@@ -232,7 +240,8 @@ impl CountersSnapshot {
         format!(
             "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
-             \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{}}}",
+             \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{},\
+             \"targeted_jobs\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -246,6 +255,7 @@ impl CountersSnapshot {
             self.completed,
             self.batches,
             self.batched_jobs,
+            self.targeted_jobs,
         )
     }
 }
@@ -303,6 +313,12 @@ impl ServiceMetrics {
         // launch group each, solo executions count as groups of one.
         let groups = counters.executed.saturating_sub(counters.batched_jobs) + counters.batches;
         let coresidency = if groups == 0 { 1.0 } else { counters.executed as f64 / groups as f64 };
+        let sliced_micros = self.counters.sliced_fraction_micros.load(Ordering::Relaxed);
+        let mean_sliced_fraction = if counters.targeted_jobs == 0 {
+            1.0
+        } else {
+            sliced_micros as f64 / 1e6 / counters.targeted_jobs as f64
+        };
         ServiceReport {
             counters,
             queue_wait: self.queue_wait.snapshot(),
@@ -315,6 +331,7 @@ impl ServiceMetrics {
             wall_ns,
             apps_per_sec,
             coresidency,
+            mean_sliced_fraction,
             device_launches,
             device_faults,
         }
@@ -347,6 +364,8 @@ pub struct ServiceReport {
     pub apps_per_sec: f64,
     /// Mean jobs per device execution (1.0 when nothing batched).
     pub coresidency: f64,
+    /// Mean sliced fraction of targeted jobs (1.0 when none ran).
+    pub mean_sliced_fraction: f64,
     /// Lifetime device launches (including faulted ones).
     pub device_launches: u64,
     /// Lifetime injected device faults.
@@ -360,8 +379,8 @@ impl ServiceReport {
             "{{\"counters\":{},\"latency\":{{\"queue_wait\":{},\"prep\":{},\"exec_wall\":{},\
              \"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\
              \"invalidations\":{},\"insertions\":{}}},\"sumstore\":{},\"wall_ns\":{},\
-             \"apps_per_sec\":{:.3},\"coresidency\":{:.3},\"device_launches\":{},\
-             \"device_faults\":{}}}",
+             \"apps_per_sec\":{:.3},\"coresidency\":{:.3},\"mean_sliced_fraction\":{:.6},\
+             \"device_launches\":{},\"device_faults\":{}}}",
             self.counters.to_json(),
             self.queue_wait.to_json(),
             self.prep.to_json(),
@@ -376,6 +395,7 @@ impl ServiceReport {
             self.wall_ns,
             self.apps_per_sec,
             self.coresidency,
+            self.mean_sliced_fraction,
             self.device_launches,
             self.device_faults,
         )
@@ -437,6 +457,8 @@ mod tests {
         assert!(j.contains("\"completed\":1"));
         assert!(j.contains("\"device_faults\":1"));
         assert!(j.contains("\"apps_per_sec\":"));
+        assert!(j.contains("\"targeted_jobs\":0"));
+        assert!(j.contains("\"mean_sliced_fraction\":1.000000"));
         assert!(j.contains("\"cache\":{"));
         assert!(
             j.contains(

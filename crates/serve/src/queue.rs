@@ -163,6 +163,7 @@ mod tests {
                 config: Box::new(gdroid_apk::GenConfig::tiny()),
             },
             submitted_at: Instant::now(),
+            targeted: false,
         }
     }
 

@@ -44,6 +44,9 @@ pub struct ReadyJob {
     pub id: u64,
     /// Priority class.
     pub priority: Priority,
+    /// Demand-driven fast-lane job: sliced execution, never batched,
+    /// result cache bypassed.
+    pub targeted: bool,
     /// Static work estimate (statements × state width), the LPT key.
     pub estimate: u64,
     /// Widest call-graph layer in blocks — the most block slots one of
@@ -203,10 +206,11 @@ impl DispatchHeap {
     /// fits in `max_demand` block slots — how a batch-forming executor
     /// tops up a device with co-resident jobs. Returns `None` when no
     /// waiting job fits (never blocks: an empty top-up just means the
-    /// batch launches as-is).
+    /// batch launches as-is). Targeted fast-lane jobs never join a batch
+    /// (their sliced launch is a solo path), so they are skipped here.
     pub fn try_pop_coresident(&self, max_demand: u64) -> Option<ReadyJob> {
         let mut inner = self.inner.lock().expect("dispatch-heap mutex poisoned: a worker panicked");
-        let i = inner.best_index(|job| job.block_demand <= max_demand)?;
+        let i = inner.best_index(|job| !job.targeted && job.block_demand <= max_demand)?;
         let job = inner.take(i);
         self.not_full.notify_one();
         Some(job)
@@ -241,6 +245,7 @@ mod tests {
         ReadyJob {
             id,
             priority,
+            targeted: false,
             estimate,
             block_demand: 1,
             prep: prepare_vetting(generate_app(0, 100 + id, &GenConfig::tiny())),
@@ -343,6 +348,21 @@ mod tests {
         // Nothing else fits; the big job stays queued, never blocking.
         assert!(h.try_pop_coresident(10).is_none());
         assert_eq!(h.len(), 1);
+        assert_eq!(h.pop().unwrap().id, 1);
+    }
+
+    #[test]
+    fn targeted_jobs_never_join_a_coresident_batch() {
+        let h = DispatchHeap::new(8);
+        let mut fast = ready(1, Priority::Expedited, 1000);
+        fast.targeted = true;
+        assert!(h.push(fast).is_ok());
+        assert!(h.push(ready(2, Priority::Background, 1)).is_ok());
+        // The targeted job outranks everything for a normal pop, but a
+        // batch top-up must skip it even with ample block slots.
+        let j = h.try_pop_coresident(u64::MAX).expect("the full job still fits");
+        assert_eq!(j.id, 2);
+        assert!(h.try_pop_coresident(u64::MAX).is_none());
         assert_eq!(h.pop().unwrap().id, 1);
     }
 

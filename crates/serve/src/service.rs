@@ -33,7 +33,8 @@ use gdroid_gpusim::{DeviceConfig, FaultPlan};
 use gdroid_sumstore::SumStore;
 use gdroid_vetting::{
     execute_vetting_batch_on_device, execute_vetting_incremental, execute_vetting_on_device,
-    execute_vetting_on_device_with_store, prepare_vetting, PreparedApp, VettingRun,
+    execute_vetting_on_device_with_store, execute_vetting_targeted_on_device,
+    execute_vetting_targeted_on_device_with_store, prepare_vetting, PreparedApp, VettingRun,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -171,15 +172,29 @@ impl VettingService {
         VettingService { queue, state, prep_handles, exec_handles, next_id: AtomicU64::new(0) }
     }
 
-    fn spec(&self, priority: Priority, source: JobSource) -> JobSpec {
+    fn spec(&self, priority: Priority, source: JobSource, targeted: bool) -> JobSpec {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        JobSpec { id, priority, source, submitted_at: Instant::now() }
+        JobSpec { id, priority, source, submitted_at: Instant::now(), targeted }
     }
 
     /// Blocking submission (backpressure when the queue is full).
     /// Returns the assigned job id.
     pub fn submit(&self, priority: Priority, source: JobSource) -> Result<u64, SubmitError> {
-        let spec = self.spec(priority, source);
+        let spec = self.spec(priority, source, false);
+        let id = spec.id;
+        self.queue.submit(spec)?;
+        Counters::bump(&self.state.metrics.counters.submitted);
+        Ok(id)
+    }
+
+    /// Fast-lane submission: the job runs demand-driven (backward sink
+    /// slice only) at `Expedited` priority and bypasses the result cache
+    /// in both directions — a targeted outcome carries provenance and
+    /// zeroed store accounting, so it must never be served for, or cached
+    /// as, a full vetting. Targeted jobs also skip the incremental warm
+    /// start and never join a co-resident batch.
+    pub fn submit_targeted(&self, source: JobSource) -> Result<u64, SubmitError> {
+        let spec = self.spec(Priority::Expedited, source, true);
         let id = spec.id;
         self.queue.submit(spec)?;
         Counters::bump(&self.state.metrics.counters.submitted);
@@ -189,7 +204,7 @@ impl VettingService {
     /// Admission-controlled submission: sheds the job immediately when
     /// the queue is at capacity.
     pub fn try_submit(&self, priority: Priority, source: JobSource) -> Result<u64, SubmitError> {
-        let spec = self.spec(priority, source);
+        let spec = self.spec(priority, source, false);
         let id = spec.id;
         match self.queue.try_submit(spec) {
             Ok(()) => {
@@ -285,24 +300,29 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
         let content_hash = app_content_hash(&app);
         let package = app.manifest.package.clone();
 
-        if let Some(outcome) = state.cache.lookup(content_hash) {
-            Counters::bump(&state.metrics.counters.cache_hits);
-            state.deliver(JobResult {
-                id: job.id,
-                package,
-                priority: job.priority,
-                content_hash,
-                status: JobStatus::Completed,
-                cache: CacheDisposition::Hit,
-                outcome: Some(outcome),
-                attempts: 0,
-                faults_seen: 0,
-                timeouts_seen: 0,
-                queue_wait_ns,
-                prep_ns: prep_start.elapsed().as_nanos() as u64,
-                exec_wall_ns: 0,
-            });
-            continue;
+        // Targeted jobs bypass the lookup: the cache only ever holds full
+        // outcomes, and a `take_previous`-style probe would invalidate a
+        // perfectly good full entry.
+        if !job.targeted {
+            if let Some(outcome) = state.cache.lookup(content_hash) {
+                Counters::bump(&state.metrics.counters.cache_hits);
+                state.deliver(JobResult {
+                    id: job.id,
+                    package,
+                    priority: job.priority,
+                    content_hash,
+                    status: JobStatus::Completed,
+                    cache: CacheDisposition::Hit,
+                    outcome: Some(outcome),
+                    attempts: 0,
+                    faults_seen: 0,
+                    timeouts_seen: 0,
+                    queue_wait_ns,
+                    prep_ns: prep_start.elapsed().as_nanos() as u64,
+                    exec_wall_ns: 0,
+                });
+                continue;
+            }
         }
 
         let prep = prepare_vetting(app);
@@ -316,6 +336,7 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
         let ready = ReadyJob {
             id: job.id,
             priority: job.priority,
+            targeted: job.targeted,
             estimate,
             block_demand: block_demand(&prep),
             prep,
@@ -381,7 +402,7 @@ fn exec_loop(state: &ServiceState) {
         // through the incremental path first — a warm-startable job never
         // burns device time just because it was popped as a co-resident.
         let mut group = vec![job];
-        if state.coresident > 1 && state.sumstore.is_none() {
+        if state.coresident > 1 && state.sumstore.is_none() && !group[0].targeted {
             let mut demand = group[0].block_demand;
             while group.len() < state.coresident && demand < state.block_slots {
                 let Some(extra) = state.dispatch.try_pop_coresident(state.block_slots - demand)
@@ -405,9 +426,10 @@ fn exec_loop(state: &ServiceState) {
 /// Attempts an incremental warm start — only on the first attempt, and
 /// only when a previous version of the same package is cached (the stale
 /// entry is invalidated either way). Returns the job back when it still
-/// needs a full device run.
+/// needs a full device run. Targeted jobs always do: their sliced path
+/// must neither consume nor invalidate cached full analyses.
 fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
-    if job.failures == 0 {
+    if job.failures == 0 && !job.targeted {
         if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
             if let Some(changed) =
                 changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
@@ -438,12 +460,22 @@ fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
 fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
     let mut lease = state.pool.lease();
     let t = Instant::now();
-    let attempt = match state.sumstore.as_deref() {
-        Some(store) => {
-            execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
-                .map(|(run, _)| run)
+    let attempt = if job.targeted {
+        match state.sumstore.as_deref() {
+            Some(store) => execute_vetting_targeted_on_device_with_store(
+                &job.prep, &mut lease, state.opt, store,
+            )
+            .map(|(run, _)| run),
+            None => execute_vetting_targeted_on_device(&job.prep, &mut lease, state.opt),
         }
-        None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
+    } else {
+        match state.sumstore.as_deref() {
+            Some(store) => {
+                execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
+                    .map(|(run, _)| run)
+            }
+            None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
+        }
     };
     match attempt {
         Ok(run) => {
@@ -517,13 +549,26 @@ fn finish(
     state.metrics.kernel_model.record(run.outcome.timing.idfg_ns as u64);
     state.metrics.taint_model.record(run.outcome.timing.taint_ns as u64);
     let outcome = run.outcome.clone();
-    state.cache.insert(
-        job.content_hash,
-        &job.package,
-        run,
-        job.method_hashes,
-        job.interner_fingerprint,
-    );
+    if job.targeted {
+        // Never cache a targeted outcome as a full one; account the
+        // sliced fraction instead (micro-units keep the counter atomic).
+        Counters::bump(&state.metrics.counters.targeted_jobs);
+        if let Some(prov) = &outcome.targeted {
+            state
+                .metrics
+                .counters
+                .sliced_fraction_micros
+                .fetch_add((prov.sliced_fraction * 1e6).round() as u64, Ordering::Relaxed);
+        }
+    } else {
+        state.cache.insert(
+            job.content_hash,
+            &job.package,
+            run,
+            job.method_hashes,
+            job.interner_fingerprint,
+        );
+    }
     state.deliver(JobResult {
         id: job.id,
         package: job.package,
@@ -671,6 +716,7 @@ mod tests {
         ReadyJob {
             id,
             priority: Priority::Standard,
+            targeted: false,
             estimate: work_estimate(&prep),
             block_demand: block_demand(&prep),
             content_hash: app_content_hash(&prep.app),
@@ -762,6 +808,45 @@ mod tests {
         }
         let j = batch_report.to_json();
         assert!(j.contains("\"batched_jobs\":") && j.contains("\"coresidency\":"), "{j}");
+    }
+
+    #[test]
+    fn targeted_fast_lane_bypasses_cache_and_agrees_with_full() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        // Full first, so the cache holds this exact app before the
+        // targeted wave arrives — the fast lane must not consume it.
+        svc.submit(Priority::Standard, seed_source(0, 5600)).unwrap();
+        svc.wait_for(1);
+        svc.submit_targeted(seed_source(0, 5600)).unwrap();
+        svc.submit_targeted(seed_source(0, 5600)).unwrap();
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.status == JobStatus::Completed));
+        assert_eq!(report.counters.cache_hits, 0, "targeted jobs must bypass the cache");
+        assert_eq!(report.counters.targeted_jobs, 2);
+        assert!(report.mean_sliced_fraction > 0.0 && report.mean_sliced_fraction <= 1.0);
+        let full = results[0].outcome.as_ref().expect("full outcome");
+        assert!(full.targeted.is_none());
+        for r in &results[1..] {
+            assert_eq!(r.priority, Priority::Expedited, "fast lane forces Expedited");
+            assert_eq!(r.cache, CacheDisposition::Miss);
+            let o = r.outcome.as_ref().expect("targeted outcome");
+            assert!(o.targeted.is_some(), "targeted outcome must carry provenance");
+            assert_eq!(
+                o.report.to_json(),
+                full.report.to_json(),
+                "targeted verdict diverged from the full run"
+            );
+        }
+        let j = report.to_json();
+        assert!(
+            j.contains("\"targeted_jobs\":2") && j.contains("\"mean_sliced_fraction\":"),
+            "{j}"
+        );
     }
 
     #[test]

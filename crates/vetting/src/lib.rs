@@ -18,6 +18,9 @@
 //! * [`store_exec`] — the same pipeline backed by a cross-app
 //!   [`gdroid_sumstore::SumStore`]: store-hit library methods are
 //!   pre-solved and never scheduled;
+//! * [`targeted`] — demand-driven vetting: a backward slice from the sink
+//!   statements restricts the GPU worklist to the methods that can
+//!   influence a sink verdict, with byte-identical reports;
 //! * [`plugins`] — further IDFG-reuse plugins in the Amandroid style:
 //!   intent exposure, hardcoded payloads, permission audit;
 //! * [`assess`] — the composite, reviewer-auditable risk assessment
@@ -31,6 +34,7 @@ pub mod registry;
 pub mod report;
 pub mod store_exec;
 pub mod taint;
+pub mod targeted;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
 pub use pipeline::{
@@ -47,6 +51,10 @@ pub use registry::{SourceId, SourceSinkRegistry};
 pub use report::{Leak, Verdict, VettingReport};
 pub use store_exec::{
     execute_vetting_full_with_store, execute_vetting_gpu_traced_with_store,
-    execute_vetting_on_device_with_store, StoreUse,
+    execute_vetting_on_device_with_store, execute_vetting_targeted_on_device_with_store, StoreUse,
 };
 pub use taint::{TaintAnalysis, TaintStats};
+pub use targeted::{
+    compute_vetting_slice, execute_vetting_targeted, execute_vetting_targeted_on_device,
+    execute_vetting_targeted_traced, sink_reachability_findings, TargetedProvenance,
+};

@@ -69,17 +69,25 @@ pub struct VettingOutcome {
     pub telemetry: gdroid_analysis::WorklistTelemetry,
     /// Fact-store bytes (Fig. 10's metric) for CPU engines.
     pub store_bytes: usize,
+    /// Demand-driven provenance — `Some` iff the run was targeted (sliced).
+    pub targeted: Option<crate::targeted::TargetedProvenance>,
 }
 
 impl VettingOutcome {
     /// Machine-readable rendering: the report plus timing and telemetry.
     /// Byte-stable for identical outcomes, so CLI and service results can
-    /// be compared verbatim.
+    /// be compared verbatim. Full-mode outcomes render exactly as before
+    /// targeted vetting existed; targeted ones append a `"targeted"`
+    /// provenance object.
     pub fn to_json(&self) -> String {
+        let targeted = match &self.targeted {
+            Some(t) => format!(",\"targeted\":{}", t.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"report\":{},\"timing\":{{\"envgen_ns\":{},\"callgraph_ns\":{},\"idfg_ns\":{},\
              \"taint_ns\":{},\"total_ns\":{}}},\"telemetry\":{{\"nodes_processed\":{},\
-             \"rounds\":{}}},\"store_bytes\":{}}}",
+             \"rounds\":{}}},\"store_bytes\":{}{}}}",
             self.report.to_json(),
             self.timing.envgen_ns,
             self.timing.callgraph_ns,
@@ -89,6 +97,7 @@ impl VettingOutcome {
             self.telemetry.nodes_processed,
             self.telemetry.rounds,
             self.store_bytes,
+            targeted,
         )
     }
 }
@@ -165,6 +174,7 @@ pub(crate) fn finish_vetting(
         timing,
         telemetry: analysis.telemetry.clone(),
         store_bytes: analysis.store_bytes,
+        targeted: None,
     };
     VettingRun { outcome, analysis }
 }

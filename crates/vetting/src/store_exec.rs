@@ -93,13 +93,18 @@ fn collect_presolved(
 }
 
 /// Inserts every freshly solved method into the store and assembles the
-/// [`StoreUse`] accounting.
+/// [`StoreUse`] accounting. With `insertable: Some(set)`, only methods in
+/// the set are written — the targeted path restricts insertion to the
+/// slice's *exact* members, whose facts and summaries are bit-identical
+/// to a full run (partial roots are computed against pruned call sites
+/// and must never poison the store under the canonical hash).
 fn absorb_into_store(
     program: &Program,
     store: &SumStore,
     hashes: &HashMap<MethodId, u128>,
     presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
     analysis: &gdroid_analysis::AppAnalysis,
+    insertable: Option<&std::collections::HashSet<MethodId>>,
 ) -> StoreUse {
     let mut hit_methods: Vec<MethodId> = presolved.keys().copied().collect();
     hit_methods.sort_unstable();
@@ -107,6 +112,9 @@ fn absorb_into_store(
         hashes.keys().copied().filter(|m| !presolved.contains_key(m)).collect();
     missed_methods.sort_unstable();
     for &mid in &missed_methods {
+        if insertable.is_some_and(|set| !set.contains(&mid)) {
+            continue;
+        }
         let (summary, facts, space, cfg) = match (
             analysis.summaries.get(&mid),
             analysis.facts.get(&mid),
@@ -179,7 +187,7 @@ pub fn execute_vetting_full_with_store(
             run
         }
     };
-    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis);
+    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis, None);
     (run, store_use)
 }
 
@@ -222,7 +230,7 @@ pub fn execute_vetting_gpu_traced_with_store(
     if tracer.enabled() {
         trace_stage_spans(tracer, &run.outcome.timing, 0, 0);
     }
-    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis);
+    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis, None);
     (run, store_use)
 }
 
@@ -244,7 +252,42 @@ pub fn execute_vetting_on_device_with_store(
     let idfg_ns = gpu.stats.total_ns;
     let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
     run.outcome.store_bytes = 0;
-    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis);
+    let store_use = absorb_into_store(program, store, &hashes, &presolved, &run.analysis, None);
+    Ok((run, store_use))
+}
+
+/// [`crate::execute_vetting_targeted_on_device`] backed by a summary
+/// store: pre-solved hits are restricted to slice members (the
+/// intersection stays closed under slice-internal callee edges, since the
+/// presolved set is closed under *all* callee edges), and post-run
+/// insertion is restricted to the slice's exact members so partial-root
+/// results never enter the store.
+pub fn execute_vetting_targeted_on_device_with_store(
+    prep: &PreparedApp,
+    device: &mut Device,
+    opts: gdroid_core::OptConfig,
+    store: &SumStore,
+) -> Result<(VettingRun, StoreUse), DeviceFault> {
+    let program = &prep.app.program;
+    let slice = crate::targeted::compute_vetting_slice(prep);
+    let (all_presolved, hashes) = collect_presolved(prep, store);
+    let presolved: HashMap<MethodId, (MethodSummary, MatrixStore)> =
+        all_presolved.into_iter().filter(|(m, _)| slice.members.contains(m)).collect();
+    let gpu = gdroid_core::gpu_analyze_app_sliced_presolved_on(
+        device,
+        program,
+        &prep.cg,
+        &prep.roots,
+        opts,
+        &presolved,
+        &slice.members,
+    )?;
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    run.outcome.targeted = Some(crate::targeted::TargetedProvenance::of(&slice));
+    let store_use =
+        absorb_into_store(program, store, &hashes, &presolved, &run.analysis, Some(&slice.exact));
     Ok((run, store_use))
 }
 
@@ -311,6 +354,45 @@ mod tests {
         assert!(used.hits > 0);
         assert_eq!(warm.outcome.report.to_json(), disabled.outcome.report.to_json());
         assert_eq!(facts_digest(&warm.analysis), facts_digest(&disabled.analysis));
+    }
+
+    #[test]
+    fn targeted_with_store_agrees_and_never_absorbs_partial_roots() {
+        let cfg = GenConfig::tiny().with_libraries(2, 2);
+        let store = SumStore::new();
+        let prep_a = prepare_vetting(generate_app(0, 9505, &cfg));
+        let prep_b = prepare_vetting(generate_app(1, 9506, &cfg));
+        let mut device = Device::new(DeviceConfig::tesla_p40());
+
+        // Cold targeted run populates the store with exact members only.
+        let slice_a = crate::targeted::compute_vetting_slice(&prep_a);
+        let (run_a, use_a) = execute_vetting_targeted_on_device_with_store(
+            &prep_a,
+            &mut device,
+            OptConfig::gdroid(),
+            &store,
+        )
+        .expect("no fault plan");
+        assert!(run_a.outcome.targeted.is_some());
+        let hashes_a = canonical_hashes(&prep_a.app.program, &prep_a.cg, &prep_a.roots);
+        for root in &slice_a.roots {
+            assert!(
+                store.lookup(hashes_a[root]).is_none(),
+                "partial root {root:?} leaked into the store"
+            );
+        }
+        assert_eq!(use_a.hits, 0);
+
+        // A warm targeted run agrees with a store-free full run.
+        let disabled = execute_vetting_full(&prep_b, Engine::Gpu(OptConfig::gdroid()));
+        let (warm_b, _) = execute_vetting_targeted_on_device_with_store(
+            &prep_b,
+            &mut device,
+            OptConfig::gdroid(),
+            &store,
+        )
+        .expect("no fault plan");
+        assert_eq!(warm_b.outcome.report.to_json(), disabled.outcome.report.to_json());
     }
 
     #[test]

@@ -109,10 +109,13 @@ impl<'a> TaintAnalysis<'a> {
         labels
     }
 
-    /// Tainted labels flowing out of a callee's returns.
+    /// Tainted labels flowing out of a callee's returns. Callees outside
+    /// the analyzed method set (possible in sliced runs, where pruned
+    /// call sites keep their statements but lose their spaces) contribute
+    /// nothing.
     fn return_labels(&mut self, callee: MethodId) -> BTreeSet<SourceId> {
         let mut labels = BTreeSet::new();
-        let cfg = &self.cfgs[&callee];
+        let Some(cfg) = self.cfgs.get(&callee) else { return labels };
         for (idx, stmt) in self.program.methods[callee].body.iter_enumerated() {
             if let Stmt::Return { var: Some(v) } = stmt {
                 let node = cfg.node_of(idx);
@@ -156,7 +159,11 @@ impl<'a> TaintAnalysis<'a> {
                             continue;
                         }
                         for &t in &targets {
-                            let Some(formal) = self.spaces[&t].instance(Instance::Formal(k as u8))
+                            // Pruned callees of a sliced run have no space.
+                            let Some(formal) = self
+                                .spaces
+                                .get(&t)
+                                .and_then(|s| s.instance(Instance::Formal(k as u8)))
                             else {
                                 continue;
                             };

@@ -1,0 +1,285 @@
+//! Demand-driven (targeted) vetting: slice-then-analyze.
+//!
+//! Most vetting queries are "does anything flow into these sinks?" — the
+//! BackDroid observation. Instead of building the full IDFG, the targeted
+//! path computes a [`BackwardSlice`] from the taint registry's sink call
+//! sites and runs the GPU driver over slice members only
+//! ([`gdroid_core::gpu_analyze_app_sliced_on`]). Because the slice
+//! over-approximates everything that can influence a sink verdict (see
+//! `gdroid_analysis::slice` for the argument), the report is byte-identical
+//! to a full run — enforced by the tier-1 gate `tests/targeted_gate.rs` —
+//! while the modeled IDFG time shrinks with the sliced fraction.
+
+use crate::pipeline::{
+    finish_vetting, gpu_to_app_analysis, trace_stage_spans, PreparedApp, VettingRun,
+};
+use crate::registry::SourceSinkRegistry;
+use gdroid_analysis::BackwardSlice;
+use gdroid_core::{gpu_analyze_app_sliced_on, OptConfig};
+use gdroid_gpusim::{Device, DeviceConfig, DeviceFault};
+use gdroid_ir::{MethodId, Program, Stmt, StmtIdx};
+
+/// Provenance of a targeted run, rendered into the outcome JSON as the
+/// `"targeted"` block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetedProvenance {
+    /// Slice members analyzed.
+    pub slice_methods: usize,
+    /// Reachable methods the slice skipped.
+    pub methods_skipped: usize,
+    /// Size of the full reachable method set.
+    pub total_reachable: usize,
+    /// `slice_methods / total_reachable` (0 for an empty reachable set).
+    pub sliced_fraction: f64,
+    /// Methods containing a reachable sink statement.
+    pub sink_methods: usize,
+    /// Partial roots (members analyzed for their relevant region only).
+    pub partial_roots: usize,
+}
+
+impl TargetedProvenance {
+    /// Summarizes a computed slice.
+    pub fn of(slice: &BackwardSlice) -> TargetedProvenance {
+        TargetedProvenance {
+            slice_methods: slice.len(),
+            methods_skipped: slice.methods_skipped(),
+            total_reachable: slice.total_reachable,
+            sliced_fraction: slice.sliced_fraction(),
+            sink_methods: slice.sink_methods.len(),
+            partial_roots: slice.roots.len(),
+        }
+    }
+
+    /// Hand-formatted, byte-stable JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"targeted\":true,\"slice_methods\":{},\"methods_skipped\":{},\
+             \"total_reachable\":{},\"sliced_fraction\":{:.6},\"sink_methods\":{},\
+             \"partial_roots\":{}}}",
+            self.slice_methods,
+            self.methods_skipped,
+            self.total_reachable,
+            self.sliced_fraction,
+            self.sink_methods,
+            self.partial_roots,
+        )
+    }
+}
+
+/// Every call site of `program` whose signature the registry knows as a
+/// sink — the slice targets.
+pub(crate) fn sink_sites(
+    program: &Program,
+    registry: &SourceSinkRegistry,
+) -> Vec<(MethodId, StmtIdx)> {
+    let mut sites = Vec::new();
+    for (mid, method) in program.methods.iter_enumerated() {
+        for (idx, stmt) in method.body.iter_enumerated() {
+            if let Stmt::Call { sig, .. } = stmt {
+                if registry.sink_of(sig).is_some() {
+                    sites.push((mid, idx));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Sink call sites that no source call site can reach — the findings
+/// behind the `sink-reachability` lint pass
+/// ([`gdroid_ir::SinkReachability`]).
+///
+/// Reuses the slicer core: every method is treated as a root (lint runs
+/// on the raw program, before environment synthesis), one backward slice
+/// is computed per sink site, and the site is dead iff no source call
+/// site lies in the slice's relevant region
+/// ([`BackwardSlice::contains_site`]). Returned in (method, statement)
+/// order; the lint runner re-sorts by declaring class anyway.
+pub fn sink_reachability_findings(program: &Program) -> Vec<(MethodId, StmtIdx, String)> {
+    let registry = SourceSinkRegistry::for_program(program);
+    let cg = gdroid_icfg::CallGraph::build(program);
+    let roots: Vec<MethodId> = program.methods.indices().collect();
+    let mut source_sites: Vec<(MethodId, StmtIdx)> = Vec::new();
+    for (mid, method) in program.methods.iter_enumerated() {
+        for (idx, stmt) in method.body.iter_enumerated() {
+            if let Stmt::Call { sig, .. } = stmt {
+                if registry.source_of(sig).is_some() {
+                    source_sites.push((mid, idx));
+                }
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (mid, method) in program.methods.iter_enumerated() {
+        for (idx, stmt) in method.body.iter_enumerated() {
+            let Stmt::Call { sig, .. } = stmt else { continue };
+            let Some(sink) = registry.sink_of(sig) else { continue };
+            let slice = BackwardSlice::compute(program, &cg, &roots, &[(mid, idx)]);
+            let reached = source_sites.iter().any(|&(m, i)| slice.contains_site(m, i));
+            if !reached {
+                findings.push((mid, idx, sink.to_owned()));
+            }
+        }
+    }
+    findings
+}
+
+/// Computes the backward sink slice of a prepared app.
+pub fn compute_vetting_slice(prep: &PreparedApp) -> BackwardSlice {
+    let registry = SourceSinkRegistry::for_program(&prep.app.program);
+    let sites = sink_sites(&prep.app.program, &registry);
+    BackwardSlice::compute(&prep.app.program, &prep.cg, &prep.roots, &sites)
+}
+
+/// Targeted vetting on an existing long-lived device — the fast-lane
+/// serving path. Slices, launches slice members only, and attaches the
+/// [`TargetedProvenance`] to the outcome.
+pub fn execute_vetting_targeted_on_device(
+    prep: &PreparedApp,
+    device: &mut Device,
+    opts: OptConfig,
+) -> Result<VettingRun, DeviceFault> {
+    let slice = compute_vetting_slice(prep);
+    let gpu = gpu_analyze_app_sliced_on(
+        device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        opts,
+        &slice.members,
+    )?;
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    run.outcome.targeted = Some(TargetedProvenance::of(&slice));
+    Ok(run)
+}
+
+/// Targeted vetting on a fresh device.
+pub fn execute_vetting_targeted(prep: &PreparedApp, opts: OptConfig) -> VettingRun {
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    execute_vetting_targeted_on_device(prep, &mut device, opts)
+        .expect("a fresh device has no fault plan")
+}
+
+/// Targeted vetting with tracing: mirrors
+/// [`crate::execute_vetting_gpu_traced`], plus a `targeted-slice` instant
+/// carrying the slice shape. A disabled tracer reproduces
+/// [`execute_vetting_targeted`] exactly (tier-1 invariance).
+pub fn execute_vetting_targeted_traced(
+    prep: &PreparedApp,
+    opts: OptConfig,
+    tracer: &gdroid_trace::Tracer,
+) -> VettingRun {
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    device.set_tracer(tracer.clone());
+    let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
+    device.advance_clock(prep_ns.round() as u64);
+    let slice = compute_vetting_slice(prep);
+    if tracer.enabled() {
+        tracer.instant(
+            "vetting",
+            "targeted-slice",
+            device.clock_ns(),
+            0,
+            vec![
+                ("slice_methods", slice.len().into()),
+                ("total_reachable", slice.total_reachable.into()),
+                ("sink_methods", slice.sink_methods.len().into()),
+                ("partial_roots", slice.roots.len().into()),
+            ],
+        );
+    }
+    let gpu = gpu_analyze_app_sliced_on(
+        &mut device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        opts,
+        &slice.members,
+    )
+    .expect("a fresh device has no fault plan");
+    let idfg_ns = gpu.stats.total_ns;
+    let mut run = finish_vetting(prep, gpu_to_app_analysis(gpu), idfg_ns);
+    run.outcome.store_bytes = 0;
+    run.outcome.targeted = Some(TargetedProvenance::of(&slice));
+    if tracer.enabled() {
+        trace_stage_spans(tracer, &run.outcome.timing, 0, 0);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{execute_vetting, prepare_vetting, Engine};
+    use gdroid_apk::{generate_app, GenConfig};
+
+    #[test]
+    fn targeted_report_matches_full_and_carries_provenance() {
+        for seed in [7100u64, 7101, 7102] {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let full = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+            let targeted = execute_vetting_targeted(&prep, OptConfig::gdroid());
+            assert_eq!(
+                targeted.outcome.report.to_json(),
+                full.report.to_json(),
+                "targeted verdict diverged on seed {seed}"
+            );
+            let prov = targeted.outcome.targeted.expect("provenance missing");
+            assert!(prov.slice_methods <= prov.total_reachable);
+            assert_eq!(prov.slice_methods + prov.methods_skipped, prov.total_reachable);
+            assert!(full.targeted.is_none(), "full runs must not claim provenance");
+            let json = targeted.outcome.to_json();
+            assert!(json.contains("\"targeted\":{\"targeted\":true"), "{json}");
+            assert!(!full.to_json().contains("targeted"), "full JSON must be unchanged");
+        }
+    }
+
+    #[test]
+    fn targeted_is_deterministic() {
+        let prep = prepare_vetting(generate_app(0, 7103, &GenConfig::tiny()));
+        let a = execute_vetting_targeted(&prep, OptConfig::gdroid());
+        let b = execute_vetting_targeted(&prep, OptConfig::gdroid());
+        assert_eq!(a.outcome.to_json(), b.outcome.to_json());
+    }
+
+    #[test]
+    fn dead_sinks_are_real_sink_sites_and_never_leak() {
+        for seed in [7120u64, 7121, 7122, 7123] {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let program = &prep.app.program;
+            let findings = sink_reachability_findings(program);
+            let registry = SourceSinkRegistry::for_program(program);
+            for (mid, idx, name) in &findings {
+                let Stmt::Call { sig, .. } = &program.methods[*mid].body[*idx] else {
+                    panic!("finding does not point at a call site");
+                };
+                assert_eq!(registry.sink_of(sig), Some(name.as_str()));
+            }
+            // A sink flagged as source-unreachable must never appear as a
+            // leak — the slice over-approximates every possible flow.
+            let full = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+            for leak in &full.report.leaks {
+                assert!(
+                    !findings.iter().any(|(m, i, _)| *m == leak.method && *i == leak.stmt),
+                    "leaking sink flagged as dead, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_covers_all_leaking_methods() {
+        // Every reported leak sits in a sink method, which is a slice
+        // member by construction.
+        for seed in 7104..7112u64 {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let slice = compute_vetting_slice(&prep);
+            let full = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+            for leak in &full.report.leaks {
+                assert!(slice.members.contains(&leak.method), "leak outside slice, seed {seed}");
+            }
+        }
+    }
+}

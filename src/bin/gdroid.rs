@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! gdroid gen   <seed> [out.jil]       generate a synthetic app (.jil to stdout or file)
-//! gdroid vet   <app.jil|seed> [--engine plain|mat|matgrp|gdroid|cpu|amandroid]
+//! gdroid vet   <app.jil|seed> [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--targeted]
 //! gdroid lint  <app.jil|seed>         static lints over the IR (exit 1 on errors)
 //! gdroid stats <app.jil|seed>         structural statistics (Table I row)
 //! gdroid corpus <n>                   dataset statistics over the first n corpus apps
@@ -34,6 +34,18 @@
 //! `vet` and `assess` accept `--json` for machine-readable output that is
 //! byte-comparable with what the service caches and returns.
 //!
+//! `vet --targeted` runs demand-driven: a backward slice from the sink
+//! call sites restricts the GPU worklist to the methods that can
+//! influence a sink verdict. The verdict is byte-identical to a full run;
+//! the outcome JSON gains a `"targeted"` provenance block (slice size,
+//! methods skipped, sliced fraction). `serve --targeted-lane` submits
+//! every other corpus job through the fast lane: targeted jobs run at
+//! `expedited` priority, bypass the result cache, and never join a
+//! co-resident batch; the drained report shows `targeted_jobs` and
+//! `mean_sliced_fraction`. `lint` includes the `sink-reachability` pass:
+//! sink call sites whose backward slice holds no source call site are
+//! flagged as dead sinks.
+//!
 //! `vet` accepts `--trace <out.json>`: the run is traced in modeled time
 //! and written as Chrome `trace_event` JSON (open in `about:tracing` or
 //! Perfetto), with a top-span summary on stderr. Traces are
@@ -60,7 +72,9 @@ use gdroid::sumstore::SumStore;
 use gdroid::trace::Tracer;
 use gdroid::vetting::{
     execute_vetting, execute_vetting_full_with_store, execute_vetting_gpu_traced,
-    execute_vetting_gpu_traced_with_store, prepare_vetting, trace_stage_spans, vet_app, Engine,
+    execute_vetting_gpu_traced_with_store, execute_vetting_targeted,
+    execute_vetting_targeted_on_device_with_store, execute_vetting_targeted_traced,
+    prepare_vetting, sink_reachability_findings, trace_stage_spans, vet_app, Engine,
 };
 use std::process::exit;
 use std::sync::Arc;
@@ -68,14 +82,14 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--sumstore <dir>] \
+         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--targeted] [--sumstore <dir>] \
          [--trace <out.json>] [--json]\n  \
          gdroid lint <app.jil|seed>\n  \
          gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
          gdroid serve --apps N [--workers K] [--devices D] [--coresident C] [--faults P:B] \
-         [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
+         [--targeted-lane] [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] \
          [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid sumstore stats|clear <dir>"
@@ -160,13 +174,19 @@ fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 
                             format!(" [incremental: {resolved} re-solved, {reused} reused]")
                         }
                     };
+                    let targeted = if r.outcome.as_ref().is_some_and(|o| o.targeted.is_some()) {
+                        " [targeted]"
+                    } else {
+                        ""
+                    };
                     println!(
-                        "job {:>3} {:<22} {:<10} {}{}",
+                        "job {:>3} {:<22} {:<10} {}{}{}",
                         r.id,
                         r.package,
                         r.priority.as_str(),
                         verdict,
-                        cache
+                        cache,
+                        targeted
                     );
                 }
             }
@@ -193,6 +213,12 @@ fn finish_service(svc: VettingService, args: &[String], expected: usize) -> i32 
             report.counters.retries,
             report.apps_per_sec,
         );
+        if report.counters.targeted_jobs > 0 {
+            eprintln!(
+                "targeted lane: {} job(s), mean sliced fraction {:.3}",
+                report.counters.targeted_jobs, report.mean_sliced_fraction,
+            );
+        }
         if report.sumstore.hits + report.sumstore.insertions > 0 {
             eprintln!(
                 "sumstore: {} hit(s), {} miss(es), {} inserted, {} reloc failure(s)",
@@ -293,42 +319,74 @@ fn main() {
             let trace_path = flag_str(&args, "--trace");
             let tracer =
                 if trace_path.is_some() { Tracer::enabled_new() } else { Tracer::disabled() };
-            let outcome = match flag_str(&args, "--sumstore") {
-                Some(dir) => {
-                    let store = open_sumstore(dir);
-                    let prep = prepare_vetting(app);
-                    let (run, used) = match engine {
-                        Engine::Gpu(opts) if tracer.enabled() => {
-                            execute_vetting_gpu_traced_with_store(&prep, opts, &store, &tracer)
+            let outcome = if args.iter().any(|a| a == "--targeted") {
+                let Engine::Gpu(opts) = engine else {
+                    eprintln!("--targeted requires a GPU engine (the sliced worklist)");
+                    exit(2);
+                };
+                let prep = prepare_vetting(app);
+                match flag_str(&args, "--sumstore") {
+                    Some(dir) => {
+                        let store = open_sumstore(dir);
+                        let mut device =
+                            gdroid::gpusim::Device::new(gdroid::gpusim::DeviceConfig::tesla_p40());
+                        let (run, used) = execute_vetting_targeted_on_device_with_store(
+                            &prep,
+                            &mut device,
+                            opts,
+                            &store,
+                        )
+                        .expect("a fresh device has no fault plan");
+                        save_sumstore(&store, dir);
+                        eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
+                        if tracer.enabled() {
+                            trace_stage_spans(&tracer, &run.outcome.timing, 0, 0);
                         }
-                        engine => {
-                            let (run, used) =
-                                execute_vetting_full_with_store(&prep, engine, &store);
-                            if tracer.enabled() {
-                                // CPU engines trace stage spans only.
-                                trace_stage_spans(&tracer, &run.outcome.timing, 0, 0);
-                            }
-                            (run, used)
-                        }
-                    };
-                    save_sumstore(&store, dir);
-                    eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
-                    run.outcome
+                        run.outcome
+                    }
+                    None if tracer.enabled() => {
+                        execute_vetting_targeted_traced(&prep, opts, &tracer).outcome
+                    }
+                    None => execute_vetting_targeted(&prep, opts).outcome,
                 }
-                None if tracer.enabled() => {
-                    let prep = prepare_vetting(app);
-                    match engine {
-                        Engine::Gpu(opts) => {
-                            execute_vetting_gpu_traced(&prep, opts, &tracer).outcome
-                        }
-                        engine => {
-                            let outcome = execute_vetting(&prep, engine);
-                            trace_stage_spans(&tracer, &outcome.timing, 0, 0);
-                            outcome
+            } else {
+                match flag_str(&args, "--sumstore") {
+                    Some(dir) => {
+                        let store = open_sumstore(dir);
+                        let prep = prepare_vetting(app);
+                        let (run, used) = match engine {
+                            Engine::Gpu(opts) if tracer.enabled() => {
+                                execute_vetting_gpu_traced_with_store(&prep, opts, &store, &tracer)
+                            }
+                            engine => {
+                                let (run, used) =
+                                    execute_vetting_full_with_store(&prep, engine, &store);
+                                if tracer.enabled() {
+                                    // CPU engines trace stage spans only.
+                                    trace_stage_spans(&tracer, &run.outcome.timing, 0, 0);
+                                }
+                                (run, used)
+                            }
+                        };
+                        save_sumstore(&store, dir);
+                        eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
+                        run.outcome
+                    }
+                    None if tracer.enabled() => {
+                        let prep = prepare_vetting(app);
+                        match engine {
+                            Engine::Gpu(opts) => {
+                                execute_vetting_gpu_traced(&prep, opts, &tracer).outcome
+                            }
+                            engine => {
+                                let outcome = execute_vetting(&prep, engine);
+                                trace_stage_spans(&tracer, &outcome.timing, 0, 0);
+                                outcome
+                            }
                         }
                     }
+                    None => vet_app(app, engine),
                 }
-                None => vet_app(app, engine),
             };
             if let Some(path) = trace_path {
                 std::fs::write(path, tracer.to_chrome_json()).unwrap_or_else(|e| {
@@ -348,12 +406,29 @@ fn main() {
                     outcome.timing.total_ns() / 1e6,
                     outcome.telemetry.nodes_processed
                 );
+                if let Some(t) = &outcome.targeted {
+                    println!(
+                        "targeted: {} of {} reachable methods analyzed ({:.1}% sliced, \
+                         {} sink methods, {} partial roots)",
+                        t.slice_methods,
+                        t.total_reachable,
+                        100.0 * t.sliced_fraction,
+                        t.sink_methods,
+                        t.partial_roots,
+                    );
+                }
             }
         }
         "lint" => {
             let Some(target) = args.get(1) else { usage() };
             let app = load_app(target);
-            let diags = gdroid::ir::lint_program(&app.program);
+            // The sink-reachability pass needs the call graph and the
+            // backward slicer, which live above gdroid-ir: compute the
+            // findings here and hand them to the pass framework.
+            let findings = sink_reachability_findings(&app.program);
+            let diags = gdroid::ir::LintRunner::default_passes()
+                .with_pass(gdroid::ir::SinkReachability::new(findings))
+                .run(&app.program);
             for d in &diags {
                 println!("{d}");
             }
@@ -438,15 +513,22 @@ fn main() {
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 ..ServiceConfig::default()
             });
+            let targeted_lane = args.iter().any(|a| a == "--targeted-lane");
             for i in 0..apps {
-                // Corpus-style submissions with a spread of priorities.
-                let priority = Priority::ALL[i % Priority::ALL.len()];
                 let source = JobSource::Seed {
                     index: i,
                     seed: gdroid::apk::PAPER_MASTER_SEED ^ (i as u64),
                     config: Box::new(GenConfig::small()),
                 };
-                svc.submit(priority, source).unwrap_or_else(|e| {
+                // Corpus-style submissions with a spread of priorities;
+                // with --targeted-lane, every other job takes the
+                // demand-driven fast lane instead.
+                let result = if targeted_lane && i % 2 == 1 {
+                    svc.submit_targeted(source)
+                } else {
+                    svc.submit(Priority::ALL[i % Priority::ALL.len()], source)
+                };
+                result.unwrap_or_else(|e| {
                     eprintln!("submit failed: {e}");
                     exit(1)
                 });

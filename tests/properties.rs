@@ -205,6 +205,55 @@ proptest! {
         }
     }
 
+    /// Backward-slice soundness: every reachable method from which a sink
+    /// call site is transitively reachable over the call graph is a
+    /// member of the vetting slice. (The converse — members that cannot
+    /// reach a sink — is allowed: the slice over-approximates.)
+    #[test]
+    fn backward_slice_contains_every_sink_reaching_method(seed in 0u64..40) {
+        use gdroid::ir::Stmt;
+        use gdroid::vetting::{compute_vetting_slice, prepare_vetting, SourceSinkRegistry};
+        let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+        let program = &prep.app.program;
+        let registry = SourceSinkRegistry::for_program(program);
+        let slice = compute_vetting_slice(&prep);
+        let reachable: std::collections::HashSet<MethodId> =
+            prep.cg.reachable_from(&prep.roots).into_iter().collect();
+
+        // Sink methods recomputed independently of the slicer.
+        let mut worklist: Vec<MethodId> = reachable
+            .iter()
+            .copied()
+            .filter(|&m| {
+                program.methods[m].body.iter().any(|stmt| {
+                    matches!(stmt, Stmt::Call { sig, .. } if registry.sink_of(sig).is_some())
+                })
+            })
+            .collect();
+
+        // Ancestor closure over the reachable call graph.
+        let mut callers: std::collections::HashMap<MethodId, Vec<MethodId>> = Default::default();
+        for &m in &reachable {
+            for &c in prep.cg.callees_of(m) {
+                callers.entry(c).or_default().push(m);
+            }
+        }
+        let mut must: std::collections::HashSet<MethodId> = worklist.iter().copied().collect();
+        while let Some(m) = worklist.pop() {
+            for &caller in callers.get(&m).map(Vec::as_slice).unwrap_or(&[]) {
+                if must.insert(caller) {
+                    worklist.push(caller);
+                }
+            }
+        }
+        for m in &must {
+            prop_assert!(
+                slice.members.contains(m),
+                "sink-reaching method {:?} missing from slice", m
+            );
+        }
+    }
+
     /// Alpha-renaming every local leaves the canonical hashes untouched:
     /// the hash folds variable *indices*, never their display names.
     #[test]
