@@ -98,4 +98,36 @@ then
   exit 1
 fi
 
+echo "==> campaign smoke: kill/resume reproduces the fleet report byte-for-byte"
+camp_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir" "$store_dir" "$batch_dir" "$camp_dir"' EXIT
+./target/release/gdroid campaign --apps 20 --shards 2 --journal-dir "$camp_dir/j2" \
+  --out "$camp_dir/fleet-a.json" --verdicts "$camp_dir/verdicts-2.txt" >/dev/null
+# Simulate a crash mid-append: cut the shard-0 journal inside a record,
+# then resume over the same directory.
+journal="$camp_dir/j2/shard-0.journal"
+head -c $(( $(wc -c < "$journal") - 120 )) "$journal" > "$camp_dir/cut" && mv "$camp_dir/cut" "$journal"
+./target/release/gdroid campaign --apps 20 --shards 2 --journal-dir "$camp_dir/j2" \
+  --out "$camp_dir/fleet-b.json" >/dev/null
+cmp -s "$camp_dir/fleet-a.json" "$camp_dir/fleet-b.json" || {
+  echo "campaign smoke: resumed fleet report differs from the uninterrupted one" >&2
+  exit 1
+}
+
+echo "==> campaign smoke: shard layout never changes a verdict"
+./target/release/gdroid campaign --apps 20 --shards 1 --journal-dir "$camp_dir/j1" \
+  --verdicts "$camp_dir/verdicts-1.txt" >/dev/null
+cmp -s "$camp_dir/verdicts-2.txt" "$camp_dir/verdicts-1.txt" || {
+  echo "campaign smoke: 2-shard verdicts differ from the 1-shard run" >&2
+  exit 1
+}
+
+echo "==> corpus1000 smoke: the corpus-scale ladder is byte-deterministic"
+(cd "$batch_dir" && "$repo_root/target/release/figures" corpus1000 --apps 16 --scale 0.1 >/dev/null && mv BENCH_corpus1000.json ca.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" corpus1000 --apps 16 --scale 0.1 >/dev/null && mv BENCH_corpus1000.json cb.json)
+cmp -s "$batch_dir/ca.json" "$batch_dir/cb.json" || {
+  echo "corpus1000 smoke: BENCH_corpus1000.json differs between identical runs" >&2
+  exit 1
+}
+
 echo "ci/check.sh: all green"

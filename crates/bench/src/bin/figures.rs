@@ -18,18 +18,21 @@
 //! outcomes byte-identical to solo, and writes the byte-deterministic
 //! `BENCH_batch.json`. `targeted` vets the corpus full and demand-driven
 //! (backward sink slice), asserts per-app verdict agreement, and writes
-//! the byte-deterministic `BENCH_targeted.json`.
+//! the byte-deterministic `BENCH_targeted.json`. `corpus1000` streams the
+//! paper's full speedup ladder (kernel rungs, targeted, batching K 2/4/8,
+//! summary store) over the 1000-app corpus at the `small` profile and
+//! writes the byte-deterministic `BENCH_corpus1000.json`.
 
 use gdroid_apk::Corpus;
 use gdroid_bench::{
-    batch_benchmark, experiments, run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark,
-    targeted_benchmark, trace_benchmark,
+    batch_benchmark, corpus1000_benchmark, experiments, run_corpus, sancheck_corpus,
+    serve_benchmark, sumstore_benchmark, targeted_benchmark, trace_benchmark,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -41,7 +44,9 @@ fn main() {
         usage();
     }
     let experiment = args[0].clone();
-    let mut apps = 100usize;
+    // The corpus-scale ladder defaults to the paper's full 1000 apps;
+    // everything else defaults to the first 100.
+    let mut apps = if experiment == "corpus1000" { 1000 } else { 100 };
     let mut scale = 1.0f64;
     let mut i = 1;
     while i < args.len() {
@@ -128,6 +133,20 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_targeted.json");
+        return;
+    }
+
+    if experiment == "corpus1000" {
+        eprintln!("streaming the corpus-scale speedup ladder over {apps} apps (small profile)…");
+        let t0 = Instant::now();
+        let (json, summary) = corpus1000_benchmark(apps, scale);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_corpus1000.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_corpus1000.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_corpus1000.json");
         return;
     }
 

@@ -14,6 +14,7 @@
 //! aggregates, labeling each with the paper's value for comparison.
 
 pub mod batch;
+pub mod corpus1000;
 pub mod experiments;
 pub mod record;
 pub mod sancheck;
@@ -24,6 +25,7 @@ pub mod targeted;
 pub mod trace;
 
 pub use batch::{batch_benchmark, run_batch_point, BatchPoint};
+pub use corpus1000::{corpus1000_benchmark, Corpus1000, LadderRung};
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};

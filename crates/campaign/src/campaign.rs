@@ -1,0 +1,345 @@
+//! Campaign orchestration: one serve fleet per shard, streamed
+//! submission with bounded memory, durable per-app checkpointing, and
+//! the final journal → [`FleetReport`] fold.
+
+use crate::journal::{
+    read_journal, AppRecord, Journal, JournalError, JournalHeader, RecordStatus, JOURNAL_VERSION,
+};
+use crate::report::FleetReport;
+use gdroid_apk::{Corpus, GenConfig, PAPER_MASTER_SEED};
+use gdroid_serve::{
+    fnv1a, job_trace, JobResult, JobSource, JobStatus, Priority, ServiceConfig, ServiceReport,
+    VettingService,
+};
+use gdroid_sumstore::SumStore;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Everything that defines a campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Corpus size (apps across all shards).
+    pub apps: usize,
+    /// Serve fleets to shard across (one simulated multi-GPU node each).
+    pub shards: usize,
+    /// Corpus master seed.
+    pub master_seed: u64,
+    /// App generator profile.
+    pub gen: GenConfig,
+    /// Directory holding the per-shard checkpoint journals.
+    pub journal_dir: PathBuf,
+    /// Prep workers per shard service.
+    pub prep_workers: usize,
+    /// Simulated devices per shard service.
+    pub devices: usize,
+    /// Co-residency degree per device (1 disables batching).
+    pub coresident: usize,
+    /// Vet through the demand-driven fast lane (backward sink slices).
+    pub targeted: bool,
+    /// Attach a per-shard cross-app summary store. Store pre-solving
+    /// couples an app's modeled timing to completion order, so journaled
+    /// timings are only run-stable with one worker and one device per
+    /// shard; verdicts are order-independent either way.
+    pub sumstore: bool,
+    /// Write per-app modeled-time Chrome traces under
+    /// `<dir>/shard-<s>/job-<index>.json`.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl CampaignConfig {
+    /// A campaign over the paper corpus seed with serve-default shard
+    /// services (2 prep workers + 2 devices each) and the paper's
+    /// generator profile.
+    pub fn new(apps: usize, shards: usize, journal_dir: PathBuf) -> CampaignConfig {
+        CampaignConfig {
+            apps,
+            shards,
+            master_seed: PAPER_MASTER_SEED,
+            gen: GenConfig::default(),
+            journal_dir,
+            prep_workers: 2,
+            devices: 2,
+            coresident: 1,
+            targeted: false,
+            sumstore: false,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Digest over everything that shapes journaled record *content* — the
+/// generator profile and the vetting mode. Resuming under a different
+/// digest is refused (the records would describe different apps or a
+/// different analysis); topology knobs (shard service sizes, coresidency)
+/// are deliberately excluded because they never change a record byte.
+pub fn config_digest(config: &CampaignConfig) -> u64 {
+    fnv1a(
+        format!("gen={:?} targeted={} sumstore={}", config.gen, config.targeted, config.sumstore)
+            .as_bytes(),
+    )
+}
+
+/// Why a campaign failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem failure outside the journal layer.
+    Io(std::io::Error),
+    /// Journal create/read/append failure (including resume refusal).
+    Journal(JournalError),
+    /// Invalid campaign configuration.
+    Config(String),
+    /// A shard failed mid-run.
+    Shard(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            CampaignError::Journal(e) => write!(f, "{e}"),
+            CampaignError::Config(r) => write!(f, "invalid campaign config: {r}"),
+            CampaignError::Shard(r) => write!(f, "shard failure: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> CampaignError {
+        CampaignError::Io(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> CampaignError {
+        CampaignError::Journal(e)
+    }
+}
+
+/// What a finished (or finished-by-resume) campaign hands back.
+pub struct CampaignOutcome {
+    /// The canonical fleet report, folded from the journals. Byte-stable
+    /// across kill/resume and reruns.
+    pub fleet: FleetReport,
+    /// The merged live service report (wall-clock throughput, cache and
+    /// store counters). Non-canonical: resumes and thread interleaving
+    /// change it, so it never goes into the report file.
+    pub service: ServiceReport,
+    /// Apps skipped because a journal already held their record.
+    pub resumed: usize,
+    /// Apps executed (and journaled) by this run.
+    pub executed: usize,
+}
+
+/// The journal path of shard `shard`.
+pub fn journal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.journal"))
+}
+
+/// Runs (or resumes) a campaign: one serve fleet per shard over the
+/// strided index split, streaming generate → vet → journal → discard with
+/// memory bounded by each service's in-flight window. Returns the folded
+/// fleet report plus the merged live service report.
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    if config.apps == 0 {
+        return Err(CampaignError::Config("campaign needs at least one app".into()));
+    }
+    if config.shards == 0 {
+        return Err(CampaignError::Config("campaign needs at least one shard".into()));
+    }
+    std::fs::create_dir_all(&config.journal_dir)?;
+    let digest = config_digest(config);
+    let corpus =
+        Corpus { master_seed: config.master_seed, size: config.apps, config: config.gen.clone() };
+
+    let shard_outcomes: Vec<Result<ShardOutcome, CampaignError>> = std::thread::scope(|scope| {
+        let corpus = &corpus;
+        let handles: Vec<_> = (0..config.shards)
+            .map(|shard| scope.spawn(move || run_shard(config, corpus, digest, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CampaignError::Shard(format!("shard {shard} thread panicked")))
+                })
+            })
+            .collect()
+    });
+
+    let mut service: Option<ServiceReport> = None;
+    let mut resumed = 0;
+    let mut executed = 0;
+    for outcome in shard_outcomes {
+        let o = outcome?;
+        resumed += o.resumed;
+        executed += o.executed;
+        service = Some(match service {
+            Some(merged) => merged.merge(&o.report),
+            None => o.report,
+        });
+    }
+
+    // The fleet report is folded from what is durably on disk — never
+    // from live state — so an uninterrupted run and a kill/resume run
+    // produce the byte-identical report.
+    let mut shard_records = Vec::with_capacity(config.shards);
+    for shard in 0..config.shards {
+        let contents = read_journal(&journal_path(&config.journal_dir, shard))?;
+        shard_records.push(contents.records);
+    }
+    let fleet = FleetReport::from_records(config.master_seed, config.apps, digest, shard_records);
+    let service = service.expect("shards > 0 always yields a service report");
+    Ok(CampaignOutcome { fleet, service, resumed, executed })
+}
+
+struct ShardOutcome {
+    report: ServiceReport,
+    resumed: usize,
+    executed: usize,
+}
+
+/// Runs one shard: open-or-resume its journal, stream its strided index
+/// slice through a fresh [`VettingService`], and checkpoint every
+/// terminal result the moment it is harvested.
+fn run_shard(
+    config: &CampaignConfig,
+    corpus: &Corpus,
+    digest: u64,
+    shard: usize,
+) -> Result<ShardOutcome, CampaignError> {
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        master_seed: config.master_seed,
+        apps: config.apps,
+        shards: config.shards,
+        shard,
+        config_digest: digest,
+    };
+    let (mut journal, existing) =
+        Journal::open_or_create(&journal_path(&config.journal_dir, shard), &header)?;
+    let done: HashSet<usize> = existing.iter().map(|r| r.index).collect();
+    let resumed = done.len();
+
+    let trace_dir = config.trace_dir.as_ref().map(|d| d.join(format!("shard-{shard}")));
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let svc = VettingService::start(ServiceConfig {
+        prep_workers: config.prep_workers,
+        devices: config.devices,
+        coresident: config.coresident,
+        sumstore: config.sumstore.then(|| Arc::new(SumStore::new())),
+        ..ServiceConfig::default()
+    });
+
+    let mut pending: HashMap<u64, usize> = HashMap::new();
+    let mut executed = 0usize;
+    for index in Corpus::shard_indices(config.apps, shard, config.shards) {
+        if done.contains(&index) {
+            continue;
+        }
+        let source = JobSource::Seed {
+            index,
+            seed: corpus.seed_for(index),
+            config: Box::new(config.gen.clone()),
+        };
+        let submitted = if config.targeted {
+            svc.submit_targeted(source)
+        } else {
+            svc.submit(Priority::Standard, source)
+        };
+        let id = submitted
+            .map_err(|e| CampaignError::Shard(format!("shard {shard}: submit failed: {e:?}")))?;
+        pending.insert(id, index);
+        // Harvest-as-you-go: submission backpressure plus immediate
+        // harvesting bounds resident results by the in-flight window, so
+        // a 1000-app shard never holds 1000 outcomes.
+        checkpoint(&mut journal, &mut pending, svc.take_results(), trace_dir.as_deref())
+            .map(|n| executed += n)?;
+    }
+    let (report, rest) = svc.drain();
+    checkpoint(&mut journal, &mut pending, rest, trace_dir.as_deref()).map(|n| executed += n)?;
+    if !pending.is_empty() {
+        return Err(CampaignError::Shard(format!(
+            "shard {shard}: {} job(s) never produced a result",
+            pending.len()
+        )));
+    }
+    Ok(ShardOutcome { report, resumed, executed })
+}
+
+/// Journals a batch of harvested results (and writes their traces).
+/// Returns how many records were appended.
+fn checkpoint(
+    journal: &mut Journal,
+    pending: &mut HashMap<u64, usize>,
+    results: Vec<JobResult>,
+    trace_dir: Option<&Path>,
+) -> Result<usize, CampaignError> {
+    let appended = results.len();
+    for result in results {
+        let index = pending.remove(&result.id).ok_or_else(|| {
+            CampaignError::Shard(format!("result for unknown job id {}", result.id))
+        })?;
+        journal.append(&to_record(index, &result))?;
+        if let Some(dir) = trace_dir {
+            std::fs::write(
+                dir.join(format!("job-{index:06}.json")),
+                job_trace(&result).to_chrome_json(),
+            )?;
+        }
+    }
+    Ok(appended)
+}
+
+/// Converts a terminal [`JobResult`] into its durable journal record.
+fn to_record(index: usize, result: &JobResult) -> AppRecord {
+    let package = if result.package.is_empty() { "-".to_owned() } else { result.package.clone() };
+    match (&result.status, &result.outcome) {
+        (JobStatus::Completed, Some(outcome)) => AppRecord {
+            index,
+            package,
+            status: RecordStatus::Completed,
+            verdict: format!("{:?}", outcome.report.verdict),
+            leaks: outcome.report.leaks.len(),
+            report_fnv: fnv1a(outcome.report.to_json().as_bytes()),
+            envgen_ns: outcome.timing.envgen_ns,
+            callgraph_ns: outcome.timing.callgraph_ns,
+            idfg_ns: outcome.timing.idfg_ns,
+            taint_ns: outcome.timing.taint_ns,
+            nodes: outcome.telemetry.nodes_processed as u64,
+            rounds: outcome.telemetry.rounds as u64,
+            sliced_micros: outcome
+                .targeted
+                .as_ref()
+                .map(|t| (t.sliced_fraction * 1e6).round() as u64),
+            attempts: result.attempts,
+        },
+        (status, _) => AppRecord {
+            index,
+            package,
+            status: if matches!(status, JobStatus::Quarantined) {
+                RecordStatus::Quarantined
+            } else {
+                RecordStatus::Failed
+            },
+            verdict: "-".to_owned(),
+            leaks: 0,
+            report_fnv: 0,
+            envgen_ns: 0.0,
+            callgraph_ns: 0.0,
+            idfg_ns: 0.0,
+            taint_ns: 0.0,
+            nodes: 0,
+            rounds: 0,
+            sliced_micros: None,
+            attempts: result.attempts,
+        },
+    }
+}

@@ -1,0 +1,510 @@
+//! The durable per-shard checkpoint journal.
+//!
+//! Each shard of a campaign appends one line per terminal app outcome to
+//! `shard-<i>.journal` in the campaign directory. The format is
+//! line-oriented `key=value` text (not JSON — the repo has no JSON
+//! parser, and a flat record needs none):
+//!
+//! ```text
+//! gdroid-campaign v=1 seed=000000000000d401d … crc=…   ← header, line 1
+//! app i=12 pkg=com.gen.app0012 status=completed verdict=Suspicious …  crc=…
+//! ```
+//!
+//! Every line carries a trailing FNV-1a checksum over the bytes before
+//! ` crc=`. Appends are flushed per record, so after a crash the journal
+//! is a valid prefix plus at most one torn line; [`read_journal`]
+//! tolerates exactly that (the torn tail is dropped and reported), while
+//! corruption *before* the tail is a hard error — a half-overwritten
+//! journal must not silently masquerade as a checkpoint. Resume truncates
+//! the torn tail ([`Journal::open_or_create`]) and re-runs only the apps
+//! with no valid record, so a killed campaign converges to the same
+//! journal contents — and therefore the byte-identical fleet report — an
+//! uninterrupted run produces.
+
+use gdroid_serve::fnv1a;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on any line-format change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Campaign identity pinned in line 1 of every shard journal. A resume
+/// whose header disagrees is refused: records from a different corpus,
+/// shard layout, or generator profile must never be folded together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version.
+    pub version: u32,
+    /// Corpus master seed.
+    pub master_seed: u64,
+    /// Corpus size (apps in the whole campaign, all shards).
+    pub apps: usize,
+    /// Total shards in the campaign.
+    pub shards: usize,
+    /// This journal's shard index.
+    pub shard: usize,
+    /// Digest of the generator config and mode flags.
+    pub config_digest: u64,
+}
+
+/// Terminal status of one app, as journaled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// Vetting produced a verdict.
+    Completed,
+    /// Every allowed attempt failed; the app was quarantined.
+    Quarantined,
+    /// The app could not be processed at all.
+    Failed,
+}
+
+impl RecordStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RecordStatus::Completed => "completed",
+            RecordStatus::Quarantined => "quarantined",
+            RecordStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RecordStatus> {
+        match s {
+            "completed" => Some(RecordStatus::Completed),
+            "quarantined" => Some(RecordStatus::Quarantined),
+            "failed" => Some(RecordStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One durable per-app outcome record. Everything the fleet report needs
+/// is in here — the report is *always* folded from journal records, never
+/// from live service state, so a resumed campaign reproduces the
+/// uninterrupted report byte for byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppRecord {
+    /// Corpus index of the app.
+    pub index: usize,
+    /// Package name (no embedded whitespace; enforced on write).
+    pub package: String,
+    /// Terminal status.
+    pub status: RecordStatus,
+    /// Verdict label (`Clean` / `Suspicious`; `-` when none).
+    pub verdict: String,
+    /// Leaks found.
+    pub leaks: usize,
+    /// FNV-1a of the verdict report JSON — the byte-level verdict
+    /// fingerprint compared across shard layouts.
+    pub report_fnv: u64,
+    /// Modeled environment-generation time (ns).
+    pub envgen_ns: f64,
+    /// Modeled call-graph time (ns).
+    pub callgraph_ns: f64,
+    /// Modeled IDFG (GPU fixpoint) time (ns).
+    pub idfg_ns: f64,
+    /// Modeled taint-stage time (ns).
+    pub taint_ns: f64,
+    /// Worklist node processings.
+    pub nodes: u64,
+    /// Fixpoint rounds.
+    pub rounds: u64,
+    /// Sliced fraction ×1e6 for targeted runs; `None` for full runs.
+    pub sliced_micros: Option<u64>,
+    /// Execution attempts (1 unless faults were injected).
+    pub attempts: u32,
+}
+
+impl AppRecord {
+    /// Total modeled pipeline time (ns).
+    pub fn total_ns(&self) -> f64 {
+        self.envgen_ns + self.callgraph_ns + self.idfg_ns + self.taint_ns
+    }
+}
+
+/// Why a journal could not be read or opened.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Line 1 is missing or unparsable.
+    BadHeader(String),
+    /// The on-disk header disagrees with the campaign being run.
+    HeaderMismatch {
+        /// What the campaign expected.
+        expected: Box<JournalHeader>,
+        /// What the journal holds.
+        found: Box<JournalHeader>,
+    },
+    /// A record before the final line failed to parse or checksum.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader(r) => write!(f, "bad journal header: {r}"),
+            JournalError::HeaderMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different campaign (expected {expected:?}, found {found:?})"
+            ),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "corrupt journal record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// Appends a ` crc=<fnv1a>` suffix to a line body.
+fn seal(body: String) -> String {
+    let crc = fnv1a(body.as_bytes());
+    format!("{body} crc={crc:016x}\n")
+}
+
+/// Splits a sealed line back into body and checksum; `None` if the seal
+/// is missing or wrong (a torn or corrupt line).
+fn unseal(line: &str) -> Option<&str> {
+    let (body, crc) = line.rsplit_once(" crc=")?;
+    (u64::from_str_radix(crc, 16).ok()? == fnv1a(body.as_bytes())).then_some(body)
+}
+
+/// Extracts `key=` fields from a record body.
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    body.split(' ').find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=').or(None))
+}
+
+fn field_req<'a>(body: &'a str, key: &str) -> Result<&'a str, String> {
+    field(body, key).ok_or_else(|| format!("missing field {key}"))
+}
+
+fn header_line(h: &JournalHeader) -> String {
+    seal(format!(
+        "gdroid-campaign v={} seed={:016x} apps={} shards={} shard={} config={:016x}",
+        h.version, h.master_seed, h.apps, h.shards, h.shard, h.config_digest
+    ))
+}
+
+fn parse_header(body: &str) -> Result<JournalHeader, String> {
+    if !body.starts_with("gdroid-campaign ") {
+        return Err("not a gdroid-campaign journal".into());
+    }
+    Ok(JournalHeader {
+        version: field_req(body, "v")?.parse().map_err(|e| format!("v: {e}"))?,
+        master_seed: u64::from_str_radix(field_req(body, "seed")?, 16)
+            .map_err(|e| format!("seed: {e}"))?,
+        apps: field_req(body, "apps")?.parse().map_err(|e| format!("apps: {e}"))?,
+        shards: field_req(body, "shards")?.parse().map_err(|e| format!("shards: {e}"))?,
+        shard: field_req(body, "shard")?.parse().map_err(|e| format!("shard: {e}"))?,
+        config_digest: u64::from_str_radix(field_req(body, "config")?, 16)
+            .map_err(|e| format!("config: {e}"))?,
+    })
+}
+
+fn record_line(r: &AppRecord) -> String {
+    debug_assert!(
+        !r.package.contains(char::is_whitespace),
+        "package {:?} would corrupt the journal line format",
+        r.package
+    );
+    let sliced = match r.sliced_micros {
+        Some(m) => format!(" sliced={m}"),
+        None => String::new(),
+    };
+    seal(format!(
+        "app i={} pkg={} status={} verdict={} leaks={} report={:016x} envgen={:.1} cg={:.1} \
+         idfg={:.1} taint={:.1} nodes={} rounds={} attempts={}{}",
+        r.index,
+        r.package,
+        r.status.as_str(),
+        r.verdict,
+        r.leaks,
+        r.report_fnv,
+        r.envgen_ns,
+        r.callgraph_ns,
+        r.idfg_ns,
+        r.taint_ns,
+        r.nodes,
+        r.rounds,
+        r.attempts,
+        sliced,
+    ))
+}
+
+fn parse_record(body: &str) -> Result<AppRecord, String> {
+    if !body.starts_with("app ") {
+        return Err("not an app record".into());
+    }
+    let f64_field = |key: &str| -> Result<f64, String> {
+        field_req(body, key)?.parse::<f64>().map_err(|e| format!("{key}: {e}"))
+    };
+    Ok(AppRecord {
+        index: field_req(body, "i")?.parse().map_err(|e| format!("i: {e}"))?,
+        package: field_req(body, "pkg")?.to_owned(),
+        status: RecordStatus::parse(field_req(body, "status")?)
+            .ok_or_else(|| "bad status".to_owned())?,
+        verdict: field_req(body, "verdict")?.to_owned(),
+        leaks: field_req(body, "leaks")?.parse().map_err(|e| format!("leaks: {e}"))?,
+        report_fnv: u64::from_str_radix(field_req(body, "report")?, 16)
+            .map_err(|e| format!("report: {e}"))?,
+        envgen_ns: f64_field("envgen")?,
+        callgraph_ns: f64_field("cg")?,
+        idfg_ns: f64_field("idfg")?,
+        taint_ns: f64_field("taint")?,
+        nodes: field_req(body, "nodes")?.parse().map_err(|e| format!("nodes: {e}"))?,
+        rounds: field_req(body, "rounds")?.parse().map_err(|e| format!("rounds: {e}"))?,
+        sliced_micros: match field(body, "sliced") {
+            Some(m) => Some(m.parse().map_err(|e| format!("sliced: {e}"))?),
+            None => None,
+        },
+        attempts: field_req(body, "attempts")?.parse().map_err(|e| format!("attempts: {e}"))?,
+    })
+}
+
+/// The parsed contents of one shard journal.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// The campaign header.
+    pub header: JournalHeader,
+    /// Valid records, in append (completion) order.
+    pub records: Vec<AppRecord>,
+    /// Bytes of valid prefix (header + records); anything beyond is a
+    /// torn tail.
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub truncated: bool,
+}
+
+/// Reads a journal, tolerating a torn final line (reported via
+/// [`JournalContents::truncated`]). Corruption before the tail is a
+/// [`JournalError::Corrupt`].
+pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text).map_err(JournalError::Io)?;
+    // Split keeping track of byte offsets; the final segment (after the
+    // last '\n') is always a torn tail if nonempty.
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    let tail = lines.pop().unwrap_or("");
+    let mut truncated = !tail.is_empty();
+    let Some(first) = lines.first() else {
+        return Err(JournalError::BadHeader("empty file".into()));
+    };
+    let header = match unseal(first) {
+        Some(body) => parse_header(body).map_err(JournalError::BadHeader)?,
+        None => return Err(JournalError::BadHeader("line 1 failed its checksum".into())),
+    };
+    let mut records = Vec::new();
+    let mut valid_len = first.len() as u64 + 1;
+    for (k, line) in lines.iter().enumerate().skip(1) {
+        let parsed = unseal(line).map(parse_record);
+        match parsed {
+            Some(Ok(record)) => {
+                records.push(record);
+                valid_len += line.len() as u64 + 1;
+            }
+            bad => {
+                // Only the final complete line may be invalid (a line
+                // torn exactly at its '\n'); anything earlier is real
+                // corruption.
+                if k + 1 != lines.len() {
+                    let reason = match bad {
+                        Some(Err(e)) => e,
+                        _ => "checksum mismatch".into(),
+                    };
+                    return Err(JournalError::Corrupt { line: k + 1, reason });
+                }
+                truncated = true;
+            }
+        }
+    }
+    Ok(JournalContents { header, records, valid_len, truncated })
+}
+
+/// An open, append-mode shard journal.
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal with `header` (truncating any existing
+    /// file).
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, JournalError> {
+        let mut file = File::create(path)?;
+        file.write_all(header_line(header).as_bytes())?;
+        file.flush()?;
+        Ok(Journal { writer: BufWriter::new(file), path: path.to_owned() })
+    }
+
+    /// Opens an existing journal for resume — validating its header
+    /// against `header` and truncating any torn tail — or creates it
+    /// fresh. Returns the journal positioned for append plus the valid
+    /// records already on disk.
+    pub fn open_or_create(
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<(Journal, Vec<AppRecord>), JournalError> {
+        if !path.exists() {
+            return Ok((Journal::create(path, header)?, Vec::new()));
+        }
+        let contents = read_journal(path)?;
+        if contents.header != *header {
+            return Err(JournalError::HeaderMismatch {
+                expected: Box::new(header.clone()),
+                found: Box::new(contents.header),
+            });
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        // Drop the torn tail so the next append starts on a clean line.
+        file.set_len(contents.valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::End(0))?;
+        Ok((Journal { writer, path: path.to_owned() }, contents.records))
+    }
+
+    /// Appends one record and flushes it to the OS — the checkpoint
+    /// granularity is one app.
+    pub fn append(&mut self, record: &AppRecord) -> Result<(), JournalError> {
+        self.writer.write_all(record_line(record).as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("gdroid-campaign-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("shard-0.journal")
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            master_seed: 0xD401D,
+            apps: 8,
+            shards: 2,
+            shard: 0,
+            config_digest: 0xABCD,
+        }
+    }
+
+    fn record(index: usize) -> AppRecord {
+        AppRecord {
+            index,
+            package: format!("com.gen.app{index:04}"),
+            status: RecordStatus::Completed,
+            verdict: "Suspicious".into(),
+            leaks: 2,
+            report_fnv: 0x1234_5678_9ABC_DEF0,
+            envgen_ns: 1000.5,
+            callgraph_ns: 2000.0,
+            idfg_ns: 30000.1,
+            taint_ns: 400.0,
+            nodes: 999,
+            rounds: 12,
+            sliced_micros: if index % 2 == 1 { Some(123_456) } else { None },
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_records() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        for i in 0..4 {
+            j.append(&record(i)).unwrap();
+        }
+        drop(j);
+        let c = read_journal(&path).unwrap();
+        assert_eq!(c.header, header());
+        assert!(!c.truncated);
+        assert_eq!(c.records.len(), 4);
+        for (i, r) in c.records.iter().enumerate() {
+            assert_eq!(r, &record(i), "record {i} did not round-trip");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_truncates_it() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        for i in 0..3 {
+            j.append(&record(i)).unwrap();
+        }
+        drop(j);
+        // Simulate a crash mid-append: cut the file inside the last line.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let c = read_journal(&path).unwrap();
+        assert!(c.truncated, "cut line must be reported as a torn tail");
+        assert_eq!(c.records.len(), 2);
+        // Resume: the torn tail is truncated away and appends continue.
+        let (mut j, records) = Journal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(records.len(), 2);
+        j.append(&record(2)).unwrap();
+        j.append(&record(3)).unwrap();
+        drop(j);
+        let c = read_journal(&path).unwrap();
+        assert!(!c.truncated);
+        assert_eq!(c.records.len(), 4);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let path = tmp("corrupt");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        for i in 0..3 {
+            j.append(&record(i)).unwrap();
+        }
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside record 2 of 3 (line 3 of 4).
+        let corrupted = text.replacen("leaks=2", "leaks=3", 2).replacen("leaks=3", "leaks=2", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+        match read_journal(&path) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn header_mismatch_is_refused() {
+        let path = tmp("mismatch");
+        Journal::create(&path, &header()).unwrap();
+        let mut other = header();
+        other.master_seed ^= 1;
+        match Journal::open_or_create(&path, &other) {
+            Err(JournalError::HeaderMismatch { .. }) => {}
+            other => panic!("expected HeaderMismatch, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

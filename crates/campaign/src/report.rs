@@ -1,0 +1,460 @@
+//! The merged fleet report.
+//!
+//! A [`FleetReport`] is folded **exclusively** from journal records —
+//! never from live service state — in uninterrupted and resumed runs
+//! alike. That single-source-of-truth rule is what makes the report
+//! byte-identical across kill/resume: every number either comes straight
+//! from a durable record or is a deterministic function of the record
+//! set. Wall-clock aggregates (which vary run to run and are meaningless
+//! after a resume) live in the merged [`gdroid_serve::ServiceReport`],
+//! which the campaign layer keeps out of the canonical report file.
+
+use crate::journal::{AppRecord, RecordStatus};
+use gdroid_serve::{fnv1a, Histogram, HistogramSnapshot};
+
+/// How many stragglers (slowest apps fleet-wide) the report lists.
+pub const STRAGGLER_COUNT: usize = 5;
+
+/// Per-shard rollup of journal records.
+#[derive(Clone, Debug)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Apps with a terminal record.
+    pub apps: usize,
+    /// Completed apps.
+    pub completed: usize,
+    /// Suspicious verdicts.
+    pub suspicious: usize,
+    /// Quarantined apps.
+    pub quarantined: usize,
+    /// Failed apps.
+    pub failed: usize,
+    /// Total leaks found.
+    pub leaks: usize,
+    /// Summed modeled pipeline time of completed apps (ns) — the shard's
+    /// modeled busy time on a one-device node.
+    pub modeled_total_ns: f64,
+    /// Worklist node processings.
+    pub nodes: u64,
+    /// Fixpoint rounds.
+    pub rounds: u64,
+}
+
+/// One of the fleet's slowest apps.
+#[derive(Clone, Debug)]
+pub struct Straggler {
+    /// Corpus index.
+    pub index: usize,
+    /// Package name.
+    pub package: String,
+    /// Owning shard.
+    pub shard: usize,
+    /// Modeled pipeline time (ns).
+    pub total_ns: f64,
+}
+
+/// The fleet-wide campaign report: per-shard rollups, modeled makespan
+/// and balance, verdict tallies, a modeled per-app latency histogram,
+/// and a digest over every (index, verdict, report-hash) triple.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Corpus master seed.
+    pub master_seed: u64,
+    /// Campaign size (apps across all shards).
+    pub apps: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Generator/mode digest (matches the journal headers).
+    pub config_digest: u64,
+    /// All records, sorted by corpus index (shard-agnostic order).
+    pub records: Vec<AppRecord>,
+    /// Owning shard of each entry in `records` (parallel vec).
+    pub record_shards: Vec<usize>,
+    /// Per-shard rollups, by shard index.
+    pub per_shard: Vec<ShardSummary>,
+    /// Completed apps fleet-wide.
+    pub completed: usize,
+    /// Suspicious verdicts fleet-wide.
+    pub suspicious: usize,
+    /// Clean verdicts fleet-wide.
+    pub clean: usize,
+    /// Quarantined apps fleet-wide.
+    pub quarantined: usize,
+    /// Failed apps fleet-wide.
+    pub failed: usize,
+    /// Leaks fleet-wide.
+    pub leaks: usize,
+    /// Apps that needed more than one execution attempt.
+    pub retried_apps: usize,
+    /// Targeted (sliced) records.
+    pub targeted_apps: usize,
+    /// Mean sliced fraction over targeted records (1.0 when none).
+    pub mean_sliced_fraction: f64,
+    /// Summed modeled pipeline time of every completed app (ns) — the
+    /// modeled one-node serial cost of the campaign.
+    pub modeled_serial_ns: f64,
+    /// Max per-shard modeled total (ns) — the modeled fleet makespan with
+    /// one node per shard.
+    pub modeled_makespan_ns: f64,
+    /// `makespan / mean shard total` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Distribution of per-app modeled pipeline times.
+    pub app_model: HistogramSnapshot,
+    /// The `STRAGGLER_COUNT` slowest apps fleet-wide.
+    pub stragglers: Vec<Straggler>,
+    /// FNV-1a over the sorted verdict lines — one u64 that two campaigns
+    /// (any shard layout) can compare to prove verdict equality.
+    pub verdict_digest: u64,
+}
+
+impl FleetReport {
+    /// Folds per-shard record sets (element `i` = shard `i`'s journal
+    /// records, in append order) into the fleet report. Duplicate indices
+    /// within a shard keep the first record (a resumed shard never
+    /// re-runs a journaled app, so duplicates only arise from a journal
+    /// edited by hand).
+    pub fn from_records(
+        master_seed: u64,
+        apps: usize,
+        config_digest: u64,
+        shard_records: Vec<Vec<AppRecord>>,
+    ) -> FleetReport {
+        let shards = shard_records.len().max(1);
+        let mut merged: Vec<(usize, AppRecord)> = Vec::new();
+        let mut per_shard = Vec::with_capacity(shards);
+        for (shard, records) in shard_records.into_iter().enumerate() {
+            let mut summary = ShardSummary {
+                shard,
+                apps: 0,
+                completed: 0,
+                suspicious: 0,
+                quarantined: 0,
+                failed: 0,
+                leaks: 0,
+                modeled_total_ns: 0.0,
+                nodes: 0,
+                rounds: 0,
+            };
+            let mut seen = std::collections::HashSet::new();
+            for record in records {
+                if !seen.insert(record.index) {
+                    continue;
+                }
+                summary.apps += 1;
+                match record.status {
+                    RecordStatus::Completed => {
+                        summary.completed += 1;
+                        summary.modeled_total_ns += record.total_ns();
+                        if record.verdict == "Suspicious" {
+                            summary.suspicious += 1;
+                        }
+                    }
+                    RecordStatus::Quarantined => summary.quarantined += 1,
+                    RecordStatus::Failed => summary.failed += 1,
+                }
+                summary.leaks += record.leaks;
+                summary.nodes += record.nodes;
+                summary.rounds += record.rounds;
+                merged.push((shard, record));
+            }
+            per_shard.push(summary);
+        }
+        merged.sort_by_key(|(_, r)| r.index);
+
+        let completed: usize = per_shard.iter().map(|s| s.completed).sum();
+        let suspicious: usize = per_shard.iter().map(|s| s.suspicious).sum();
+        let quarantined: usize = per_shard.iter().map(|s| s.quarantined).sum();
+        let failed: usize = per_shard.iter().map(|s| s.failed).sum();
+        let leaks: usize = per_shard.iter().map(|s| s.leaks).sum();
+        let retried_apps = merged.iter().filter(|(_, r)| r.attempts > 1).count();
+
+        let targeted: Vec<u64> = merged.iter().filter_map(|(_, r)| r.sliced_micros).collect();
+        let mean_sliced_fraction = if targeted.is_empty() {
+            1.0
+        } else {
+            targeted.iter().sum::<u64>() as f64 / 1e6 / targeted.len() as f64
+        };
+
+        let modeled_serial_ns: f64 = per_shard.iter().map(|s| s.modeled_total_ns).sum();
+        let modeled_makespan_ns = per_shard.iter().map(|s| s.modeled_total_ns).fold(0.0, f64::max);
+        let mean_shard = modeled_serial_ns / shards as f64;
+        let imbalance = if mean_shard > 0.0 { modeled_makespan_ns / mean_shard } else { 1.0 };
+
+        let histogram = Histogram::new();
+        for (_, r) in merged.iter().filter(|(_, r)| r.status == RecordStatus::Completed) {
+            histogram.record(r.total_ns().round() as u64);
+        }
+
+        let mut by_cost: Vec<&(usize, AppRecord)> =
+            merged.iter().filter(|(_, r)| r.status == RecordStatus::Completed).collect();
+        by_cost.sort_by(|a, b| {
+            b.1.total_ns().total_cmp(&a.1.total_ns()).then(a.1.index.cmp(&b.1.index))
+        });
+        let stragglers = by_cost
+            .iter()
+            .take(STRAGGLER_COUNT)
+            .map(|(shard, r)| Straggler {
+                index: r.index,
+                package: r.package.clone(),
+                shard: *shard,
+                total_ns: r.total_ns(),
+            })
+            .collect();
+
+        let (record_shards, records): (Vec<usize>, Vec<AppRecord>) = merged.into_iter().unzip();
+        let mut report = FleetReport {
+            master_seed,
+            apps,
+            shards,
+            config_digest,
+            records,
+            record_shards,
+            per_shard,
+            completed,
+            suspicious,
+            clean: completed - suspicious,
+            quarantined,
+            failed,
+            leaks,
+            retried_apps,
+            targeted_apps: targeted.len(),
+            mean_sliced_fraction,
+            modeled_serial_ns,
+            modeled_makespan_ns,
+            imbalance,
+            app_model: histogram.snapshot(),
+            stragglers,
+            verdict_digest: 0,
+        };
+        report.verdict_digest = fnv1a(report.verdict_lines().as_bytes());
+        report
+    }
+
+    /// One line per app, sorted by corpus index:
+    /// `index package verdict report_fnv`. Independent of shard layout,
+    /// so `sort`ed verdict files from an S-shard and a 1-shard campaign
+    /// over the same corpus compare byte-for-byte.
+    pub fn verdict_lines(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in &self.records {
+            writeln!(out, "{:06} {} {} {:016x}", r.index, r.package, r.verdict, r.report_fnv)
+                .expect("writing to String cannot fail");
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering — byte-identical for identical record
+    /// sets (the kill/resume and rerun gates `cmp` these files).
+    pub fn to_json(&self) -> String {
+        let per_shard: Vec<String> = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"apps\":{},\"completed\":{},\"suspicious\":{},\
+                     \"quarantined\":{},\"failed\":{},\"leaks\":{},\"modeled_total_ns\":{:.1},\
+                     \"nodes\":{},\"rounds\":{}}}",
+                    s.shard,
+                    s.apps,
+                    s.completed,
+                    s.suspicious,
+                    s.quarantined,
+                    s.failed,
+                    s.leaks,
+                    s.modeled_total_ns,
+                    s.nodes,
+                    s.rounds
+                )
+            })
+            .collect();
+        let stragglers: Vec<String> = self
+            .stragglers
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"index\":{},\"package\":{},\"shard\":{},\"total_ns\":{:.1}}}",
+                    s.index,
+                    gdroid_vetting::json::string(&s.package),
+                    s.shard,
+                    s.total_ns
+                )
+            })
+            .collect();
+        format!(
+            "{{\"campaign\":{{\"master_seed\":{},\"apps\":{},\"shards\":{},\
+             \"config_digest\":{}}},\"verdicts\":{{\"completed\":{},\"suspicious\":{},\
+             \"clean\":{},\"quarantined\":{},\"failed\":{},\"leaks\":{},\"retried_apps\":{},\
+             \"targeted_apps\":{},\"mean_sliced_fraction\":{:.6},\"digest\":\"{:016x}\"}},\
+             \"modeled\":{{\"serial_ns\":{:.1},\"makespan_ns\":{:.1},\"imbalance\":{:.4},\
+             \"app_model\":{}}},\"per_shard\":[{}],\"stragglers\":[{}]}}",
+            self.master_seed,
+            self.apps,
+            self.shards,
+            self.config_digest,
+            self.completed,
+            self.suspicious,
+            self.clean,
+            self.quarantined,
+            self.failed,
+            self.leaks,
+            self.retried_apps,
+            self.targeted_apps,
+            self.mean_sliced_fraction,
+            self.verdict_digest,
+            self.modeled_serial_ns,
+            self.modeled_makespan_ns,
+            self.imbalance,
+            self.app_model.to_json(),
+            per_shard.join(","),
+            stragglers.join(","),
+        )
+    }
+
+    /// Human-readable summary (the CLI's default output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "campaign: {} apps x {} shard(s), seed {:#x}",
+            self.apps, self.shards, self.master_seed
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "verdicts: {} suspicious / {} clean ({} leaks), {} quarantined, {} failed",
+            self.suspicious, self.clean, self.leaks, self.quarantined, self.failed
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "modeled:  serial {:.1} ms, makespan {:.1} ms over {} shard(s), imbalance {:.3}",
+            self.modeled_serial_ns / 1e6,
+            self.modeled_makespan_ns / 1e6,
+            self.shards,
+            self.imbalance
+        )
+        .unwrap();
+        for s in &self.per_shard {
+            writeln!(
+                out,
+                "  shard {}: {} apps, {} suspicious, modeled {:.1} ms",
+                s.shard,
+                s.apps,
+                s.suspicious,
+                s.modeled_total_ns / 1e6
+            )
+            .unwrap();
+        }
+        for s in &self.stragglers {
+            writeln!(
+                out,
+                "  straggler: app {:06} ({}) shard {} modeled {:.2} ms",
+                s.index,
+                s.package,
+                s.shard,
+                s.total_ns / 1e6
+            )
+            .unwrap();
+        }
+        writeln!(out, "verdict digest: {:016x}", self.verdict_digest).unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, verdict: &str, total_ms: f64) -> AppRecord {
+        AppRecord {
+            index,
+            package: format!("com.gen.app{index:04}"),
+            status: RecordStatus::Completed,
+            verdict: verdict.to_owned(),
+            leaks: if verdict == "Suspicious" { 1 } else { 0 },
+            report_fnv: 0x9000 + index as u64,
+            envgen_ns: total_ms * 1e6 / 4.0,
+            callgraph_ns: total_ms * 1e6 / 4.0,
+            idfg_ns: total_ms * 1e6 / 4.0,
+            taint_ns: total_ms * 1e6 / 4.0,
+            nodes: 100 * (index as u64 + 1),
+            rounds: 3,
+            sliced_micros: None,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn fleet_report_folds_shards_and_is_layout_invariant() {
+        // 6 apps, strided over 2 shards vs 1 shard: verdict lines and
+        // digest must be identical; per-shard rollups differ by design.
+        let all: Vec<AppRecord> = (0..6)
+            .map(|i| record(i, if i % 2 == 0 { "Suspicious" } else { "Clean" }, (i + 1) as f64))
+            .collect();
+        let solo = FleetReport::from_records(7, 6, 42, vec![all.clone()]);
+        let split = FleetReport::from_records(
+            7,
+            6,
+            42,
+            vec![
+                all.iter().filter(|r| r.index % 2 == 0).cloned().collect(),
+                all.iter().filter(|r| r.index % 2 == 1).cloned().collect(),
+            ],
+        );
+        assert_eq!(solo.verdict_lines(), split.verdict_lines());
+        assert_eq!(solo.verdict_digest, split.verdict_digest);
+        assert_eq!(split.shards, 2);
+        assert_eq!(split.suspicious, 3);
+        assert_eq!(split.clean, 3);
+        assert_eq!(split.leaks, 3);
+        // Shard 0 holds the even indices: 1 + 3 + 5 ms modeled.
+        assert!((split.per_shard[0].modeled_total_ns - 9e6).abs() < 1.0);
+        assert!((split.per_shard[1].modeled_total_ns - 12e6).abs() < 1.0);
+        assert!((split.modeled_makespan_ns - 12e6).abs() < 1.0);
+        assert!((split.modeled_serial_ns - 21e6).abs() < 1.0);
+        assert!((split.imbalance - 12.0 / 10.5).abs() < 1e-9);
+        // Stragglers: heaviest first, capped at STRAGGLER_COUNT.
+        assert_eq!(split.stragglers.len(), 5);
+        assert_eq!(split.stragglers[0].index, 5);
+        assert_eq!(split.stragglers[0].shard, 1);
+        assert_eq!(solo.app_model.count, 6);
+        assert_eq!(solo.app_model, split.app_model);
+    }
+
+    #[test]
+    fn fleet_json_is_deterministic_and_wellformed() {
+        let records = vec![record(0, "Clean", 2.0), record(1, "Suspicious", 4.0)];
+        let a = FleetReport::from_records(1, 2, 9, vec![records.clone()]);
+        let b = FleetReport::from_records(1, 2, 9, vec![records]);
+        assert_eq!(a.to_json(), b.to_json());
+        let j = a.to_json();
+        assert!(j.starts_with("{\"campaign\":{\"master_seed\":1,\"apps\":2,"));
+        assert!(j.contains("\"suspicious\":1"));
+        assert!(j.contains("\"digest\":\""));
+        assert!(j.contains("\"app_model\":{\"count\":2"));
+        assert!(a.render().contains("verdict digest"));
+    }
+
+    #[test]
+    fn duplicate_indices_keep_first_record_and_statuses_tally() {
+        let mut dup = record(3, "Clean", 1.0);
+        dup.verdict = "Suspicious".into();
+        let mut quarantined = record(4, "-", 1.0);
+        quarantined.status = RecordStatus::Quarantined;
+        quarantined.leaks = 0;
+        let r = FleetReport::from_records(
+            0,
+            5,
+            0,
+            vec![vec![record(3, "Clean", 1.0), dup, quarantined]],
+        );
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[0].verdict, "Clean");
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.quarantined, 1);
+        assert_eq!(r.clean, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Campaign gates: kill/resume byte-identity and shard-layout
+//! invariance, driven through the public API over real (tiny) corpora.
+
+use gdroid_apk::GenConfig;
+use gdroid_campaign::{journal_path, run_campaign, CampaignConfig, CampaignError};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gdroid-campaign-gate-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tiny_campaign(dir: PathBuf, apps: usize, shards: usize) -> CampaignConfig {
+    CampaignConfig {
+        gen: GenConfig::tiny(),
+        prep_workers: 1,
+        devices: 1,
+        ..CampaignConfig::new(apps, shards, dir)
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_byte_identical_fleet_report() {
+    // Uninterrupted reference run.
+    let ref_dir = tmp_dir("resume-ref");
+    let reference = run_campaign(&tiny_campaign(ref_dir.clone(), 10, 2)).unwrap();
+    assert_eq!(reference.executed, 10);
+    assert_eq!(reference.resumed, 0);
+    assert_eq!(reference.fleet.completed, 10);
+
+    // "Killed" run: complete once, then cut the shard-0 journal mid-line
+    // (simulating a crash during an append) and resume.
+    let kill_dir = tmp_dir("resume-kill");
+    run_campaign(&tiny_campaign(kill_dir.clone(), 10, 2)).unwrap();
+    let journal = journal_path(&kill_dir, 0);
+    let bytes = std::fs::read(&journal).unwrap();
+    // Drop the last ~1.5 records: everything after must be re-vetted.
+    let cut = bytes.len() - 250;
+    std::fs::write(&journal, &bytes[..cut]).unwrap();
+
+    let resumed = run_campaign(&tiny_campaign(kill_dir.clone(), 10, 2)).unwrap();
+    assert!(resumed.executed >= 1, "the truncated records must be re-executed");
+    assert!(resumed.resumed >= 1, "the surviving records must be skipped");
+    assert_eq!(resumed.executed + resumed.resumed, 10);
+    assert_eq!(
+        resumed.fleet.to_json(),
+        reference.fleet.to_json(),
+        "kill/resume must reproduce the uninterrupted fleet report byte for byte"
+    );
+    assert_eq!(resumed.fleet.verdict_lines(), reference.fleet.verdict_lines());
+
+    std::fs::remove_dir_all(ref_dir).ok();
+    std::fs::remove_dir_all(kill_dir).ok();
+}
+
+#[test]
+fn shard_count_never_changes_a_verdict() {
+    let solo_dir = tmp_dir("layout-1");
+    let solo = run_campaign(&tiny_campaign(solo_dir.clone(), 9, 1)).unwrap();
+    for shards in [2, 3] {
+        let dir = tmp_dir(&format!("layout-{shards}"));
+        let split = run_campaign(&tiny_campaign(dir.clone(), 9, shards)).unwrap();
+        assert_eq!(split.fleet.shards, shards);
+        assert_eq!(
+            split.fleet.verdict_lines(),
+            solo.fleet.verdict_lines(),
+            "{shards}-shard campaign diverged from the 1-shard verdicts"
+        );
+        assert_eq!(split.fleet.verdict_digest, solo.fleet.verdict_digest);
+        std::fs::remove_dir_all(dir).ok();
+    }
+    std::fs::remove_dir_all(solo_dir).ok();
+}
+
+#[test]
+fn resume_under_a_different_profile_is_refused() {
+    let dir = tmp_dir("profile");
+    run_campaign(&tiny_campaign(dir.clone(), 4, 1)).unwrap();
+    let mut other = tiny_campaign(dir.clone(), 4, 1);
+    other.targeted = true;
+    match run_campaign(&other) {
+        Err(CampaignError::Journal(_)) => {}
+        other => panic!(
+            "a mode change must refuse the old journals, got {:?}",
+            other.as_ref().map(|o| o.fleet.to_json()).map_err(|e| e.to_string())
+        ),
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn targeted_campaign_records_slices_and_agrees_on_verdicts() {
+    let full_dir = tmp_dir("targeted-full");
+    let full = run_campaign(&tiny_campaign(full_dir.clone(), 6, 1)).unwrap();
+    let fast_dir = tmp_dir("targeted-fast");
+    let mut cfg = tiny_campaign(fast_dir.clone(), 6, 1);
+    cfg.targeted = true;
+    let fast = run_campaign(&cfg).unwrap();
+    assert_eq!(fast.fleet.targeted_apps, 6);
+    assert!(fast.fleet.mean_sliced_fraction > 0.0 && fast.fleet.mean_sliced_fraction <= 1.0);
+    // The sliced fast lane must reach the full pipeline's verdicts.
+    let verdicts = |r: &gdroid_campaign::FleetReport| {
+        r.records.iter().map(|a| (a.index, a.verdict.clone(), a.leaks)).collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&fast.fleet), verdicts(&full.fleet));
+    std::fs::remove_dir_all(full_dir).ok();
+    std::fs::remove_dir_all(fast_dir).ok();
+}

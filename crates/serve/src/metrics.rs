@@ -69,50 +69,28 @@ impl Histogram {
     /// Consistent point-in-time snapshot (approximate under concurrent
     /// writes — these are statistics).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let count: u64 = counts.iter().sum();
-        let sum = self.sum.load(Ordering::Relaxed);
-        let max = self.max.load(Ordering::Relaxed);
-        // Linear interpolation within the landing bucket (the Prometheus
-        // `histogram_quantile` scheme). With ×4-geometric buckets, the
-        // old "return the bucket upper bound" answer overestimated by up
-        // to 4×; interpolating on the continuous rank `q·count` keeps the
-        // estimate inside the bucket, and the upper edge is clamped to
-        // the observed max so the overflow bucket stays finite.
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let rank = q * count as f64;
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                let next = seen + c;
-                if c > 0 && next as f64 >= rank {
-                    let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
-                    let upper = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(max).min(max);
-                    let lower = lower.min(upper);
-                    let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
-                    return lower + ((upper - lower) as f64 * frac).round() as u64;
-                }
-                seen = next;
-            }
-            max
-        };
-        HistogramSnapshot {
-            count,
-            mean_ns: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-            p50_ns: quantile(0.50),
-            p95_ns: quantile(0.95),
-            p99_ns: quantile(0.99),
-            max_ns: max,
-        }
+        let buckets: [u64; 17] = std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        HistogramSnapshot::from_buckets(
+            buckets,
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
     }
 }
 
-/// Frozen summary of a [`Histogram`]. Percentiles interpolate linearly
-/// within their bucket (clamped to the observed max).
+/// Frozen summary of a [`Histogram`]. Carries the raw bucket counts, so
+/// snapshots from different service instances merge *exactly* (bucket
+/// counts add; percentiles are recomputed from the merged buckets, never
+/// averaged). Percentiles interpolate linearly within their bucket
+/// (clamped to the observed max).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HistogramSnapshot {
+    /// Raw per-bucket sample counts (the 16 geometric buckets plus the
+    /// overflow bucket). The mergeable ground truth behind every derived
+    /// field.
+    pub buckets: [u64; 17],
+    /// Sum of all samples (ns).
+    pub sum_ns: u64,
     /// Samples recorded.
     pub count: u64,
     /// Mean sample.
@@ -128,11 +106,75 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// JSON rendering.
+    /// Builds a snapshot (including every derived field) from the raw
+    /// mergeable state: bucket counts, sample sum, and observed max.
+    pub fn from_buckets(buckets: [u64; 17], sum_ns: u64, max_ns: u64) -> HistogramSnapshot {
+        let count: u64 = buckets.iter().sum();
+        // Linear interpolation within the landing bucket (the Prometheus
+        // `histogram_quantile` scheme). With ×4-geometric buckets, the
+        // old "return the bucket upper bound" answer overestimated by up
+        // to 4×; interpolating on the continuous rank `q·count` keeps the
+        // estimate inside the bucket, and the upper edge is clamped to
+        // the observed max so the overflow bucket stays finite.
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = q * count as f64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                let next = seen + c;
+                if c > 0 && next as f64 >= rank {
+                    let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                    let upper = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(max_ns).min(max_ns);
+                    let lower = lower.min(upper);
+                    let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                    return lower + ((upper - lower) as f64 * frac).round() as u64;
+                }
+                seen = next;
+            }
+            max_ns
+        };
+        HistogramSnapshot {
+            buckets,
+            sum_ns,
+            count,
+            mean_ns: if count == 0 { 0.0 } else { sum_ns as f64 / count as f64 },
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
+            max_ns,
+        }
+    }
+
+    /// Exact merge: bucket counts and sums add, the max is the max, and
+    /// every derived field (mean, percentiles) is recomputed from the
+    /// merged raw state — identical to a snapshot of one histogram that
+    /// recorded both sample populations.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: [u64; 17] = std::array::from_fn(|i| self.buckets[i] + other.buckets[i]);
+        HistogramSnapshot::from_buckets(
+            buckets,
+            self.sum_ns + other.sum_ns,
+            self.max_ns.max(other.max_ns),
+        )
+    }
+
+    /// JSON rendering: derived summary fields plus the raw mergeable
+    /// bucket counts.
     pub fn to_json(&self) -> String {
+        let buckets = self.buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
-            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
-            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns
+            "{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+             \"max_ns\":{},\"sum_ns\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.mean_ns,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns,
+            self.sum_ns,
+            buckets
         )
     }
 }
@@ -197,6 +239,7 @@ impl Counters {
             batches: load(&self.batches),
             batched_jobs: load(&self.batched_jobs),
             targeted_jobs: load(&self.targeted_jobs),
+            sliced_fraction_micros: load(&self.sliced_fraction_micros),
         }
     }
 }
@@ -232,16 +275,42 @@ pub struct CountersSnapshot {
     pub batched_jobs: u64,
     /// Targeted (fast-lane, sliced) jobs completed.
     pub targeted_jobs: u64,
+    /// Summed targeted sliced fractions in micro-units (×1e6). Kept raw
+    /// (not pre-divided) so shard merges reproduce the exact fleet-wide
+    /// mean instead of averaging per-shard means.
+    pub sliced_fraction_micros: u64,
 }
 
 impl CountersSnapshot {
+    /// Exact merge: every counter is a sum over disjoint event sets, so
+    /// field-wise addition is the true union.
+    pub fn merge(&self, other: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            submitted: self.submitted + other.submitted,
+            rejected: self.rejected + other.rejected,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_incremental: self.cache_incremental + other.cache_incremental,
+            prepared: self.prepared + other.prepared,
+            executed: self.executed + other.executed,
+            retries: self.retries + other.retries,
+            faults: self.faults + other.faults,
+            timeouts: self.timeouts + other.timeouts,
+            quarantined: self.quarantined + other.quarantined,
+            completed: self.completed + other.completed,
+            batches: self.batches + other.batches,
+            batched_jobs: self.batched_jobs + other.batched_jobs,
+            targeted_jobs: self.targeted_jobs + other.targeted_jobs,
+            sliced_fraction_micros: self.sliced_fraction_micros + other.sliced_fraction_micros,
+        }
+    }
+
     /// JSON rendering.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
              \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{},\
-             \"targeted_jobs\":{}}}",
+             \"targeted_jobs\":{},\"sliced_fraction_micros\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -256,6 +325,7 @@ impl CountersSnapshot {
             self.batches,
             self.batched_jobs,
             self.targeted_jobs,
+            self.sliced_fraction_micros,
         )
     }
 }
@@ -307,18 +377,7 @@ impl ServiceMetrics {
     ) -> ServiceReport {
         let wall_ns = self.started.elapsed().as_nanos() as u64;
         let counters = self.counters.snapshot();
-        let apps_per_sec =
-            if wall_ns == 0 { 0.0 } else { counters.completed as f64 / (wall_ns as f64 / 1e9) };
-        // Mean jobs per device execution: batched jobs collapse into one
-        // launch group each, solo executions count as groups of one.
-        let groups = counters.executed.saturating_sub(counters.batched_jobs) + counters.batches;
-        let coresidency = if groups == 0 { 1.0 } else { counters.executed as f64 / groups as f64 };
-        let sliced_micros = self.counters.sliced_fraction_micros.load(Ordering::Relaxed);
-        let mean_sliced_fraction = if counters.targeted_jobs == 0 {
-            1.0
-        } else {
-            sliced_micros as f64 / 1e6 / counters.targeted_jobs as f64
-        };
+        let (apps_per_sec, coresidency, mean_sliced_fraction) = derived_ratios(&counters, wall_ns);
         ServiceReport {
             counters,
             queue_wait: self.queue_wait.snapshot(),
@@ -336,6 +395,24 @@ impl ServiceMetrics {
             device_faults,
         }
     }
+}
+
+/// Ratios derived from the raw counters: throughput, mean coresidency,
+/// and the mean targeted sliced fraction. Factored out so a merged
+/// report recomputes them from merged counters instead of averaging.
+fn derived_ratios(counters: &CountersSnapshot, wall_ns: u64) -> (f64, f64, f64) {
+    let apps_per_sec =
+        if wall_ns == 0 { 0.0 } else { counters.completed as f64 / (wall_ns as f64 / 1e9) };
+    // Mean jobs per device execution: batched jobs collapse into one
+    // launch group each, solo executions count as groups of one.
+    let groups = counters.executed.saturating_sub(counters.batched_jobs) + counters.batches;
+    let coresidency = if groups == 0 { 1.0 } else { counters.executed as f64 / groups as f64 };
+    let mean_sliced_fraction = if counters.targeted_jobs == 0 {
+        1.0
+    } else {
+        counters.sliced_fraction_micros as f64 / 1e6 / counters.targeted_jobs as f64
+    };
+    (apps_per_sec, coresidency, mean_sliced_fraction)
 }
 
 /// The machine-readable service summary (`--json` / `BENCH_serve.json`).
@@ -373,6 +450,39 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Exact shard merge. Every aggregate is folded from its raw
+    /// mergeable state: counters, cache, and sumstore stats add;
+    /// histograms add bucket-wise (percentiles recomputed from the
+    /// merged buckets, never averaged); derived ratios are recomputed
+    /// from the merged counters. `wall_ns` takes the max — shards run
+    /// concurrently, so the fleet's wall clock is the slowest shard's.
+    pub fn merge(&self, other: &ServiceReport) -> ServiceReport {
+        let counters = self.counters.merge(&other.counters);
+        let wall_ns = self.wall_ns.max(other.wall_ns);
+        let (apps_per_sec, coresidency, mean_sliced_fraction) = derived_ratios(&counters, wall_ns);
+        ServiceReport {
+            counters,
+            queue_wait: self.queue_wait.merge(&other.queue_wait),
+            prep: self.prep.merge(&other.prep),
+            exec_wall: self.exec_wall.merge(&other.exec_wall),
+            kernel_model: self.kernel_model.merge(&other.kernel_model),
+            taint_model: self.taint_model.merge(&other.taint_model),
+            cache: CacheStats {
+                hits: self.cache.hits + other.cache.hits,
+                misses: self.cache.misses + other.cache.misses,
+                invalidations: self.cache.invalidations + other.cache.invalidations,
+                insertions: self.cache.insertions + other.cache.insertions,
+            },
+            sumstore: self.sumstore.merge(&other.sumstore),
+            wall_ns,
+            apps_per_sec,
+            coresidency,
+            mean_sliced_fraction,
+            device_launches: self.device_launches + other.device_launches,
+            device_faults: self.device_faults + other.device_faults,
+        }
+    }
+
     /// JSON rendering.
     pub fn to_json(&self) -> String {
         format!(
@@ -444,6 +554,78 @@ mod tests {
     fn empty_histogram_is_zeroed() {
         let s = Histogram::new().snapshot();
         assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    /// A deterministic sample population: geometrically spread latencies
+    /// covering the low buckets, a mid bucket, and the overflow bucket.
+    fn sample_population() -> Vec<u64> {
+        (0..64u64).map(|i| (i % 13 + 1) * 7u64.pow((i % 7) as u32 + 1)).collect()
+    }
+
+    #[test]
+    fn histogram_merge_of_split_equals_whole() {
+        // merge(split(samples)) == whole, byte-exact: any partition of the
+        // sample population into two histograms must merge back to the
+        // snapshot of one histogram that saw everything.
+        let samples = sample_population();
+        for split_at in [0, 1, samples.len() / 3, samples.len() / 2, samples.len()] {
+            let whole = Histogram::new();
+            let left = Histogram::new();
+            let right = Histogram::new();
+            for (i, &ns) in samples.iter().enumerate() {
+                whole.record(ns);
+                if i < split_at {
+                    left.record(ns)
+                } else {
+                    right.record(ns)
+                };
+            }
+            let merged = left.snapshot().merge(&right.snapshot());
+            assert_eq!(merged, whole.snapshot(), "split at {split_at}");
+            assert_eq!(merged.to_json(), whole.snapshot().to_json());
+        }
+    }
+
+    #[test]
+    fn report_merge_of_split_equals_whole_report() {
+        // Split a deterministic event stream across two ServiceMetrics
+        // ("shards") and merge their reports: every mergeable aggregate
+        // must equal the report of one metrics instance that saw the
+        // whole stream. Wall-clock-derived fields are pinned on both
+        // sides before comparison (shards share no clock).
+        let whole = ServiceMetrics::new();
+        let parts = [ServiceMetrics::new(), ServiceMetrics::new()];
+        for (i, &ns) in sample_population().iter().enumerate() {
+            for m in [&whole, &parts[i % 2]] {
+                m.queue_wait.record(ns);
+                m.exec_wall.record(ns * 3);
+                m.kernel_model.record(ns / 2);
+                Counters::bump(&m.counters.submitted);
+                Counters::bump(&m.counters.completed);
+                if i % 3 == 0 {
+                    Counters::bump(&m.counters.cache_hits);
+                }
+                if i % 5 == 0 {
+                    Counters::bump(&m.counters.targeted_jobs);
+                    m.counters.sliced_fraction_micros.fetch_add(125_000, Ordering::Relaxed);
+                }
+            }
+        }
+        let cache = |h, m| CacheStats { hits: h, misses: m, invalidations: 0, insertions: m };
+        let sum = |h, m| SumStoreStats { hits: h, misses: m, insertions: m, reloc_failures: 0 };
+        let mut expect = whole.report(cache(6, 2), sum(8, 2), 10, 1);
+        let mut merged = parts[0].report(cache(2, 1), sum(3, 1), 4, 0).merge(&parts[1].report(
+            cache(4, 1),
+            sum(5, 1),
+            6,
+            1,
+        ));
+        for r in [&mut expect, &mut merged] {
+            r.wall_ns = 1_000_000;
+            r.apps_per_sec = 0.0;
+        }
+        assert_eq!(merged.to_json(), expect.to_json());
+        assert!(merged.mean_sliced_fraction > 0.0 && merged.mean_sliced_fraction < 1.0);
     }
 
     #[test]

@@ -220,6 +220,23 @@ impl VettingService {
         }
     }
 
+    /// Takes every terminal result produced so far, leaving the buffer
+    /// empty. Long streaming runs (the campaign layer) harvest between
+    /// submissions so resident results stay bounded by the in-flight
+    /// window instead of growing O(corpus); a later [`Self::drain`]
+    /// returns only the results produced after the last harvest. Note
+    /// that [`Self::completed`] and [`Self::wait_for`] count the
+    /// *buffered* results, so they reset alongside.
+    pub fn take_results(&self) -> Vec<JobResult> {
+        std::mem::take(
+            &mut *self
+                .state
+                .results
+                .lock()
+                .expect("results mutex poisoned: a service thread panicked"),
+        )
+    }
+
     /// Terminal results produced so far.
     pub fn completed(&self) -> u64 {
         self.state.results.lock().expect("results mutex poisoned: a service thread panicked").len()

@@ -31,6 +31,17 @@ pub struct SumStoreStats {
 }
 
 impl SumStoreStats {
+    /// Exact merge of two instances' lifetime counters (field-wise sum) —
+    /// used when per-shard service reports fold into one fleet report.
+    pub fn merge(&self, other: &SumStoreStats) -> SumStoreStats {
+        SumStoreStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            reloc_failures: self.reloc_failures + other.reloc_failures,
+        }
+    }
+
     /// Byte-stable JSON object with deterministic key order.
     pub fn to_json(&self) -> String {
         format!(

@@ -15,6 +15,8 @@
 //!                                     vet every bundle under a directory via the service
 //! gdroid sumstore stats <dir>         inspect a persisted summary store
 //! gdroid sumstore clear <dir>         reset a persisted summary store
+//! gdroid campaign --apps N [--shards S] ...
+//!                                     run a streamed store-scale campaign (see below)
 //! ```
 //!
 //! `serve` and `batch` accept `--coresident C`: each executor tops its
@@ -52,6 +54,22 @@
 //! byte-deterministic: two runs of the same seed write identical files.
 //! `serve` and `batch` accept `--trace-dir <dir>`, writing one modeled-
 //! time trace per job after the drain.
+//!
+//! `campaign` streams an N-app corpus (generate → vet → journal →
+//! discard, memory bounded by each service's in-flight window) across
+//! `--shards S` independent serve fleets — one per simulated multi-GPU
+//! node. Every terminal outcome is checkpointed to an append-only,
+//! checksummed journal under `--journal-dir` (default
+//! `campaign.journal/`), so a killed campaign rerun with the same
+//! arguments resumes exactly where it stopped and still produces the
+//! byte-identical fleet report. `--out` writes the canonical fleet
+//! report JSON (byte-deterministic across reruns and kill/resume);
+//! `--verdicts` writes one sorted `index package verdict report-hash`
+//! line per app (byte-comparable across *any* shard count); `--fresh`
+//! discards existing journals first. `--targeted` vets through the
+//! demand-driven fast lane; `--sumstore` attaches a per-shard in-memory
+//! summary store; `--scale F` scales the generator profile (default is
+//! the `small` profile, 0.25).
 //!
 //! Apps can come from a `.jil` file (the textual IR) or be generated on
 //! the fly from a numeric seed.
@@ -92,7 +110,10 @@ fn usage() -> ! {
          [--targeted-lane] [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] \
          [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
-         gdroid sumstore stats|clear <dir>"
+         gdroid sumstore stats|clear <dir>\n  \
+         gdroid campaign --apps N [--shards S] [--seed X] [--workers K] [--devices D] \
+         [--coresident C] [--targeted] [--sumstore] [--scale F] [--journal-dir DIR] \
+         [--out FILE] [--verdicts FILE] [--trace-dir DIR] [--fresh] [--json]"
     );
     exit(2)
 }
@@ -612,6 +633,88 @@ fn main() {
                     eprintln!("cleared summary store under {dir}");
                 }
                 _ => usage(),
+            }
+        }
+        "campaign" => {
+            let Some(apps) = flag_value(&args, "--apps") else { usage() };
+            let shards = flag_value(&args, "--shards").unwrap_or(1);
+            let journal_dir = flag_str(&args, "--journal-dir").unwrap_or("campaign.journal");
+            if args.iter().any(|a| a == "--fresh") {
+                std::fs::remove_dir_all(journal_dir).ok();
+            }
+            let mut gen = GenConfig::small();
+            if let Some(scale) = flag_str(&args, "--scale") {
+                gen.scale = scale.parse().unwrap_or_else(|_| usage());
+            }
+            let master_seed = match flag_str(&args, "--seed") {
+                Some(s) => s
+                    .strip_prefix("0x")
+                    .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or_else(|| usage()),
+                None => gdroid::apk::PAPER_MASTER_SEED,
+            };
+            let config = gdroid::campaign::CampaignConfig {
+                apps,
+                shards,
+                master_seed,
+                gen,
+                journal_dir: journal_dir.into(),
+                prep_workers: flag_value(&args, "--workers").unwrap_or(2),
+                devices: flag_value(&args, "--devices").unwrap_or(2),
+                coresident: flag_value(&args, "--coresident").unwrap_or(1),
+                targeted: args.iter().any(|a| a == "--targeted"),
+                sumstore: args.iter().any(|a| a == "--sumstore"),
+                trace_dir: flag_str(&args, "--trace-dir").map(Into::into),
+            };
+            let started = std::time::Instant::now();
+            let outcome = gdroid::campaign::run_campaign(&config).unwrap_or_else(|e| {
+                eprintln!("campaign failed: {e}");
+                exit(1)
+            });
+            let fleet = &outcome.fleet;
+            if let Some(path) = flag_str(&args, "--out") {
+                std::fs::write(path, fleet.to_json() + "\n").unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("wrote fleet report to {path}");
+            }
+            if let Some(path) = flag_str(&args, "--verdicts") {
+                std::fs::write(path, fleet.verdict_lines()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("wrote verdict lines to {path}");
+            }
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", fleet.to_json());
+            } else {
+                print!("{}", fleet.render());
+            }
+            // Live (wall-clock) side — informational only, never part of
+            // the canonical report: it varies with resume and scheduling.
+            let wall = started.elapsed().as_secs_f64();
+            eprintln!(
+                "this run: {} executed, {} resumed from journal | wall {:.2} s \
+                 ({:.1} apps/s live) | {} cache hits, {} sumstore hits, {} device faults",
+                outcome.executed,
+                outcome.resumed,
+                wall,
+                if wall > 0.0 { outcome.executed as f64 / wall } else { 0.0 },
+                outcome.service.cache.hits,
+                outcome.service.sumstore.hits,
+                outcome.service.device_faults,
+            );
+            if fleet.quarantined + fleet.failed > 0 {
+                eprintln!(
+                    "{} quarantined, {} failed app(s) — see journals under {journal_dir}",
+                    fleet.quarantined, fleet.failed
+                );
+                exit(1);
+            }
+            if fleet.records.len() != apps {
+                eprintln!("expected {} records, journals hold {}", apps, fleet.records.len());
+                exit(1);
             }
         }
         "corpus" => {

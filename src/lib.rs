@@ -18,6 +18,7 @@
 //! | [`vetting`] | taint analysis plugin, IDFG-reuse plugins, risk assessment, end-to-end pipeline |
 //! | [`sumstore`] | cross-app shared-library summary store keyed by canonical method hashes |
 //! | [`serve`] | in-process vetting service: priority queue, device scheduler, result cache |
+//! | [`campaign`] | store-scale campaigns: sharded fleets, checkpoint journals, resume, merged fleet report |
 //! | [`trace`] | modeled-time event tracing: Chrome `trace_event` export, zero-cost when disabled |
 //!
 //! Beyond the paper's core, the stack implements its stated future work:
@@ -46,6 +47,7 @@
 
 pub use gdroid_analysis as analysis;
 pub use gdroid_apk as apk;
+pub use gdroid_campaign as campaign;
 pub use gdroid_core as core;
 pub use gdroid_gpusim as gpusim;
 pub use gdroid_icfg as icfg;
