@@ -130,4 +130,26 @@ cmp -s "$batch_dir/ca.json" "$batch_dir/cb.json" || {
   exit 1
 }
 
+echo "==> rel smoke: the engine sweep is byte-deterministic and engines agree"
+(cd "$batch_dir" && "$repo_root/target/release/figures" rel --apps 12 >/dev/null && mv BENCH_rel.json ra.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" rel --apps 12 >/dev/null && mv BENCH_rel.json rb.json)
+cmp -s "$batch_dir/ra.json" "$batch_dir/rb.json" || {
+  echo "rel smoke: BENCH_rel.json differs between identical runs" >&2
+  exit 1
+}
+worklist_vet=$(./target/release/gdroid vet 42 --engine worklist --json)
+rel_vet=$(./target/release/gdroid vet 42 --engine rel --json)
+cpu_vet=$(./target/release/gdroid vet 42 --engine cpu --json)
+if ! python3 - "$worklist_vet" "$rel_vet" "$cpu_vet" <<'PY'
+import json, sys
+# Timings and telemetry are engine-shaped; the report is the contract.
+worklist, rel, cpu = (json.loads(a) for a in sys.argv[1:4])
+assert rel["report"] == worklist["report"], "rel verdict diverged from worklist"
+assert cpu["report"] == worklist["report"], "cpu verdict diverged from worklist"
+PY
+then
+  echo "rel smoke: engine verdicts diverged" >&2
+  exit 1
+fi
+
 echo "ci/check.sh: all green"

@@ -12,12 +12,11 @@
 //! utilization) or counted (launches), so the file is byte-deterministic
 //! for a fixed corpus.
 
-use gdroid_apk::{generate_app, GenConfig, PAPER_MASTER_SEED};
+use crate::corpus::corpus_preps;
+use gdroid_apk::GenConfig;
 use gdroid_core::OptConfig;
 use gdroid_gpusim::{Device, DeviceConfig};
-use gdroid_vetting::{
-    execute_vetting_batch_on_device, execute_vetting_on_device, prepare_vetting, PreparedApp,
-};
+use gdroid_vetting::{execute_vetting_batch_on_device, execute_vetting_on_device, PreparedApp};
 
 /// One co-residency-degree measurement.
 pub struct BatchPoint {
@@ -114,9 +113,7 @@ pub fn run_batch_point(
 /// Runs the co-residency sweep and returns `(json, human_summary)`.
 pub fn batch_benchmark(apps: usize) -> (String, String) {
     let apps = apps.max(4);
-    let preps: Vec<PreparedApp> = (0..apps)
-        .map(|i| prepare_vetting(generate_app(i, PAPER_MASTER_SEED ^ i as u64, &GenConfig::tiny())))
-        .collect();
+    let preps: Vec<PreparedApp> = corpus_preps(apps, &GenConfig::tiny());
 
     // Solo baseline: one run per app on a long-lived device; the outcome
     // JSONs are the byte-identity references for every sweep point.

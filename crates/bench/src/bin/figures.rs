@@ -21,18 +21,21 @@
 //! the byte-deterministic `BENCH_targeted.json`. `corpus1000` streams the
 //! paper's full speedup ladder (kernel rungs, targeted, batching K 2/4/8,
 //! summary store) over the 1000-app corpus at the `small` profile and
-//! writes the byte-deterministic `BENCH_corpus1000.json`.
+//! writes the byte-deterministic `BENCH_corpus1000.json`. `rel` compares
+//! the relational (semi-naive) engine against the MAT/MAT+GRP/worklist
+//! ladder and the CPU reference — facts and verdicts asserted identical
+//! across engines — and writes the byte-deterministic `BENCH_rel.json`.
 
 use gdroid_apk::Corpus;
 use gdroid_bench::{
-    batch_benchmark, corpus1000_benchmark, experiments, run_corpus, sancheck_corpus,
-    serve_benchmark, sumstore_benchmark, targeted_benchmark, trace_benchmark,
+    batch_benchmark, corpus1000_benchmark, experiments, rel_benchmark, run_corpus, sancheck_corpus,
+    serve_benchmark, sumstore_benchmark, targeted_benchmark, trace_benchmark, REL_DETAIL_APPS,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000|rel> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -44,9 +47,9 @@ fn main() {
         usage();
     }
     let experiment = args[0].clone();
-    // The corpus-scale ladder defaults to the paper's full 1000 apps;
-    // everything else defaults to the first 100.
-    let mut apps = if experiment == "corpus1000" { 1000 } else { 100 };
+    // The corpus-scale ladder and the rel engine sweep default to the
+    // paper's full 1000 apps; everything else defaults to the first 100.
+    let mut apps = if experiment == "corpus1000" || experiment == "rel" { 1000 } else { 100 };
     let mut scale = 1.0f64;
     let mut i = 1;
     while i < args.len() {
@@ -147,6 +150,23 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_corpus1000.json");
+        return;
+    }
+
+    if experiment == "rel" {
+        eprintln!(
+            "comparing the relational engine against the worklist ladder \
+             ({REL_DETAIL_APPS} detail apps + {apps} streamed)…"
+        );
+        let t0 = Instant::now();
+        let (json, summary) = rel_benchmark(REL_DETAIL_APPS, apps, scale);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_rel.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_rel.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_rel.json");
         return;
     }
 

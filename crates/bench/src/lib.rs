@@ -14,9 +14,11 @@
 //! aggregates, labeling each with the paper's value for comparison.
 
 pub mod batch;
+pub mod corpus;
 pub mod corpus1000;
 pub mod experiments;
 pub mod record;
+pub mod rel;
 pub mod sancheck;
 pub mod serve;
 pub mod stats;
@@ -25,8 +27,10 @@ pub mod targeted;
 pub mod trace;
 
 pub use batch::{batch_benchmark, run_batch_point, BatchPoint};
+pub use corpus::{corpus_prep, corpus_preps};
 pub use corpus1000::{corpus1000_benchmark, Corpus1000, LadderRung};
 pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
+pub use rel::{fact_digest, rel_benchmark, run_rel_point, RelPoint, REL_DETAIL_APPS, REL_WINDOW};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};
 pub use stats::{percent_below, percent_between, Series};

@@ -14,10 +14,11 @@
 //! (no wall clocks), so the file is byte-deterministic for a fixed seed.
 //! Cold and warm verdicts are asserted identical per app.
 
-use gdroid_apk::{generate_app, GenConfig, PAPER_MASTER_SEED};
+use crate::corpus::corpus_preps;
+use gdroid_apk::GenConfig;
 use gdroid_core::OptConfig;
 use gdroid_sumstore::SumStore;
-use gdroid_vetting::{execute_vetting_full_with_store, prepare_vetting, Engine, PreparedApp};
+use gdroid_vetting::{execute_vetting_full_with_store, Engine, PreparedApp};
 
 /// Library packages each app draws from the shared pool.
 const LIBS_PER_APP: usize = 3;
@@ -89,9 +90,7 @@ fn sweep(preps: &[PreparedApp], store: &SumStore) -> (f64, Vec<String>, u64, u64
 pub fn run_sumstore_point(apps: usize, dup: usize) -> SumstorePoint {
     let pool = (apps * LIBS_PER_APP / dup).max(1);
     let cfg = GenConfig::tiny().with_libraries(LIBS_PER_APP, pool);
-    let preps: Vec<PreparedApp> = (0..apps)
-        .map(|i| prepare_vetting(generate_app(i, PAPER_MASTER_SEED ^ i as u64, &cfg)))
-        .collect();
+    let preps: Vec<PreparedApp> = corpus_preps(apps, &cfg);
 
     let store = SumStore::new();
     let (cold_ns, cold_verdicts, cold_hits, cold_misses) = sweep(&preps, &store);

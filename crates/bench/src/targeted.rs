@@ -11,12 +11,11 @@
 //! counted (slice shape), so the file is byte-deterministic for a fixed
 //! corpus.
 
-use gdroid_apk::{generate_app, GenConfig, PAPER_MASTER_SEED};
+use crate::corpus::corpus_prep;
+use gdroid_apk::GenConfig;
 use gdroid_core::OptConfig;
 use gdroid_gpusim::{Device, DeviceConfig};
-use gdroid_vetting::{
-    execute_vetting_on_device, execute_vetting_targeted_on_device, prepare_vetting,
-};
+use gdroid_vetting::{execute_vetting_on_device, execute_vetting_targeted_on_device};
 
 /// One app's full-vs-targeted measurement.
 pub struct TargetedPoint {
@@ -62,8 +61,8 @@ impl TargetedPoint {
 
 /// Vets one prepared corpus app full and targeted, asserting verdict
 /// agreement and makespan dominance.
-pub fn run_targeted_point(app: usize, seed: u64) -> TargetedPoint {
-    let prep = prepare_vetting(generate_app(app, seed, &GenConfig::tiny()));
+pub fn run_targeted_point(app: usize) -> TargetedPoint {
+    let prep = corpus_prep(app, &GenConfig::tiny());
     let mut device = Device::new(DeviceConfig::tesla_p40());
     let full = execute_vetting_on_device(&prep, &mut device, OptConfig::gdroid())
         .expect("no fault plan installed");
@@ -95,8 +94,7 @@ pub fn run_targeted_point(app: usize, seed: u64) -> TargetedPoint {
 /// Runs the full-vs-targeted sweep and returns `(json, human_summary)`.
 pub fn targeted_benchmark(apps: usize) -> (String, String) {
     let apps = apps.max(4);
-    let points: Vec<TargetedPoint> =
-        (0..apps).map(|i| run_targeted_point(i, PAPER_MASTER_SEED ^ i as u64)).collect();
+    let points: Vec<TargetedPoint> = (0..apps).map(run_targeted_point).collect();
 
     let full_ns: f64 = points.iter().map(|p| p.full_ns).sum();
     let targeted_ns: f64 = points.iter().map(|p| p.targeted_ns).sum();

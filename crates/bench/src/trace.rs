@@ -10,11 +10,12 @@
 //! and hashed, so `BENCH_trace.json` is byte-deterministic for the fixed
 //! corpus seed: every number is modeled or counted, never wall clock.
 
-use gdroid_apk::{generate_app, GenConfig, PAPER_MASTER_SEED};
+use crate::corpus::corpus_prep;
+use gdroid_apk::GenConfig;
 use gdroid_core::OptConfig;
 use gdroid_serve::fnv1a;
 use gdroid_trace::{Phase, Tracer};
-use gdroid_vetting::{execute_vetting, execute_vetting_gpu_traced, prepare_vetting, Engine};
+use gdroid_vetting::{execute_vetting, execute_vetting_gpu_traced, Engine};
 
 /// Per-app result of the invariance + breakdown run.
 pub struct TracePoint {
@@ -58,7 +59,7 @@ impl TracePoint {
 
 /// Vets one prepared corpus app traced and untraced; folds the trace.
 fn run_point(index: usize, cfg: &GenConfig) -> TracePoint {
-    let prep = prepare_vetting(generate_app(index, PAPER_MASTER_SEED ^ index as u64, cfg));
+    let prep = corpus_prep(index, cfg);
     let untraced = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
     let tracer = Tracer::enabled_new();
     let traced = execute_vetting_gpu_traced(&prep, OptConfig::gdroid(), &tracer);

@@ -7,6 +7,7 @@ use crate::journal::{
 };
 use crate::report::FleetReport;
 use gdroid_apk::{Corpus, GenConfig, PAPER_MASTER_SEED};
+use gdroid_core::EngineKind;
 use gdroid_serve::{
     fnv1a, job_trace, JobResult, JobSource, JobStatus, Priority, ServiceConfig, ServiceReport,
     VettingService,
@@ -43,6 +44,12 @@ pub struct CampaignConfig {
     /// timings are only run-stable with one worker and one device per
     /// shard; verdicts are order-independent either way.
     pub sumstore: bool,
+    /// Analysis engine every shard service vets with. Non-worklist
+    /// engines bypass the per-shard result cache and co-resident
+    /// batching (see [`EngineKind::caps`]); journaled verdicts and leak
+    /// counts are engine-invariant, but modeled timings are not, so the
+    /// engine participates in [`config_digest`].
+    pub engine: EngineKind,
     /// Write per-app modeled-time Chrome traces under
     /// `<dir>/shard-<s>/job-<index>.json`.
     pub trace_dir: Option<PathBuf>,
@@ -64,6 +71,7 @@ impl CampaignConfig {
             coresident: 1,
             targeted: false,
             sumstore: false,
+            engine: EngineKind::Worklist,
             trace_dir: None,
         }
     }
@@ -76,8 +84,14 @@ impl CampaignConfig {
 /// are deliberately excluded because they never change a record byte.
 pub fn config_digest(config: &CampaignConfig) -> u64 {
     fnv1a(
-        format!("gen={:?} targeted={} sumstore={}", config.gen, config.targeted, config.sumstore)
-            .as_bytes(),
+        format!(
+            "gen={:?} targeted={} sumstore={} engine={}",
+            config.gen,
+            config.targeted,
+            config.sumstore,
+            config.engine.as_str()
+        )
+        .as_bytes(),
     )
 }
 
@@ -235,6 +249,7 @@ fn run_shard(
         devices: config.devices,
         coresident: config.coresident,
         sumstore: config.sumstore.then(|| Arc::new(SumStore::new())),
+        engine: config.engine,
         ..ServiceConfig::default()
     });
 

@@ -1,0 +1,285 @@
+//! The `AnalysisEngine` boundary: every IDFG constructor in the
+//! repository — the worklist-GPU driver, the relational-GPU backend in
+//! `gdroid-rel`, and the CPU reference solver — sits behind one trait, so
+//! vetting, serving, and campaigns can select the engine per job.
+//!
+//! The contract every implementation must honor (and the tier-1 rel gate
+//! enforces): for the same prepared app, presolved set, and slice, the
+//! returned **facts and summaries are byte-identical** across engines.
+//! Engines differ only in modeled cost (`stats`, `idfg_ns`) and telemetry
+//! shape — the fixpoint is unique, the road to it is not.
+
+use crate::driver::{
+    gpu_analyze_app_presolved_on, gpu_analyze_app_sliced_presolved_on, GpuAnalysis,
+};
+use crate::opts::OptConfig;
+use crate::stats::GpuRunStats;
+use gdroid_analysis::{
+    analyze_app_presolved, CpuCostModel, MatrixStore, MethodSpace, MethodSummary, StoreKind,
+    SummaryMap, WorklistTelemetry,
+};
+use gdroid_gpusim::{Device, DeviceFault, SanReport};
+use gdroid_icfg::{CallGraph, Cfg};
+use gdroid_ir::{MethodId, Program};
+use std::collections::{HashMap, HashSet};
+
+/// The selectable engines, in CLI order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// The paper's worklist-GPU driver (`gpu_analyze_app*`).
+    Worklist,
+    /// The relational (semi-naive Datalog) GPU backend (`gdroid-rel`).
+    Rel,
+    /// The sequential CPU reference solver (`gdroid_analysis::solver`).
+    Cpu,
+}
+
+impl EngineKind {
+    /// All engines, in the order `gdroid engines` lists them.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Worklist, EngineKind::Rel, EngineKind::Cpu];
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Worklist => "worklist",
+            EngineKind::Rel => "rel",
+            EngineKind::Cpu => "cpu",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "worklist" => Some(EngineKind::Worklist),
+            "rel" => Some(EngineKind::Rel),
+            "cpu" => Some(EngineKind::Cpu),
+            _ => None,
+        }
+    }
+
+    /// What the engine composes with (gates serve dispatch and the CLI).
+    pub fn caps(self) -> EngineCaps {
+        match self {
+            EngineKind::Worklist => EngineCaps {
+                sumstore: true,
+                targeted: true,
+                batching: true,
+                note: "the paper's worklist-GPU kernels (MAT+GRP+MER); the default",
+            },
+            EngineKind::Rel => EngineCaps {
+                sumstore: true,
+                targeted: true,
+                batching: false,
+                note: "semi-naive relational GPU joins over delta relations",
+            },
+            EngineKind::Cpu => EngineCaps {
+                sumstore: false,
+                targeted: false,
+                batching: false,
+                note: "sequential CPU reference solver — the differential oracle",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an [`EngineKind`] composes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Summary-store pre-solving (`--sumstore`).
+    pub sumstore: bool,
+    /// Demand-driven sink slicing (`--targeted`).
+    pub targeted: bool,
+    /// Co-resident multi-app batching (serve `coresident > 1`).
+    pub batching: bool,
+    /// One-line description for `gdroid engines`.
+    pub note: &'static str,
+}
+
+/// What every engine returns: the engine-invariant fixpoint (facts,
+/// summaries) plus the engine-specific cost and telemetry.
+pub struct EngineAnalysis {
+    /// Per-method node facts — identical across engines.
+    pub facts: HashMap<MethodId, MatrixStore>,
+    /// Final summaries — identical across engines.
+    pub summaries: SummaryMap,
+    /// Per-method pools.
+    pub spaces: HashMap<MethodId, MethodSpace>,
+    /// Per-method CFGs.
+    pub cfgs: HashMap<MethodId, Cfg>,
+    /// Aggregated fixpoint telemetry (engine-shaped: worklist rounds vs
+    /// semi-naive delta rounds vs CPU generations).
+    pub telemetry: WorklistTelemetry,
+    /// Modeled execution statistics (GPU engines; CPU fills `total_ns`).
+    pub stats: GpuRunStats,
+    /// Modeled IDFG-stage time, ns.
+    pub idfg_ns: f64,
+    /// `simcheck` report when the device sanitized (GPU engines only).
+    pub sanitizer: Option<SanReport>,
+}
+
+impl From<GpuAnalysis> for EngineAnalysis {
+    fn from(gpu: GpuAnalysis) -> EngineAnalysis {
+        let idfg_ns = gpu.stats.total_ns;
+        EngineAnalysis {
+            facts: gpu.facts,
+            summaries: gpu.summaries,
+            spaces: gpu.spaces,
+            cfgs: gpu.cfgs,
+            telemetry: gpu.telemetry,
+            stats: gpu.stats,
+            idfg_ns,
+            sanitizer: gpu.sanitizer,
+        }
+    }
+}
+
+/// One IDFG construction backend. Implementations must be deterministic
+/// and must produce the identical facts/summaries for identical inputs —
+/// only `stats`/`idfg_ns`/`telemetry` may differ between engines.
+pub trait AnalysisEngine: Send + Sync {
+    /// Which engine this is (capability lookups, dispatch, reporting).
+    fn kind(&self) -> EngineKind;
+
+    /// Constructs the IDFG on `device` (CPU engines ignore it; they still
+    /// take it so every engine runs through one dispatch path and a
+    /// device-pool scheduler needs no special case).
+    ///
+    /// `presolved` injects summary-store hits; `slice`, when `Some`,
+    /// restricts the schedule to the given methods (targeted vetting).
+    /// Callers must check [`EngineKind::caps`] before passing a non-empty
+    /// `presolved` or a slice to an engine that does not support them.
+    fn analyze_on(
+        &self,
+        device: &mut Device,
+        program: &Program,
+        cg: &CallGraph,
+        roots: &[MethodId],
+        presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
+        slice: Option<&HashSet<MethodId>>,
+    ) -> Result<EngineAnalysis, DeviceFault>;
+}
+
+/// The worklist-GPU engine: today's `gpu_analyze_app*` family.
+pub struct WorklistEngine {
+    /// Optimization-ladder rung the kernels run at.
+    pub opts: OptConfig,
+}
+
+impl WorklistEngine {
+    /// The full-GDroid rung (MAT+GRP+MER) — the production default.
+    pub fn gdroid() -> WorklistEngine {
+        WorklistEngine { opts: OptConfig::gdroid() }
+    }
+}
+
+impl AnalysisEngine for WorklistEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Worklist
+    }
+
+    fn analyze_on(
+        &self,
+        device: &mut Device,
+        program: &Program,
+        cg: &CallGraph,
+        roots: &[MethodId],
+        presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
+        slice: Option<&HashSet<MethodId>>,
+    ) -> Result<EngineAnalysis, DeviceFault> {
+        let gpu = match slice {
+            None => gpu_analyze_app_presolved_on(device, program, cg, roots, self.opts, presolved)?,
+            Some(s) => gpu_analyze_app_sliced_presolved_on(
+                device, program, cg, roots, self.opts, presolved, s,
+            )?,
+        };
+        Ok(gpu.into())
+    }
+}
+
+/// The sequential CPU reference solver behind the engine boundary: the
+/// differential-testing oracle every GPU engine is gated against.
+pub struct CpuEngine;
+
+impl AnalysisEngine for CpuEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Cpu
+    }
+
+    fn analyze_on(
+        &self,
+        _device: &mut Device,
+        program: &Program,
+        cg: &CallGraph,
+        roots: &[MethodId],
+        presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
+        slice: Option<&HashSet<MethodId>>,
+    ) -> Result<EngineAnalysis, DeviceFault> {
+        assert!(slice.is_none(), "the cpu engine does not support targeted slicing (see caps)");
+        let analysis = analyze_app_presolved(program, cg, roots, StoreKind::Matrix, presolved);
+        let idfg_ns = CpuCostModel::amandroid().sequential_ns(&analysis);
+        let mut stats = GpuRunStats::default();
+        stats.total_ns = idfg_ns;
+        Ok(EngineAnalysis {
+            facts: analysis.facts,
+            summaries: analysis.summaries,
+            spaces: analysis.spaces,
+            cfgs: analysis.cfgs,
+            telemetry: analysis.telemetry,
+            stats,
+            idfg_ns,
+            sanitizer: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_apk::{generate_app, GenConfig};
+    use gdroid_gpusim::DeviceConfig;
+    use gdroid_icfg::prepare_app;
+
+    #[test]
+    fn kind_parse_roundtrips() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.as_str());
+        }
+        assert_eq!(EngineKind::parse("gdroid"), None);
+    }
+
+    #[test]
+    fn caps_match_the_documented_matrix() {
+        assert!(EngineKind::Worklist.caps().batching);
+        assert!(!EngineKind::Rel.caps().batching);
+        assert!(EngineKind::Rel.caps().sumstore && EngineKind::Rel.caps().targeted);
+        let cpu = EngineKind::Cpu.caps();
+        assert!(!cpu.sumstore && !cpu.targeted && !cpu.batching);
+    }
+
+    #[test]
+    fn worklist_and_cpu_engines_agree_on_facts() {
+        let mut app = generate_app(0, 8601, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+        let mut device = Device::new(DeviceConfig::tiny());
+        let none = HashMap::new();
+        let gpu = WorklistEngine::gdroid()
+            .analyze_on(&mut device, &app.program, &cg, &roots, &none, None)
+            .unwrap();
+        let cpu =
+            CpuEngine.analyze_on(&mut device, &app.program, &cg, &roots, &none, None).unwrap();
+        assert_eq!(gpu.summaries, cpu.summaries);
+        assert_eq!(gpu.facts.len(), cpu.facts.len());
+        for (mid, g) in &gpu.facts {
+            assert_eq!(g.flat_words(), cpu.facts[mid].flat_words(), "facts differ at {mid:?}");
+        }
+        assert!(gpu.idfg_ns > 0.0 && cpu.idfg_ns > 0.0);
+    }
+}

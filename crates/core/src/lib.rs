@@ -27,6 +27,7 @@
 pub mod autotune;
 pub mod batch;
 pub mod driver;
+pub mod engine;
 pub mod kernel;
 pub mod layout;
 pub mod multigpu;
@@ -35,6 +36,10 @@ pub mod stats;
 
 pub use autotune::{tune_blocks_per_sm, TuneResult};
 pub use batch::{gpu_analyze_batch, gpu_analyze_batch_on, BatchAnalysis, BatchApp, BatchStats};
+pub use engine::{
+    AnalysisEngine, CpuEngine, EngineAnalysis, EngineCaps, EngineKind, WorklistEngine,
+};
+
 pub use driver::{
     gpu_analyze_app, gpu_analyze_app_on, gpu_analyze_app_presolved_on, gpu_analyze_app_sliced_on,
     gpu_analyze_app_sliced_presolved_on, GpuAnalysis,

@@ -97,6 +97,10 @@ pub struct KernelStats {
     pub mallocs: u64,
     /// Cycles spent in the allocator.
     pub malloc_cycles: u64,
+    /// Hash-join probe reads across all blocks (relational kernels).
+    pub join_probes: u64,
+    /// Relation tuples streamed across all blocks (relational kernels).
+    pub scan_rows: u64,
     /// Per-block schedule: `(slot, start_cycle, end_cycle)` in launch
     /// order — the raw material for occupancy timelines.
     pub schedule: Vec<(u32, u64, u64)>,
@@ -440,6 +444,8 @@ impl Device {
             stats.ideal_transactions += b.ideal_transactions;
             stats.mallocs += b.mallocs;
             stats.malloc_cycles += b.malloc_cycles;
+            stats.join_probes += b.join_probes;
+            stats.scan_rows += b.scan_rows;
             // Greedy: next block goes to the earliest-finishing slot.
             let (idx, _) =
                 slot_end.iter().enumerate().min_by_key(|(_, &end)| end).expect("at least one slot");

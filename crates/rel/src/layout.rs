@@ -1,0 +1,151 @@
+//! Device memory layout for the relational backend.
+//!
+//! Per method, semi-naive evaluation needs four planned buffers:
+//!
+//! * the **edge relation** `E(src, dst)` — the CFG as 8-byte tuples, the
+//!   join's static side;
+//! * the **statement relation** — 16-byte transfer descriptors, one per
+//!   CFG node (the data-driven eval the worklist kernel's 25-way branch
+//!   dispatch becomes);
+//! * the **dense fact arrays** — per node, the IN-relation as a sorted
+//!   array of 4-byte fact keys, the scan side of every join;
+//! * the **hash indexes** — per node, an open-addressing table of 8-byte
+//!   slots for existence probes on insert, the probe side.
+//!
+//! Delta-relation sizing: a node can never hold more facts than the
+//! method geometry has `(slot, instance)` pairs, so the dense array is
+//! sized to `bits` keys and the hash index to the next power of two ≥
+//! `2 × bits` — load factor stays ≤ 0.5 by construction and
+//! [`gdroid_gpusim::BlockCtx::probe_chain`] chains never exceed two.
+
+use gdroid_analysis::{Geometry, MethodSpace};
+use gdroid_gpusim::{DevAddr, Device, DeviceBuffer};
+use gdroid_icfg::Cfg;
+use gdroid_ir::MethodId;
+use std::collections::HashMap;
+
+/// Device-resident relational layout of one method.
+#[derive(Clone, Debug)]
+pub struct MethodRelLayout {
+    /// Edge relation `E(src, dst)`, 8 bytes per edge.
+    pub edges: DeviceBuffer,
+    /// Statement descriptors, 16 bytes per node.
+    pub stmts: DeviceBuffer,
+    /// Dense fact arrays: `bits × 4` bytes per node, contiguous.
+    pub dense: DeviceBuffer,
+    /// Hash indexes: `cap × 8` bytes per node, contiguous.
+    pub index: DeviceBuffer,
+    /// Delta relation (node ids, double-buffered).
+    pub delta: DeviceBuffer,
+    /// Hash-index capacity per node (power of two ≥ 2 × geometry bits).
+    pub cap: u64,
+    /// Fact-key capacity of one node's dense array (geometry bits).
+    pub bits: u64,
+    /// Host→device bytes for this method's inputs.
+    pub h2d_bytes: u64,
+    /// Device→host bytes for this method's results.
+    pub d2h_bytes: u64,
+}
+
+impl MethodRelLayout {
+    /// Base address of a node's dense fact array.
+    #[inline]
+    pub fn dense_base(&self, node: u32) -> DevAddr {
+        self.dense.base + u64::from(node) * self.bits * 4
+    }
+
+    /// Base address of a node's hash index.
+    #[inline]
+    pub fn index_base(&self, node: u32) -> DevAddr {
+        self.index.base + u64::from(node) * self.cap * 8
+    }
+}
+
+/// Relational layouts for all methods of an app.
+#[derive(Clone, Debug, Default)]
+pub struct RelLayout {
+    /// Per-method layouts.
+    pub methods: HashMap<MethodId, MethodRelLayout>,
+}
+
+/// Hash-index capacity for a method geometry: the next power of two that
+/// keeps the table at most half full.
+pub fn index_cap(geometry: &Geometry) -> u64 {
+    ((geometry.bits() as u64) * 2).next_power_of_two().max(16)
+}
+
+/// Plans the relational device layout for a set of methods.
+pub fn plan_rel_layout(
+    device: &mut Device,
+    spaces: &HashMap<MethodId, MethodSpace>,
+    cfgs: &HashMap<MethodId, Cfg>,
+    methods: &[MethodId],
+) -> RelLayout {
+    let mut layout = RelLayout::default();
+    for &mid in methods {
+        let space = &spaces[&mid];
+        let cfg = &cfgs[&mid];
+        let geometry = Geometry::of(space);
+        let n_nodes = cfg.len() as u64;
+        let bits = (geometry.bits() as u64).max(1);
+        let cap = index_cap(&geometry);
+
+        let edge_count: u64 = (0..cfg.len()).map(|n| cfg.succ(n as u32).len() as u64).sum();
+        let edges = device.alloc_init((edge_count * 8).max(8));
+        let stmts = device.alloc_init(n_nodes * 16);
+        let dense = device.alloc_init(n_nodes * bits * 4);
+        let index = device.alloc_init(n_nodes * cap * 8);
+        let delta = device.alloc_init(n_nodes * 4 * 2);
+
+        // Inputs stream down whole: the edge and statement relations plus
+        // the seeded entry facts (dense arrays start zeroed device-side,
+        // so only the delta seed crosses the bus).
+        let h2d_bytes = edges.len + stmts.len + delta.len;
+        // Results read back dense, matrix-equivalent volume — the same
+        // d2h contract as the worklist layout, so transfer pipelines
+        // compare engines on identical result volume.
+        let d2h_bytes = (geometry.words() as u64) * 8 * n_nodes;
+
+        layout.methods.insert(
+            mid,
+            MethodRelLayout { edges, stmts, dense, index, delta, cap, bits, h2d_bytes, d2h_bytes },
+        );
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_apk::{generate_app, GenConfig};
+    use gdroid_gpusim::DeviceConfig;
+    use gdroid_icfg::prepare_app;
+
+    #[test]
+    fn rel_layout_sizes_indexes_for_half_load() {
+        let mut app = generate_app(0, 777, &GenConfig::tiny());
+        let (envs, cg) = prepare_app(&mut app);
+        let roots: Vec<MethodId> = envs.iter().map(|e| e.method).collect();
+        let methods = cg.reachable_from(&roots);
+        let spaces: HashMap<_, _> =
+            methods.iter().map(|&m| (m, MethodSpace::build(&app.program, m))).collect();
+        let cfgs: HashMap<_, _> =
+            methods.iter().map(|&m| (m, Cfg::build(&app.program.methods[m]))).collect();
+        let mut device = Device::new(DeviceConfig::tiny());
+        let layout = plan_rel_layout(&mut device, &spaces, &cfgs, &methods);
+        assert_eq!(layout.methods.len(), methods.len());
+        for &mid in &methods {
+            let ml = &layout.methods[&mid];
+            let bits = Geometry::of(&spaces[&mid]).bits() as u64;
+            assert!(ml.cap.is_power_of_two());
+            assert!(ml.cap >= 2 * bits, "cap {} < 2×bits {}", ml.cap, bits);
+            assert!(ml.h2d_bytes > 0 && ml.d2h_bytes > 0);
+            // Per-node regions stay inside their buffers.
+            let n = cfgs[&mid].len() as u32;
+            for node in 0..n {
+                assert!(ml.dense_base(node) + ml.bits * 4 <= ml.dense.base + ml.dense.len);
+                assert!(ml.index_base(node) + ml.cap * 8 <= ml.index.base + ml.index.len);
+            }
+        }
+    }
+}

@@ -213,6 +213,10 @@ pub struct Counters {
     /// Sum of targeted sliced fractions in micro-units (×1e6); divided by
     /// `targeted_jobs` for the report's `mean_sliced_fraction`.
     pub sliced_fraction_micros: AtomicU64,
+    /// Jobs executed under the relational engine.
+    pub rel_jobs: AtomicU64,
+    /// Jobs executed under the CPU reference engine.
+    pub cpu_jobs: AtomicU64,
 }
 
 impl Counters {
@@ -240,6 +244,8 @@ impl Counters {
             batched_jobs: load(&self.batched_jobs),
             targeted_jobs: load(&self.targeted_jobs),
             sliced_fraction_micros: load(&self.sliced_fraction_micros),
+            rel_jobs: load(&self.rel_jobs),
+            cpu_jobs: load(&self.cpu_jobs),
         }
     }
 }
@@ -279,6 +285,10 @@ pub struct CountersSnapshot {
     /// (not pre-divided) so shard merges reproduce the exact fleet-wide
     /// mean instead of averaging per-shard means.
     pub sliced_fraction_micros: u64,
+    /// Jobs executed under the relational engine.
+    pub rel_jobs: u64,
+    /// Jobs executed under the CPU reference engine.
+    pub cpu_jobs: u64,
 }
 
 impl CountersSnapshot {
@@ -301,6 +311,8 @@ impl CountersSnapshot {
             batched_jobs: self.batched_jobs + other.batched_jobs,
             targeted_jobs: self.targeted_jobs + other.targeted_jobs,
             sliced_fraction_micros: self.sliced_fraction_micros + other.sliced_fraction_micros,
+            rel_jobs: self.rel_jobs + other.rel_jobs,
+            cpu_jobs: self.cpu_jobs + other.cpu_jobs,
         }
     }
 
@@ -310,7 +322,7 @@ impl CountersSnapshot {
             "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
              \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{},\
-             \"targeted_jobs\":{},\"sliced_fraction_micros\":{}}}",
+             \"targeted_jobs\":{},\"sliced_fraction_micros\":{},\"rel_jobs\":{},\"cpu_jobs\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -326,6 +338,8 @@ impl CountersSnapshot {
             self.batched_jobs,
             self.targeted_jobs,
             self.sliced_fraction_micros,
+            self.rel_jobs,
+            self.cpu_jobs,
         )
     }
 }

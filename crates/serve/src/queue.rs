@@ -164,6 +164,7 @@ mod tests {
             },
             submitted_at: Instant::now(),
             targeted: false,
+            engine: gdroid_core::EngineKind::Worklist,
         }
     }
 

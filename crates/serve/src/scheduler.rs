@@ -47,6 +47,8 @@ pub struct ReadyJob {
     /// Demand-driven fast-lane job: sliced execution, never batched,
     /// result cache bypassed.
     pub targeted: bool,
+    /// Engine the job runs under (see [`crate::JobSpec::engine`]).
+    pub engine: gdroid_core::EngineKind,
     /// Static work estimate (statements × state width), the LPT key.
     pub estimate: u64,
     /// Widest call-graph layer in blocks — the most block slots one of
@@ -246,6 +248,7 @@ mod tests {
             id,
             priority,
             targeted: false,
+            engine: gdroid_core::EngineKind::Worklist,
             estimate,
             block_demand: 1,
             prep: prepare_vetting(generate_app(0, 100 + id, &GenConfig::tiny())),

@@ -28,13 +28,16 @@ use crate::pool::DevicePool;
 use crate::queue::{SubmitError, SubmitQueue};
 use crate::scheduler::{block_demand, work_estimate, DispatchHeap, ReadyJob};
 use gdroid_apk::{generate_app, load_bundle, App};
-use gdroid_core::OptConfig;
+use gdroid_core::{EngineKind, OptConfig};
 use gdroid_gpusim::{DeviceConfig, FaultPlan};
 use gdroid_sumstore::SumStore;
 use gdroid_vetting::{
-    execute_vetting_batch_on_device, execute_vetting_incremental, execute_vetting_on_device,
-    execute_vetting_on_device_with_store, execute_vetting_targeted_on_device,
-    execute_vetting_targeted_on_device_with_store, prepare_vetting, PreparedApp, VettingRun,
+    execute_vetting_batch_on_device, execute_vetting_engine_on_device,
+    execute_vetting_engine_on_device_with_store, execute_vetting_engine_targeted_on_device,
+    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_incremental,
+    execute_vetting_on_device, execute_vetting_on_device_with_store,
+    execute_vetting_targeted_on_device, execute_vetting_targeted_on_device_with_store,
+    prepare_vetting, PreparedApp, VettingRun,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -75,6 +78,13 @@ pub struct ServiceConfig {
     /// `1` (the default) disables batching. Ignored when a summary store
     /// is configured (store pre-solving is a per-app path).
     pub coresident: usize,
+    /// Engine jobs run under (see [`EngineKind::caps`]). Non-worklist
+    /// engines bypass the result cache and incremental warm starts (both
+    /// hold worklist-profiled outcomes) and never join a co-resident
+    /// batch. Targeted submissions fall back to the worklist engine when
+    /// the configured engine's caps lack `targeted` (only the CPU
+    /// reference does).
+    pub engine: EngineKind,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +101,7 @@ impl Default for ServiceConfig {
             opt: OptConfig::gdroid(),
             sumstore: None,
             coresident: 1,
+            engine: EngineKind::Worklist,
         }
     }
 }
@@ -107,6 +118,7 @@ struct ServiceState {
     opt: OptConfig,
     sumstore: Option<Arc<SumStore>>,
     coresident: usize,
+    engine: EngineKind,
     /// Total block slots of one device (`sm_count × blocks_per_sm`) — the
     /// budget co-resident top-ups must fit into.
     block_slots: u64,
@@ -153,6 +165,7 @@ impl VettingService {
             opt: config.opt,
             sumstore: config.sumstore,
             coresident: config.coresident.max(1),
+            engine: config.engine,
             block_slots: (config.device_config.sm_count as u64)
                 * (config.device_config.blocks_per_sm as u64),
         });
@@ -174,7 +187,14 @@ impl VettingService {
 
     fn spec(&self, priority: Priority, source: JobSource, targeted: bool) -> JobSpec {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        JobSpec { id, priority, source, submitted_at: Instant::now(), targeted }
+        // Targeted jobs need a slicing-capable engine; the worklist engine
+        // is the documented fallback for the one kind (cpu) that lacks it.
+        let engine = if targeted && !self.state.engine.caps().targeted {
+            EngineKind::Worklist
+        } else {
+            self.state.engine
+        };
+        JobSpec { id, priority, source, submitted_at: Instant::now(), targeted, engine }
     }
 
     /// Blocking submission (backpressure when the queue is full).
@@ -319,8 +339,10 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
 
         // Targeted jobs bypass the lookup: the cache only ever holds full
         // outcomes, and a `take_previous`-style probe would invalidate a
-        // perfectly good full entry.
-        if !job.targeted {
+        // perfectly good full entry. Non-worklist engines bypass too —
+        // cached outcomes embed the worklist cost profile, which a rel or
+        // cpu job must not be served.
+        if !job.targeted && job.engine == EngineKind::Worklist {
             if let Some(outcome) = state.cache.lookup(content_hash) {
                 Counters::bump(&state.metrics.counters.cache_hits);
                 state.deliver(JobResult {
@@ -354,6 +376,7 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
             id: job.id,
             priority: job.priority,
             targeted: job.targeted,
+            engine: job.engine,
             estimate,
             block_demand: block_demand(&prep),
             prep,
@@ -418,8 +441,15 @@ fn exec_loop(state: &ServiceState) {
         // combined block demand still fits its block slots. Extras run
         // through the incremental path first — a warm-startable job never
         // burns device time just because it was popped as a co-resident.
+        // Only worklist jobs batch (the batch driver runs the worklist
+        // kernels); a popped non-worklist extra runs solo afterwards.
         let mut group = vec![job];
-        if state.coresident > 1 && state.sumstore.is_none() && !group[0].targeted {
+        let mut stragglers: Vec<ReadyJob> = Vec::new();
+        if state.coresident > 1
+            && state.sumstore.is_none()
+            && !group[0].targeted
+            && group[0].engine == EngineKind::Worklist
+        {
             let mut demand = group[0].block_demand;
             while group.len() < state.coresident && demand < state.block_slots {
                 let Some(extra) = state.dispatch.try_pop_coresident(state.block_slots - demand)
@@ -427,6 +457,10 @@ fn exec_loop(state: &ServiceState) {
                     break;
                 };
                 let Some(extra) = try_incremental(state, extra) else { continue };
+                if extra.engine != EngineKind::Worklist {
+                    stragglers.push(extra);
+                    continue;
+                }
                 demand += extra.block_demand;
                 group.push(extra);
             }
@@ -437,6 +471,9 @@ fn exec_loop(state: &ServiceState) {
         } else {
             exec_batch(state, group);
         }
+        for straggler in stragglers {
+            exec_solo(state, straggler);
+        }
     }
 }
 
@@ -444,9 +481,10 @@ fn exec_loop(state: &ServiceState) {
 /// only when a previous version of the same package is cached (the stale
 /// entry is invalidated either way). Returns the job back when it still
 /// needs a full device run. Targeted jobs always do: their sliced path
-/// must neither consume nor invalidate cached full analyses.
+/// must neither consume nor invalidate cached full analyses. Non-worklist
+/// jobs always do too — the cache is a worklist-engine artifact.
 fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
-    if job.failures == 0 && !job.targeted {
+    if job.failures == 0 && !job.targeted && job.engine == EngineKind::Worklist {
         if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
             if let Some(changed) =
                 changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
@@ -477,22 +515,37 @@ fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
 fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
     let mut lease = state.pool.lease();
     let t = Instant::now();
-    let attempt = if job.targeted {
-        match state.sumstore.as_deref() {
-            Some(store) => execute_vetting_targeted_on_device_with_store(
-                &job.prep, &mut lease, state.opt, store,
-            )
-            .map(|(run, _)| run),
-            None => execute_vetting_targeted_on_device(&job.prep, &mut lease, state.opt),
+    // Engines without sumstore caps (only the CPU reference) skip the
+    // store rather than fault; targeted dispatch was already routed to a
+    // slicing-capable engine at submission.
+    let store = state.sumstore.as_deref().filter(|_| job.engine.caps().sumstore);
+    let attempt = match (job.engine, job.targeted, store) {
+        (EngineKind::Worklist, true, Some(store)) => {
+            execute_vetting_targeted_on_device_with_store(&job.prep, &mut lease, state.opt, store)
+                .map(|(run, _)| run)
         }
-    } else {
-        match state.sumstore.as_deref() {
-            Some(store) => {
-                execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
-                    .map(|(run, _)| run)
-            }
-            None => execute_vetting_on_device(&job.prep, &mut lease, state.opt),
+        (EngineKind::Worklist, true, None) => {
+            execute_vetting_targeted_on_device(&job.prep, &mut lease, state.opt)
         }
+        (EngineKind::Worklist, false, Some(store)) => {
+            execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
+                .map(|(run, _)| run)
+        }
+        (EngineKind::Worklist, false, None) => {
+            execute_vetting_on_device(&job.prep, &mut lease, state.opt)
+        }
+        (engine, true, Some(store)) => execute_vetting_engine_targeted_on_device_with_store(
+            &job.prep, &mut lease, engine, store,
+        )
+        .map(|(run, _)| run),
+        (engine, true, None) => {
+            execute_vetting_engine_targeted_on_device(&job.prep, &mut lease, engine)
+        }
+        (engine, false, Some(store)) => {
+            execute_vetting_engine_on_device_with_store(&job.prep, &mut lease, engine, store)
+                .map(|(run, _)| run)
+        }
+        (engine, false, None) => execute_vetting_engine_on_device(&job.prep, &mut lease, engine),
     };
     match attempt {
         Ok(run) => {
@@ -565,6 +618,11 @@ fn finish(
     state.metrics.exec_wall.record(exec_wall_ns);
     state.metrics.kernel_model.record(run.outcome.timing.idfg_ns as u64);
     state.metrics.taint_model.record(run.outcome.timing.taint_ns as u64);
+    match job.engine {
+        EngineKind::Worklist => {}
+        EngineKind::Rel => Counters::bump(&state.metrics.counters.rel_jobs),
+        EngineKind::Cpu => Counters::bump(&state.metrics.counters.cpu_jobs),
+    }
     let outcome = run.outcome.clone();
     if job.targeted {
         // Never cache a targeted outcome as a full one; account the
@@ -577,7 +635,10 @@ fn finish(
                 .sliced_fraction_micros
                 .fetch_add((prov.sliced_fraction * 1e6).round() as u64, Ordering::Relaxed);
         }
-    } else {
+    } else if job.engine == EngineKind::Worklist {
+        // Only worklist outcomes enter the cache: a hit is served
+        // verbatim, so its embedded cost profile must match the engine
+        // future worklist jobs expect.
         state.cache.insert(
             job.content_hash,
             &job.package,
@@ -726,6 +787,47 @@ mod tests {
         assert!(j.contains("\"cache\":{") && j.contains("\"sumstore\":{\"hits\":"));
     }
 
+    #[test]
+    fn rel_engine_jobs_bypass_the_cache_and_match_worklist_reports() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            engine: EngineKind::Rel,
+            coresident: 4,
+            ..ServiceConfig::default()
+        });
+        for seed in 0..3u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5400 + seed)).unwrap();
+        }
+        // Resubmit the same apps: a worklist service would serve cache
+        // hits, a rel service must re-analyze every one.
+        svc.wait_for(3);
+        for seed in 0..3u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5400 + seed)).unwrap();
+        }
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.status == JobStatus::Completed));
+        assert_eq!(report.cache.hits, 0, "rel jobs must never be served from the cache");
+        assert_eq!(report.counters.rel_jobs, 6);
+        assert_eq!(report.counters.batched_jobs, 0, "rel jobs never join a batch");
+        // The vetting report itself is engine-invariant byte for byte.
+        for r in &results {
+            let reference = vet_app(
+                generate_app(r.id as usize % 3, 5400 + r.id % 3, &GenConfig::tiny()),
+                gdroid_vetting::Engine::Gpu(OptConfig::gdroid()),
+            );
+            assert_eq!(
+                r.outcome.as_ref().unwrap().report.to_json(),
+                reference.report.to_json(),
+                "job {} diverged from the worklist reference",
+                r.id
+            );
+        }
+        let j = report.to_json();
+        assert!(j.contains("\"rel_jobs\":6") && j.contains("\"cpu_jobs\":0"));
+    }
+
     fn ready_job(id: u64, seed: u64) -> ReadyJob {
         let prep = prepare_vetting(generate_app(id as usize, seed, &GenConfig::tiny()));
         let hashes = method_hashes(&prep.app.program);
@@ -734,6 +836,7 @@ mod tests {
             id,
             priority: Priority::Standard,
             targeted: false,
+            engine: EngineKind::Worklist,
             estimate: work_estimate(&prep),
             block_demand: block_demand(&prep),
             content_hash: app_content_hash(&prep.app),
@@ -768,6 +871,7 @@ mod tests {
             sumstore: None,
             coresident: 4,
             block_slots: 120,
+            engine: EngineKind::Worklist,
         };
         for id in 0..5u64 {
             assert!(state.dispatch.push(ready_job(id, 5500 + id)).is_ok());

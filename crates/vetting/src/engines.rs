@@ -1,0 +1,304 @@
+//! Engine-selectable vetting: the same pipeline stages, with the IDFG
+//! constructed by any [`AnalysisEngine`] — worklist-GPU, relational-GPU,
+//! or the CPU reference solver — selected per job by [`EngineKind`].
+//!
+//! This is the dispatch layer `serve::JobSpec`, campaigns, and the CLI's
+//! `--engine` flag route through. The taint plugin, report, and JSON
+//! rendering are engine-invariant: for the same app, every engine yields
+//! the byte-identical [`crate::VettingReport`] (the tier-1 rel gate), so
+//! selecting an engine only trades modeled cost profiles.
+
+use crate::pipeline::{finish_vetting, trace_stage_spans, PreparedApp, VettingRun};
+use crate::store_exec::{absorb_into_store, collect_presolved, StoreUse};
+use gdroid_analysis::{AppAnalysis, FactStore, StoreKind};
+use gdroid_core::{AnalysisEngine, CpuEngine, EngineAnalysis, EngineKind, WorklistEngine};
+use gdroid_gpusim::{Device, DeviceConfig, DeviceFault};
+use gdroid_rel::RelEngine;
+use gdroid_sumstore::SumStore;
+use std::collections::HashMap;
+
+/// Instantiates the engine for a kind — the single construction point
+/// every dispatch path shares. The worklist engine runs the full-GDroid
+/// rung (MAT+GRP+MER); the legacy ladder rungs stay reachable through
+/// [`crate::Engine::Gpu`].
+pub fn engine_for(kind: EngineKind) -> Box<dyn AnalysisEngine> {
+    match kind {
+        EngineKind::Worklist => Box::new(WorklistEngine::gdroid()),
+        EngineKind::Rel => Box::new(RelEngine),
+        EngineKind::Cpu => Box::new(CpuEngine),
+    }
+}
+
+/// Folds an [`EngineAnalysis`] into the CPU-shaped [`AppAnalysis`] the
+/// taint plugin and result caches consume (mirrors `gpu_to_app_analysis`).
+fn engine_to_app_analysis(ea: EngineAnalysis) -> AppAnalysis {
+    let store_bytes = ea.facts.values().map(FactStore::memory_bytes).sum();
+    AppAnalysis {
+        spaces: ea.spaces,
+        cfgs: ea.cfgs,
+        facts: ea.facts,
+        summaries: ea.summaries,
+        telemetry: ea.telemetry,
+        per_method: HashMap::new(),
+        store_bytes,
+        store_kind: StoreKind::Matrix,
+        schedule: Vec::new(),
+    }
+}
+
+/// Assembles the outcome from a finished engine run, applying the
+/// store-bytes contract: GPU engines report device memory (historical
+/// `store_bytes: 0`), the CPU engine reports its host fact stores.
+fn finish_engine_run(prep: &PreparedApp, kind: EngineKind, ea: EngineAnalysis) -> VettingRun {
+    let idfg_ns = ea.idfg_ns;
+    let mut run = finish_vetting(prep, engine_to_app_analysis(ea), idfg_ns);
+    if kind != EngineKind::Cpu {
+        run.outcome.store_bytes = 0;
+    }
+    run
+}
+
+/// Vets a prepared app with the selected engine on an existing device
+/// (the CPU engine takes the device slot but never touches it).
+pub fn execute_vetting_engine_on_device(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+) -> Result<VettingRun, DeviceFault> {
+    let ea = engine_for(kind).analyze_on(
+        device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        &HashMap::new(),
+        None,
+    )?;
+    Ok(finish_engine_run(prep, kind, ea))
+}
+
+/// Vets a prepared app with the selected engine on a fresh device.
+pub fn execute_vetting_engine(prep: &PreparedApp, kind: EngineKind) -> VettingRun {
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    execute_vetting_engine_on_device(prep, &mut device, kind)
+        .expect("a fresh device has no fault plan")
+}
+
+/// Targeted (sliced) vetting with the selected engine. The caller must
+/// pick an engine whose [`EngineKind::caps`] advertise `targeted` — the
+/// CLI and serve dispatch gate on that; passing the CPU engine panics.
+pub fn execute_vetting_engine_targeted_on_device(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+) -> Result<VettingRun, DeviceFault> {
+    assert!(kind.caps().targeted, "engine {kind} does not support targeted vetting");
+    let slice = crate::targeted::compute_vetting_slice(prep);
+    let ea = engine_for(kind).analyze_on(
+        device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        &HashMap::new(),
+        Some(&slice.members),
+    )?;
+    let mut run = finish_engine_run(prep, kind, ea);
+    run.outcome.targeted = Some(crate::targeted::TargetedProvenance::of(&slice));
+    Ok(run)
+}
+
+/// Summary-store-backed vetting with the selected engine: store hits are
+/// pre-solved and never scheduled, fresh solves feed the store afterwards.
+/// Requires `caps().sumstore` (panics otherwise).
+pub fn execute_vetting_engine_on_device_with_store(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    store: &SumStore,
+) -> Result<(VettingRun, StoreUse), DeviceFault> {
+    assert!(kind.caps().sumstore, "engine {kind} does not support the summary store");
+    let (presolved, hashes) = collect_presolved(prep, store);
+    let ea = engine_for(kind).analyze_on(
+        device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        &presolved,
+        None,
+    )?;
+    let run = finish_engine_run(prep, kind, ea);
+    let store_use =
+        absorb_into_store(&prep.app.program, store, &hashes, &presolved, &run.analysis, None);
+    Ok((run, store_use))
+}
+
+/// Targeted vetting composed with the summary store, engine-selectable —
+/// the analogue of
+/// [`crate::store_exec::execute_vetting_targeted_on_device_with_store`]:
+/// hits restricted to slice members, insertion restricted to exact
+/// members. Requires `caps().targeted && caps().sumstore`.
+pub fn execute_vetting_engine_targeted_on_device_with_store(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    store: &SumStore,
+) -> Result<(VettingRun, StoreUse), DeviceFault> {
+    assert!(
+        kind.caps().targeted && kind.caps().sumstore,
+        "engine {kind} does not compose targeted vetting with the summary store"
+    );
+    let slice = crate::targeted::compute_vetting_slice(prep);
+    let (all_presolved, hashes) = collect_presolved(prep, store);
+    let presolved: HashMap<_, _> =
+        all_presolved.into_iter().filter(|(m, _)| slice.members.contains(m)).collect();
+    let ea = engine_for(kind).analyze_on(
+        device,
+        &prep.app.program,
+        &prep.cg,
+        &prep.roots,
+        &presolved,
+        Some(&slice.members),
+    )?;
+    let mut run = finish_engine_run(prep, kind, ea);
+    run.outcome.targeted = Some(crate::targeted::TargetedProvenance::of(&slice));
+    let store_use = absorb_into_store(
+        &prep.app.program,
+        store,
+        &hashes,
+        &presolved,
+        &run.analysis,
+        Some(&slice.exact),
+    );
+    Ok((run, store_use))
+}
+
+/// Engine-selectable vetting with tracing: a fresh device records the
+/// engine's driver events into `tracer` (the CPU engine records only the
+/// stage spans), clock-advanced past prep so device events nest inside
+/// the `idfg` stage span. A disabled tracer reproduces
+/// [`execute_vetting_engine`] exactly — the rel gate asserts it.
+pub fn execute_vetting_engine_traced(
+    prep: &PreparedApp,
+    kind: EngineKind,
+    tracer: &gdroid_trace::Tracer,
+) -> VettingRun {
+    let mut device = Device::new(DeviceConfig::tesla_p40());
+    device.set_tracer(tracer.clone());
+    let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
+    device.advance_clock(prep_ns.round() as u64);
+    let ea = engine_for(kind)
+        .analyze_on(&mut device, &prep.app.program, &prep.cg, &prep.roots, &HashMap::new(), None)
+        .expect("a fresh device has no fault plan");
+    let run = finish_engine_run(prep, kind, ea);
+    if tracer.enabled() {
+        trace_stage_spans(tracer, &run.outcome.timing, 0, 0);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{execute_vetting, prepare_vetting, Engine};
+    use gdroid_apk::{generate_app, GenConfig};
+    use gdroid_core::OptConfig;
+
+    #[test]
+    fn all_engine_kinds_agree_with_the_legacy_paths() {
+        for seed in [8700u64, 8701] {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let legacy = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+            for kind in EngineKind::ALL {
+                let run = execute_vetting_engine(&prep, kind);
+                assert_eq!(
+                    run.outcome.report.to_json(),
+                    legacy.report.to_json(),
+                    "{kind} diverged on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_kind_matches_legacy_gpu_byte_for_byte() {
+        // The worklist EngineKind is the legacy Engine::Gpu(gdroid) path
+        // behind the trait — entire outcome JSON included.
+        let prep = prepare_vetting(generate_app(0, 8702, &GenConfig::tiny()));
+        let legacy = execute_vetting(&prep, Engine::Gpu(OptConfig::gdroid()));
+        let run = execute_vetting_engine(&prep, EngineKind::Worklist);
+        assert_eq!(run.outcome.to_json(), legacy.to_json());
+    }
+
+    #[test]
+    fn rel_targeted_matches_rel_full_report() {
+        for seed in [8703u64, 8704] {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let full = execute_vetting_engine(&prep, EngineKind::Rel);
+            let mut device = Device::new(DeviceConfig::tesla_p40());
+            let targeted =
+                execute_vetting_engine_targeted_on_device(&prep, &mut device, EngineKind::Rel)
+                    .expect("no fault plan");
+            assert_eq!(
+                targeted.outcome.report.to_json(),
+                full.outcome.report.to_json(),
+                "rel targeted diverged on seed {seed}"
+            );
+            assert!(targeted.outcome.targeted.is_some());
+        }
+    }
+
+    #[test]
+    fn rel_with_store_hits_and_agrees() {
+        let cfg = GenConfig::tiny().with_libraries(2, 2);
+        let store = SumStore::new();
+        let prep_a = prepare_vetting(generate_app(0, 8705, &cfg));
+        let prep_b = prepare_vetting(generate_app(1, 8706, &cfg));
+        let disabled = execute_vetting_engine(&prep_b, EngineKind::Rel);
+        let mut device = Device::new(DeviceConfig::tesla_p40());
+        let (_, use_a) = execute_vetting_engine_on_device_with_store(
+            &prep_a,
+            &mut device,
+            EngineKind::Rel,
+            &store,
+        )
+        .expect("no fault plan");
+        assert_eq!(use_a.hits, 0);
+        let (warm, use_b) = execute_vetting_engine_on_device_with_store(
+            &prep_b,
+            &mut device,
+            EngineKind::Rel,
+            &store,
+        )
+        .expect("no fault plan");
+        assert!(use_b.hits > 0, "no rel store hits on a shared-library corpus");
+        assert_eq!(warm.outcome.report.to_json(), disabled.outcome.report.to_json());
+        assert!(
+            warm.outcome.timing.idfg_ns < disabled.outcome.timing.idfg_ns,
+            "warm rel run must be faster"
+        );
+    }
+
+    #[test]
+    fn cpu_kind_reports_host_store_bytes() {
+        let prep = prepare_vetting(generate_app(0, 8707, &GenConfig::tiny()));
+        let cpu = execute_vetting_engine(&prep, EngineKind::Cpu);
+        let rel = execute_vetting_engine(&prep, EngineKind::Rel);
+        assert!(cpu.outcome.store_bytes > 0);
+        assert_eq!(rel.outcome.store_bytes, 0);
+    }
+
+    #[test]
+    fn traced_engine_run_is_invariant() {
+        let prep = prepare_vetting(generate_app(0, 8708, &GenConfig::tiny()));
+        for kind in [EngineKind::Worklist, EngineKind::Rel] {
+            let untraced = execute_vetting_engine(&prep, kind);
+            let tracer = gdroid_trace::Tracer::enabled_new();
+            let traced = execute_vetting_engine_traced(&prep, kind, &tracer);
+            assert_eq!(
+                traced.outcome.to_json(),
+                untraced.outcome.to_json(),
+                "tracing perturbed {kind}"
+            );
+            assert!(!tracer.events().is_empty());
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //!   against any engine: sequential Amandroid-style CPU, the
 //!   multithreaded-C baseline, or the simulated GPU with any optimization
 //!   ladder rung;
+//! * [`engines`] — the [`gdroid_core::AnalysisEngine`]-based dispatch:
+//!   per-job engine selection (worklist-GPU, relational-GPU, CPU
+//!   reference) with byte-identical reports across engines;
 //! * [`store_exec`] — the same pipeline backed by a cross-app
 //!   [`gdroid_sumstore::SumStore`]: store-hit library methods are
 //!   pre-solved and never scheduled;
@@ -27,6 +30,7 @@
 //!   aggregating every plugin into one scored verdict.
 
 pub mod assess;
+pub mod engines;
 pub mod json;
 pub mod pipeline;
 pub mod plugins;
@@ -37,6 +41,11 @@ pub mod taint;
 pub mod targeted;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
+pub use engines::{
+    engine_for, execute_vetting_engine, execute_vetting_engine_on_device,
+    execute_vetting_engine_on_device_with_store, execute_vetting_engine_targeted_on_device,
+    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_engine_traced,
+};
 pub use pipeline::{
     execute_vetting, execute_vetting_batch_on_device, execute_vetting_full,
     execute_vetting_gpu_traced, execute_vetting_incremental, execute_vetting_on_device,

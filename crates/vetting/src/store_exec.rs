@@ -50,7 +50,7 @@ pub struct StoreUse {
 /// folds its callees' hashes, so a subtree that hit once tends to hit
 /// wholesale — but geometry or relocation failures can still punch
 /// holes, hence the explicit greatest-fixpoint pass.
-fn collect_presolved(
+pub(crate) fn collect_presolved(
     prep: &PreparedApp,
     store: &SumStore,
 ) -> (HashMap<MethodId, (MethodSummary, MatrixStore)>, HashMap<MethodId, u128>) {
@@ -98,7 +98,7 @@ fn collect_presolved(
 /// slice's *exact* members, whose facts and summaries are bit-identical
 /// to a full run (partial roots are computed against pruned call sites
 /// and must never poison the store under the canonical hash).
-fn absorb_into_store(
+pub(crate) fn absorb_into_store(
     program: &Program,
     store: &SumStore,
     hashes: &HashMap<MethodId, u128>,

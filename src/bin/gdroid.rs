@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! gdroid gen   <seed> [out.jil]       generate a synthetic app (.jil to stdout or file)
-//! gdroid vet   <app.jil|seed> [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--targeted]
+//! gdroid vet   <app.jil|seed> [--engine <name>] [--targeted]
+//! gdroid engines                      list the analysis engines and their capabilities
 //! gdroid lint  <app.jil|seed>         static lints over the IR (exit 1 on errors)
 //! gdroid stats <app.jil|seed>         structural statistics (Table I row)
 //! gdroid corpus <n>                   dataset statistics over the first n corpus apps
@@ -71,6 +72,17 @@
 //! summary store; `--scale F` scales the generator profile (default is
 //! the `small` profile, 0.25).
 //!
+//! `--engine` selects how the IDFG fixpoint is computed. `vet` accepts
+//! the worklist ladder rungs (`plain|mat|matgrp|gdroid`), the CPU
+//! baselines (`mtcpu|amandroid`), and the `AnalysisEngine` kinds
+//! behind the engine trait: `worklist` (the full-GDroid rung), `rel`
+//! (the relational semi-naive GPU backend), and `cpu` (the sequential
+//! reference solver). `serve`, `batch`, and `campaign` accept
+//! `--engine worklist|rel|cpu`; non-worklist engines bypass the result
+//! cache and co-resident batching (see `gdroid engines`). Facts and
+//! verdicts are byte-identical across engines — only modeled timing
+//! differs.
+//!
 //! Apps can come from a `.jil` file (the textual IR) or be generated on
 //! the fly from a numeric seed.
 
@@ -78,7 +90,7 @@ use gdroid::analysis::{analyze_app, StoreKind};
 use gdroid::apk::{
     generate_app, App, AppStats, Category, Corpus, CorpusStats, GenConfig, Manifest,
 };
-use gdroid::core::OptConfig;
+use gdroid::core::{EngineKind, OptConfig};
 use gdroid::icfg::prepare_app;
 use gdroid::ir::text::{parse_program, print_program};
 use gdroid::ir::MethodId;
@@ -89,8 +101,10 @@ use gdroid::serve::{
 use gdroid::sumstore::SumStore;
 use gdroid::trace::Tracer;
 use gdroid::vetting::{
-    execute_vetting, execute_vetting_full_with_store, execute_vetting_gpu_traced,
-    execute_vetting_gpu_traced_with_store, execute_vetting_targeted,
+    execute_vetting, execute_vetting_engine_on_device, execute_vetting_engine_on_device_with_store,
+    execute_vetting_engine_targeted_on_device,
+    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_full_with_store,
+    execute_vetting_gpu_traced, execute_vetting_gpu_traced_with_store, execute_vetting_targeted,
     execute_vetting_targeted_on_device_with_store, execute_vetting_targeted_traced,
     prepare_vetting, sink_reachability_findings, trace_stage_spans, vet_app, Engine,
 };
@@ -100,20 +114,22 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|cpu|amandroid] [--targeted] [--sumstore <dir>] \
-         [--trace <out.json>] [--json]\n  \
+         [--engine plain|mat|matgrp|gdroid|worklist|rel|cpu|mtcpu|amandroid] [--targeted] \
+         [--sumstore <dir>] [--trace <out.json>] [--json]\n  \
+         gdroid engines\n  \
          gdroid lint <app.jil|seed>\n  \
          gdroid stats <app.jil|seed>\n  \
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
          gdroid serve --apps N [--workers K] [--devices D] [--coresident C] [--faults P:B] \
-         [--targeted-lane] [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
+         [--engine worklist|rel|cpu] [--targeted-lane] [--sumstore <dir>] [--trace-dir <dir>] \
+         [--digest] [--json]\n  \
          gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] \
-         [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
+         [--engine worklist|rel|cpu] [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid sumstore stats|clear <dir>\n  \
          gdroid campaign --apps N [--shards S] [--seed X] [--workers K] [--devices D] \
-         [--coresident C] [--targeted] [--sumstore] [--scale F] [--journal-dir DIR] \
-         [--out FILE] [--verdicts FILE] [--trace-dir DIR] [--fresh] [--json]"
+         [--coresident C] [--engine worklist|rel|cpu] [--targeted] [--sumstore] [--scale F] \
+         [--journal-dir DIR] [--out FILE] [--verdicts FILE] [--trace-dir DIR] [--fresh] [--json]"
     );
     exit(2)
 }
@@ -126,6 +142,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
 /// Parses `--flag value` style string options.
 fn flag_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Parses `--engine worklist|rel|cpu` for the service-backed verbs
+/// (serve, batch, campaign). Defaults to the worklist engine.
+fn service_engine(args: &[String]) -> EngineKind {
+    match flag_str(args, "--engine") {
+        None => EngineKind::Worklist,
+        Some(s) => EngineKind::parse(s).unwrap_or_else(|| usage()),
+    }
 }
 
 /// Opens (or starts empty) the summary store persisted under `dir`.
@@ -324,23 +349,92 @@ fn main() {
         }
         "vet" => {
             let Some(target) = args.get(1) else { usage() };
-            let engine = match args.iter().position(|a| a == "--engine") {
+            // The ladder rungs and CPU baselines keep their legacy
+            // dispatch; the trait-backed kinds go through the engine
+            // layer. `cpu` is the sequential reference engine; the old
+            // multithreaded baseline is spelled `mtcpu`.
+            enum VetEngine {
+                Legacy(Engine),
+                Kind(EngineKind),
+            }
+            let vet_engine = match args.iter().position(|a| a == "--engine") {
                 Some(i) => match args.get(i + 1).map(String::as_str) {
-                    Some("plain") => Engine::Gpu(OptConfig::plain()),
-                    Some("mat") => Engine::Gpu(OptConfig::mat()),
-                    Some("matgrp") => Engine::Gpu(OptConfig::mat_grp()),
-                    Some("gdroid") => Engine::Gpu(OptConfig::gdroid()),
-                    Some("cpu") => Engine::MultithreadedCpu,
-                    Some("amandroid") => Engine::AmandroidCpu,
-                    _ => usage(),
+                    Some("plain") => VetEngine::Legacy(Engine::Gpu(OptConfig::plain())),
+                    Some("mat") => VetEngine::Legacy(Engine::Gpu(OptConfig::mat())),
+                    Some("matgrp") => VetEngine::Legacy(Engine::Gpu(OptConfig::mat_grp())),
+                    Some("gdroid") => VetEngine::Legacy(Engine::Gpu(OptConfig::gdroid())),
+                    Some("mtcpu") => VetEngine::Legacy(Engine::MultithreadedCpu),
+                    Some("amandroid") => VetEngine::Legacy(Engine::AmandroidCpu),
+                    Some(s) => match EngineKind::parse(s) {
+                        Some(kind) => VetEngine::Kind(kind),
+                        None => usage(),
+                    },
+                    None => usage(),
                 },
-                None => Engine::Gpu(OptConfig::gdroid()),
+                None => VetEngine::Legacy(Engine::Gpu(OptConfig::gdroid())),
             };
             let app = load_app(target);
             let trace_path = flag_str(&args, "--trace");
             let tracer =
                 if trace_path.is_some() { Tracer::enabled_new() } else { Tracer::disabled() };
-            let outcome = if args.iter().any(|a| a == "--targeted") {
+            let outcome = if let VetEngine::Kind(kind) = &vet_engine {
+                let kind = *kind;
+                let targeted = args.iter().any(|a| a == "--targeted");
+                if targeted && !kind.caps().targeted {
+                    eprintln!("engine {kind} does not support --targeted (see `gdroid engines`)");
+                    exit(2);
+                }
+                let store_dir = flag_str(&args, "--sumstore");
+                if store_dir.is_some() && !kind.caps().sumstore {
+                    eprintln!("engine {kind} does not support --sumstore (see `gdroid engines`)");
+                    exit(2);
+                }
+                let prep = prepare_vetting(app);
+                let mut device =
+                    gdroid::gpusim::Device::new(gdroid::gpusim::DeviceConfig::tesla_p40());
+                if tracer.enabled() {
+                    // Nest device events inside the idfg stage span, as
+                    // the traced pipeline paths do.
+                    device.set_tracer(tracer.clone());
+                    let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
+                    device.advance_clock(prep_ns.round() as u64);
+                }
+                let run = match store_dir {
+                    Some(dir) => {
+                        let store = open_sumstore(dir);
+                        let (run, used) = if targeted {
+                            execute_vetting_engine_targeted_on_device_with_store(
+                                &prep,
+                                &mut device,
+                                kind,
+                                &store,
+                            )
+                        } else {
+                            execute_vetting_engine_on_device_with_store(
+                                &prep,
+                                &mut device,
+                                kind,
+                                &store,
+                            )
+                        }
+                        .expect("a fresh device has no fault plan");
+                        save_sumstore(&store, dir);
+                        eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
+                        run
+                    }
+                    None if targeted => {
+                        execute_vetting_engine_targeted_on_device(&prep, &mut device, kind)
+                            .expect("a fresh device has no fault plan")
+                    }
+                    None => execute_vetting_engine_on_device(&prep, &mut device, kind)
+                        .expect("a fresh device has no fault plan"),
+                };
+                if tracer.enabled() {
+                    trace_stage_spans(&tracer, &run.outcome.timing, 0, 0);
+                }
+                run.outcome
+            } else if args.iter().any(|a| a == "--targeted") {
+                let VetEngine::Legacy(engine) = vet_engine else { unreachable!() };
                 let Engine::Gpu(opts) = engine else {
                     eprintln!("--targeted requires a GPU engine (the sliced worklist)");
                     exit(2);
@@ -371,6 +465,7 @@ fn main() {
                     None => execute_vetting_targeted(&prep, opts).outcome,
                 }
             } else {
+                let VetEngine::Legacy(engine) = vet_engine else { unreachable!() };
                 match flag_str(&args, "--sumstore") {
                     Some(dir) => {
                         let store = open_sumstore(dir);
@@ -438,6 +533,21 @@ fn main() {
                         t.partial_roots,
                     );
                 }
+            }
+        }
+        "engines" => {
+            println!("{:<10} {:<9} {:<9} {:<9} note", "engine", "sumstore", "targeted", "batching");
+            let mark = |b: bool| if b { "yes" } else { "no" };
+            for kind in EngineKind::ALL {
+                let caps = kind.caps();
+                println!(
+                    "{:<10} {:<9} {:<9} {:<9} {}",
+                    kind.as_str(),
+                    mark(caps.sumstore),
+                    mark(caps.targeted),
+                    mark(caps.batching),
+                    caps.note,
+                );
             }
         }
         "lint" => {
@@ -532,6 +642,7 @@ fn main() {
                 fault_plan,
                 sumstore: sumstore.clone(),
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
+                engine: service_engine(&args),
                 ..ServiceConfig::default()
             });
             let targeted_lane = args.iter().any(|a| a == "--targeted-lane");
@@ -587,6 +698,7 @@ fn main() {
                 devices,
                 sumstore: sumstore.clone(),
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
+                engine: service_engine(&args),
                 ..ServiceConfig::default()
             });
             for path in bundles {
@@ -664,6 +776,7 @@ fn main() {
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 targeted: args.iter().any(|a| a == "--targeted"),
                 sumstore: args.iter().any(|a| a == "--sumstore"),
+                engine: service_engine(&args),
                 trace_dir: flag_str(&args, "--trace-dir").map(Into::into),
             };
             let started = std::time::Instant::now();
