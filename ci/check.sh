@@ -152,4 +152,24 @@ then
   exit 1
 fi
 
+echo "==> persist smoke: the exec-mode sweep is byte-deterministic and modes agree"
+(cd "$batch_dir" && "$repo_root/target/release/figures" persist --apps 12 >/dev/null && mv BENCH_persist.json pa.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" persist --apps 12 >/dev/null && mv BENCH_persist.json pb.json)
+cmp -s "$batch_dir/pa.json" "$batch_dir/pb.json" || {
+  echo "persist smoke: BENCH_persist.json differs between identical runs" >&2
+  exit 1
+}
+multi_vet=$(./target/release/gdroid vet 42 --exec multi --json)
+persist_vet=$(./target/release/gdroid vet 42 --exec persistent --json)
+if ! python3 - "$multi_vet" "$persist_vet" <<'PY'
+import json, sys
+# Timings and launch counts are mode-shaped; the report is the contract.
+multi, persist = (json.loads(a) for a in sys.argv[1:3])
+assert persist["report"] == multi["report"], "persistent verdict diverged from multi-launch"
+PY
+then
+  echo "persist smoke: exec-mode verdicts diverged" >&2
+  exit 1
+fi
+
 echo "ci/check.sh: all green"

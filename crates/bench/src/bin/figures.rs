@@ -25,17 +25,22 @@
 //! the relational (semi-naive) engine against the MAT/MAT+GRP/worklist
 //! ladder and the CPU reference — facts and verdicts asserted identical
 //! across engines — and writes the byte-deterministic `BENCH_rel.json`.
+//! `persist` pits persistent-kernel execution (one resident launch per
+//! app) against classic per-round multi-launch on a per-app detail set
+//! and a streamed corpus — facts and verdicts asserted mode-identical —
+//! and writes the byte-deterministic `BENCH_persist.json`.
 
 use gdroid_apk::Corpus;
 use gdroid_bench::{
-    batch_benchmark, corpus1000_benchmark, experiments, rel_benchmark, run_corpus, sancheck_corpus,
-    serve_benchmark, sumstore_benchmark, targeted_benchmark, trace_benchmark, REL_DETAIL_APPS,
+    batch_benchmark, corpus1000_benchmark, experiments, persist_benchmark, rel_benchmark,
+    run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark, targeted_benchmark,
+    trace_benchmark, PERSIST_DETAIL_APPS, REL_DETAIL_APPS,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000|rel> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000|rel|persist> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -47,9 +52,14 @@ fn main() {
         usage();
     }
     let experiment = args[0].clone();
-    // The corpus-scale ladder and the rel engine sweep default to the
-    // paper's full 1000 apps; everything else defaults to the first 100.
-    let mut apps = if experiment == "corpus1000" || experiment == "rel" { 1000 } else { 100 };
+    // The corpus-scale ladder, the rel engine sweep, and the persistent
+    // kernel comparison default to the paper's full 1000 apps; everything
+    // else defaults to the first 100.
+    let mut apps = if experiment == "corpus1000" || experiment == "rel" || experiment == "persist" {
+        1000
+    } else {
+        100
+    };
     let mut scale = 1.0f64;
     let mut i = 1;
     while i < args.len() {
@@ -167,6 +177,23 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_rel.json");
+        return;
+    }
+
+    if experiment == "persist" {
+        eprintln!(
+            "comparing persistent-kernel vs multi-launch execution \
+             ({PERSIST_DETAIL_APPS} detail apps + {apps} streamed)…"
+        );
+        let t0 = Instant::now();
+        let (json, summary) = persist_benchmark(PERSIST_DETAIL_APPS, apps, scale);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_persist.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_persist.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_persist.json");
         return;
     }
 

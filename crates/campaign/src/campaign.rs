@@ -7,7 +7,7 @@ use crate::journal::{
 };
 use crate::report::FleetReport;
 use gdroid_apk::{Corpus, GenConfig, PAPER_MASTER_SEED};
-use gdroid_core::EngineKind;
+use gdroid_core::{EngineKind, ExecMode};
 use gdroid_serve::{
     fnv1a, job_trace, JobResult, JobSource, JobStatus, Priority, ServiceConfig, ServiceReport,
     VettingService,
@@ -50,6 +50,12 @@ pub struct CampaignConfig {
     /// counts are engine-invariant, but modeled timings are not, so the
     /// engine participates in [`config_digest`].
     pub engine: EngineKind,
+    /// Kernel execution mode shard services run worklist jobs under.
+    /// [`ExecMode::Persistent`] runs each app's fixpoint as one resident
+    /// launch; journaled verdicts and leak counts are mode-invariant, but
+    /// modeled timings are not, so the mode participates in
+    /// [`config_digest`].
+    pub exec: ExecMode,
     /// Write per-app modeled-time Chrome traces under
     /// `<dir>/shard-<s>/job-<index>.json`.
     pub trace_dir: Option<PathBuf>,
@@ -72,6 +78,7 @@ impl CampaignConfig {
             targeted: false,
             sumstore: false,
             engine: EngineKind::Worklist,
+            exec: ExecMode::MultiLaunch,
             trace_dir: None,
         }
     }
@@ -85,11 +92,12 @@ impl CampaignConfig {
 pub fn config_digest(config: &CampaignConfig) -> u64 {
     fnv1a(
         format!(
-            "gen={:?} targeted={} sumstore={} engine={}",
+            "gen={:?} targeted={} sumstore={} engine={} exec={}",
             config.gen,
             config.targeted,
             config.sumstore,
-            config.engine.as_str()
+            config.engine.as_str(),
+            config.exec.as_str()
         )
         .as_bytes(),
     )
@@ -250,6 +258,7 @@ fn run_shard(
         coresident: config.coresident,
         sumstore: config.sumstore.then(|| Arc::new(SumStore::new())),
         engine: config.engine,
+        exec: config.exec,
         ..ServiceConfig::default()
     });
 

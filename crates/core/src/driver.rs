@@ -12,6 +12,7 @@
 //! 4. summaries are derived host-side between launches (as Amandroid's
 //!    driver does between worklist passes).
 
+use crate::engine::ExecMode;
 use crate::kernel::run_method_block;
 use crate::layout::{plan_layout, AppLayout};
 use crate::opts::OptConfig;
@@ -89,7 +90,37 @@ pub fn gpu_analyze_app_presolved_on(
     opts: OptConfig,
     presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
 ) -> Result<GpuAnalysis, DeviceFault> {
-    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, presolved, None)
+    gpu_analyze_app_restricted_on(
+        device,
+        program,
+        cg,
+        roots,
+        opts,
+        presolved,
+        None,
+        ExecMode::MultiLaunch,
+    )
+}
+
+/// The fully general entry point: pre-solved hits, an optional slice, and
+/// an [`ExecMode`]. `ExecMode::Persistent` runs the whole fixpoint inside
+/// ONE resident kernel launch: blocks pull work from a device-side queue,
+/// rounds are separated by a modeled grid-wide sync instead of a kernel
+/// boundary, and the host uploads inputs once and downloads results once
+/// — facts and summaries stay byte-identical to the multi-launch path
+/// (the fixpoint is unique; only the modeled cost differs).
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_analyze_app_exec_on(
+    device: &mut Device,
+    program: &Program,
+    cg: &CallGraph,
+    roots: &[MethodId],
+    opts: OptConfig,
+    presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
+    slice: Option<&std::collections::HashSet<MethodId>>,
+    exec: ExecMode,
+) -> Result<GpuAnalysis, DeviceFault> {
+    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, presolved, slice, exec)
 }
 
 /// Sliced (demand-driven) analysis: the worklist seeds and launches only
@@ -105,7 +136,16 @@ pub fn gpu_analyze_app_sliced_on(
     opts: OptConfig,
     slice: &std::collections::HashSet<MethodId>,
 ) -> Result<GpuAnalysis, DeviceFault> {
-    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, &HashMap::new(), Some(slice))
+    gpu_analyze_app_restricted_on(
+        device,
+        program,
+        cg,
+        roots,
+        opts,
+        &HashMap::new(),
+        Some(slice),
+        ExecMode::MultiLaunch,
+    )
 }
 
 /// [`gpu_analyze_app_sliced_on`] with pre-solved summary-store hits. The
@@ -120,11 +160,23 @@ pub fn gpu_analyze_app_sliced_presolved_on(
     presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
     slice: &std::collections::HashSet<MethodId>,
 ) -> Result<GpuAnalysis, DeviceFault> {
-    gpu_analyze_app_restricted_on(device, program, cg, roots, opts, presolved, Some(slice))
+    gpu_analyze_app_restricted_on(
+        device,
+        program,
+        cg,
+        roots,
+        opts,
+        presolved,
+        Some(slice),
+        ExecMode::MultiLaunch,
+    )
 }
 
 /// Shared driver body: a full schedule when `restrict` is `None`, a
-/// slice-restricted one otherwise.
+/// slice-restricted one otherwise; one kernel launch per round under
+/// `ExecMode::MultiLaunch`, one resident launch for the whole fixpoint
+/// under `ExecMode::Persistent`.
+#[allow(clippy::too_many_arguments)]
 fn gpu_analyze_app_restricted_on(
     device: &mut Device,
     program: &Program,
@@ -133,6 +185,7 @@ fn gpu_analyze_app_restricted_on(
     opts: OptConfig,
     presolved: &HashMap<MethodId, (gdroid_analysis::MethodSummary, MatrixStore)>,
     restrict: Option<&std::collections::HashSet<MethodId>>,
+    exec: ExecMode,
 ) -> Result<GpuAnalysis, DeviceFault> {
     device.reset();
     let tracer = device.tracer().clone();
@@ -184,8 +237,20 @@ fn gpu_analyze_app_restricted_on(
     let mut telemetry = WorklistTelemetry::default();
     let mut stats = GpuRunStats::default();
     // (h2d bytes, kernel ns, d2h bytes) per launch, for the transfer
-    // pipeline model.
+    // pipeline model. Persistent mode collapses this to one chunk per
+    // *layer*: the layer schedule is static (computed host-side before
+    // the resident launch), so per-layer inputs stream ahead of the
+    // kernel on the copy engine and results stream back as each layer
+    // retires — SCC re-rounds stay device-side and transfer nothing.
     let mut chunks: Vec<(u64, f64, u64)> = Vec::new();
+
+    // Persistent mode: submit the one resident launch up front. It pays
+    // the launch overhead (and faces the fault plan) exactly once; every
+    // fixpoint round below then runs inside it.
+    let persistent = exec == ExecMode::Persistent && !methods.is_empty();
+    if persistent {
+        device.begin_persistent()?;
+    }
 
     for layer_idx in 0..layers.layer_count() {
         let layer_sccs: Vec<&Vec<MethodId>> = layers
@@ -206,6 +271,12 @@ fn gpu_analyze_app_restricted_on(
             .collect();
         pending.sort_unstable();
 
+        // Persistent-mode per-layer chunk accumulators: a layer's bytes
+        // move once (inputs before its first round, results after its
+        // last) while its kernel time sums every round, SCC re-rounds
+        // included.
+        let mut layer_kernel_ns = 0.0f64;
+        let mut layer_bytes = (0u64, 0u64);
         let mut round = 0usize;
         while !pending.is_empty() {
             let round_start_ns = device.clock_ns();
@@ -228,6 +299,11 @@ fn gpu_analyze_app_restricted_on(
                         let ml = &layout.methods[&mid];
                         let results = &results;
                         Box::new(move |ctx: &mut gdroid_gpusim::BlockCtx<'_>| {
+                            if persistent {
+                                // The resident kernel's block dequeues its
+                                // method from the device-side worklist…
+                                ctx.queue_pop(1);
+                            }
                             let mut store = MatrixStore::new(Geometry::of(space), cfg.len());
                             store.seed(
                                 cfg.entry() as usize,
@@ -243,17 +319,36 @@ fn gpu_analyze_app_restricted_on(
                                 opts,
                                 &mut store,
                             );
+                            if persistent {
+                                // …and publishes its summary-changed flag
+                                // back for the next round's scheduling.
+                                ctx.queue_push(1);
+                            }
                             results.borrow_mut().push((mid, store, tele));
                         }) as gdroid_gpusim::BlockFn<'_>
                     })
                     .collect();
 
-                let kernel_stats = device.try_launch(blocks)?;
-                let h2d: u64 = pending.iter().map(|m| layout.methods[m].h2d_bytes).sum();
-                let d2h: u64 = pending.iter().map(|m| layout.methods[m].d2h_bytes).sum();
-                chunks.push((h2d, kernel_stats.time_ns(&device.config), d2h));
-                round_bytes = (h2d, d2h);
-                stats.absorb_kernel(&kernel_stats);
+                if persistent {
+                    // One round inside the resident launch: no launch
+                    // overhead, no per-round transfer — just the packed
+                    // work plus a grid-wide sync.
+                    let kernel_stats = device.persistent_round(blocks);
+                    if round == 0 {
+                        layer_bytes.0 = pending.iter().map(|m| layout.methods[m].h2d_bytes).sum();
+                        layer_bytes.1 = pending.iter().map(|m| layout.methods[m].d2h_bytes).sum();
+                    }
+                    layer_kernel_ns += device.config.cycles_to_ns(kernel_stats.makespan_cycles);
+                    round_bytes = (0, 0);
+                    stats.absorb_round(&kernel_stats);
+                } else {
+                    let kernel_stats = device.try_launch(blocks)?;
+                    let h2d: u64 = pending.iter().map(|m| layout.methods[m].h2d_bytes).sum();
+                    let d2h: u64 = pending.iter().map(|m| layout.methods[m].d2h_bytes).sum();
+                    chunks.push((h2d, kernel_stats.time_ns(&device.config), d2h));
+                    round_bytes = (h2d, d2h);
+                    stats.absorb_kernel(&kernel_stats);
+                }
                 block_results = results.into_inner();
             }
 
@@ -322,6 +417,25 @@ fn gpu_analyze_app_restricted_on(
             }
             round += 1;
         }
+
+        if persistent && layer_kernel_ns > 0.0 {
+            // The session's single launch overhead lands on the first
+            // layer chunk, rounded exactly as KernelStats::time_ns and
+            // the device clock round it.
+            if chunks.is_empty() {
+                layer_kernel_ns += (device.config.launch_overhead_us * 1e3).round();
+            }
+            chunks.push((layer_bytes.0, layer_kernel_ns, layer_bytes.1));
+        }
+    }
+
+    if persistent {
+        // Fixpoint reached: the resident kernel exits. Its traffic and
+        // compute are already in the per-layer chunks above; closing the
+        // session emits the single launch span. The whole fixpoint was
+        // ONE launch no matter how many rounds it looped.
+        device.end_persistent();
+        stats.launches = 1;
     }
 
     // Transfer pipeline: the per-launch chunks ran through dual buffering.
@@ -521,6 +635,93 @@ mod tests {
             assert_eq!(reused.summaries, fresh.summaries, "seed {seed}");
             assert_eq!(reused.stats.total_ns, fresh.stats.total_ns, "seed {seed}: timing drifted");
         }
+    }
+
+    #[test]
+    fn persistent_matches_multi_launch_facts_with_one_launch() {
+        for seed in [4101u64, 4102, 4103] {
+            let (app, cg, roots) = prepared(seed);
+            let none = HashMap::new();
+            let mut md = Device::new(DeviceConfig::tiny());
+            let multi = gpu_analyze_app_exec_on(
+                &mut md,
+                &app.program,
+                &cg,
+                &roots,
+                OptConfig::gdroid(),
+                &none,
+                None,
+                ExecMode::MultiLaunch,
+            )
+            .unwrap();
+            let mut pd = Device::new(DeviceConfig::tiny());
+            let per = gpu_analyze_app_exec_on(
+                &mut pd,
+                &app.program,
+                &cg,
+                &roots,
+                OptConfig::gdroid(),
+                &none,
+                None,
+                ExecMode::Persistent,
+            )
+            .unwrap();
+            // The fixpoint is unique: facts and summaries byte-identical.
+            assert_eq!(per.summaries, multi.summaries, "seed {seed}");
+            assert_eq!(per.facts.len(), multi.facts.len());
+            for (mid, m) in &multi.facts {
+                assert_eq!(per.facts[mid].flat_words(), m.flat_words(), "seed {seed} {mid:?}");
+            }
+            // One resident launch replaces the launch-per-round loop.
+            assert_eq!(per.stats.launches, 1, "seed {seed}");
+            assert_eq!(pd.launches(), 1, "seed {seed}");
+            assert!(multi.stats.launches >= 1);
+            // With more than one round, the saved per-round launch and
+            // transfer overheads beat the added grid syncs + queue ops.
+            if multi.stats.launches > 1 {
+                assert!(
+                    per.stats.total_ns < multi.stats.total_ns,
+                    "seed {seed}: persistent {} !< multi {}",
+                    per.stats.total_ns,
+                    multi.stats.total_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_fault_at_submission_aborts_and_retry_succeeds() {
+        use gdroid_gpusim::FaultPlan;
+        let (app, cg, roots) = prepared(4104);
+        let none = HashMap::new();
+        let mut device = Device::new(DeviceConfig::tiny());
+        device.set_fault_plan(Some(FaultPlan { period: 1, budget: 1 }));
+        let err = gpu_analyze_app_exec_on(
+            &mut device,
+            &app.program,
+            &cg,
+            &roots,
+            OptConfig::gdroid(),
+            &none,
+            None,
+            ExecMode::Persistent,
+        );
+        assert!(err.is_err(), "the one resident launch must fault");
+        let retry = gpu_analyze_app_exec_on(
+            &mut device,
+            &app.program,
+            &cg,
+            &roots,
+            OptConfig::gdroid(),
+            &none,
+            None,
+            ExecMode::Persistent,
+        )
+        .expect("budget exhausted, retry must succeed");
+        let fresh =
+            gpu_analyze_app(&app.program, &cg, &roots, DeviceConfig::tiny(), OptConfig::gdroid());
+        assert_eq!(retry.summaries, fresh.summaries);
+        assert_eq!(device.faults_injected(), 1);
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! Engines differ only in modeled cost (`stats`, `idfg_ns`) and telemetry
 //! shape — the fixpoint is unique, the road to it is not.
 
-use crate::driver::{
-    gpu_analyze_app_presolved_on, gpu_analyze_app_sliced_presolved_on, GpuAnalysis,
-};
+use crate::driver::{gpu_analyze_app_exec_on, GpuAnalysis};
 use crate::opts::OptConfig;
 use crate::stats::GpuRunStats;
 use gdroid_analysis::{
@@ -22,6 +20,48 @@ use gdroid_gpusim::{Device, DeviceFault, SanReport};
 use gdroid_icfg::{CallGraph, Cfg};
 use gdroid_ir::{MethodId, Program};
 use std::collections::{HashMap, HashSet};
+
+/// How the driver maps fixpoint rounds onto kernel launches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecMode {
+    /// One kernel launch per fixpoint round (the paper's loop): each
+    /// round pays `launch_overhead_us` plus a dual-buffered transfer.
+    #[default]
+    MultiLaunch,
+    /// One resident mega-kernel per app: the kernel owns a device-side
+    /// worklist, loops rounds internally with a grid-wide sync between
+    /// them, and the host synchronizes only at fixpoint — one launch
+    /// overhead and one upload/download for the whole analysis.
+    Persistent,
+}
+
+impl ExecMode {
+    /// All modes, in CLI order.
+    pub const ALL: [ExecMode; 2] = [ExecMode::MultiLaunch, ExecMode::Persistent];
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::MultiLaunch => "multi",
+            ExecMode::Persistent => "persistent",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "multi" => Some(ExecMode::MultiLaunch),
+            "persistent" => Some(ExecMode::Persistent),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// The selectable engines, in CLI order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,18 +104,21 @@ impl EngineKind {
                 sumstore: true,
                 targeted: true,
                 batching: true,
+                persistent: true,
                 note: "the paper's worklist-GPU kernels (MAT+GRP+MER); the default",
             },
             EngineKind::Rel => EngineCaps {
                 sumstore: true,
                 targeted: true,
                 batching: false,
+                persistent: false,
                 note: "semi-naive relational GPU joins over delta relations",
             },
             EngineKind::Cpu => EngineCaps {
                 sumstore: false,
                 targeted: false,
                 batching: false,
+                persistent: false,
                 note: "sequential CPU reference solver — the differential oracle",
             },
         }
@@ -97,6 +140,8 @@ pub struct EngineCaps {
     pub targeted: bool,
     /// Co-resident multi-app batching (serve `coresident > 1`).
     pub batching: bool,
+    /// Persistent-kernel execution ([`ExecMode::Persistent`]).
+    pub persistent: bool,
     /// One-line description for `gdroid engines`.
     pub note: &'static str,
 }
@@ -169,12 +214,19 @@ pub trait AnalysisEngine: Send + Sync {
 pub struct WorklistEngine {
     /// Optimization-ladder rung the kernels run at.
     pub opts: OptConfig,
+    /// How fixpoint rounds map onto launches (multi-launch vs persistent).
+    pub exec: ExecMode,
 }
 
 impl WorklistEngine {
     /// The full-GDroid rung (MAT+GRP+MER) — the production default.
     pub fn gdroid() -> WorklistEngine {
-        WorklistEngine { opts: OptConfig::gdroid() }
+        WorklistEngine { opts: OptConfig::gdroid(), exec: ExecMode::MultiLaunch }
+    }
+
+    /// This engine in the given execution mode.
+    pub fn with_exec(self, exec: ExecMode) -> WorklistEngine {
+        WorklistEngine { exec, ..self }
     }
 }
 
@@ -192,12 +244,9 @@ impl AnalysisEngine for WorklistEngine {
         presolved: &HashMap<MethodId, (MethodSummary, MatrixStore)>,
         slice: Option<&HashSet<MethodId>>,
     ) -> Result<EngineAnalysis, DeviceFault> {
-        let gpu = match slice {
-            None => gpu_analyze_app_presolved_on(device, program, cg, roots, self.opts, presolved)?,
-            Some(s) => gpu_analyze_app_sliced_presolved_on(
-                device, program, cg, roots, self.opts, presolved, s,
-            )?,
-        };
+        let gpu = gpu_analyze_app_exec_on(
+            device, program, cg, roots, self.opts, presolved, slice, self.exec,
+        )?;
         Ok(gpu.into())
     }
 }
@@ -257,10 +306,22 @@ mod tests {
     #[test]
     fn caps_match_the_documented_matrix() {
         assert!(EngineKind::Worklist.caps().batching);
+        assert!(EngineKind::Worklist.caps().persistent);
         assert!(!EngineKind::Rel.caps().batching);
+        assert!(!EngineKind::Rel.caps().persistent);
         assert!(EngineKind::Rel.caps().sumstore && EngineKind::Rel.caps().targeted);
         let cpu = EngineKind::Cpu.caps();
-        assert!(!cpu.sumstore && !cpu.targeted && !cpu.batching);
+        assert!(!cpu.sumstore && !cpu.targeted && !cpu.batching && !cpu.persistent);
+    }
+
+    #[test]
+    fn exec_mode_parse_roundtrips() {
+        for exec in ExecMode::ALL {
+            assert_eq!(ExecMode::parse(exec.as_str()), Some(exec));
+            assert_eq!(format!("{exec}"), exec.as_str());
+        }
+        assert_eq!(ExecMode::parse("resident"), None);
+        assert_eq!(ExecMode::default(), ExecMode::MultiLaunch);
     }
 
     #[test]

@@ -76,18 +76,28 @@ pub struct GpuRunStats {
     ideal_transactions: u64,
     #[serde(skip)]
     utilization_sum: f64,
+    #[serde(skip)]
+    utilization_samples: usize,
 }
 
 impl GpuRunStats {
     /// Folds one kernel launch's stats in.
     pub fn absorb_kernel(&mut self, k: &KernelStats) {
         self.launches += 1;
+        self.absorb_round(k);
+    }
+
+    /// Folds one persistent-kernel *round* in: identical to
+    /// [`GpuRunStats::absorb_kernel`] except the launch counter stays put
+    /// — the rounds of one resident launch are not launches.
+    pub fn absorb_round(&mut self, k: &KernelStats) {
         self.blocks += k.blocks;
         self.warp_steps += k.warp_steps;
         self.divergence_passes += k.divergence_passes;
         self.transactions += k.transactions;
         self.ideal_transactions += k.ideal_transactions;
         self.utilization_sum += k.utilization;
+        self.utilization_samples += 1;
         self.join_probes += k.join_probes;
         self.scan_rows += k.scan_rows;
     }
@@ -121,8 +131,11 @@ impl GpuRunStats {
         } else {
             (self.ideal_transactions as f64 / self.transactions as f64).min(1.0)
         };
-        self.utilization =
-            if self.launches == 0 { 1.0 } else { self.utilization_sum / self.launches as f64 };
+        self.utilization = if self.utilization_samples == 0 {
+            1.0
+        } else {
+            self.utilization_sum / self.utilization_samples as f64
+        };
     }
 
     /// Total time in milliseconds.
@@ -181,5 +194,19 @@ mod tests {
         assert!((s.coalescing - 0.5).abs() < 1e-9);
         assert_eq!(s.device_allocations, 7);
         assert_eq!(s.total_ms(), 1000.0 / 1e6);
+    }
+
+    #[test]
+    fn absorb_round_counts_utilization_but_not_launches() {
+        let k = KernelStats { blocks: 2, utilization: 0.5, ..Default::default() };
+        let mut s = GpuRunStats::default();
+        s.absorb_round(&k);
+        s.absorb_round(&k);
+        assert_eq!(s.launches, 0, "persistent rounds are not launches");
+        assert_eq!(s.blocks, 4);
+        let pipeline =
+            PipelineTiming { total_ns: 1.0, kernel_ns: 1.0, copy_ns: 0.0, exposed_copy_ns: 0.0 };
+        s.finish(pipeline, &DeviceConfig::tesla_p40(), 0, 0);
+        assert!((s.utilization - 0.5).abs() < 1e-9, "utilization averages over rounds");
     }
 }

@@ -86,6 +86,10 @@ pub struct BlockStats {
     pub join_probes: u64,
     /// Relation tuples streamed by [`BlockCtx::relation_scan`].
     pub scan_rows: u64,
+    /// Device-side worklist queue operations (persistent kernels).
+    pub queue_ops: u64,
+    /// Cycles spent in contended queue operations (persistent kernels).
+    pub queue_cycles: u64,
 }
 
 /// Execution context of one thread block.
@@ -203,6 +207,36 @@ impl<'a> BlockCtx<'a> {
         // 128-byte lines.
         self.stats.ideal_transactions +=
             total_bytes_read_written.div_ceil(self.config.transaction_bytes);
+    }
+
+    /// Dequeues `items` entries from the device-side worklist queue a
+    /// persistent kernel owns. Each operation is an atomic head bump plus
+    /// a scattered read; like the allocator, it serializes under
+    /// contention, so the per-op cost scales with the co-resident block
+    /// count (clamped — past ~24 contenders the queue is
+    /// bandwidth-bound, not atomics-bound). Cost-only: queue ops never
+    /// change what a kernel computes, so facts are unaffected.
+    pub fn queue_pop(&mut self, items: u64) {
+        self.queue_op(items);
+    }
+
+    /// Enqueues `items` entries onto the device-side worklist queue
+    /// (atomic tail bump plus a scattered write). Same contended cost
+    /// model as [`BlockCtx::queue_pop`].
+    pub fn queue_push(&mut self, items: u64) {
+        self.queue_op(items);
+    }
+
+    /// Shared contended queue-operation path.
+    fn queue_op(&mut self, items: u64) {
+        if items == 0 {
+            return;
+        }
+        let contention = (self.resident_blocks as u64).clamp(4, 24);
+        let cost = items * self.config.queue_op_cycles * contention;
+        self.stats.queue_ops += items;
+        self.stats.queue_cycles += cost;
+        self.stats.cycles += cost;
     }
 
     /// Performs a kernel-side allocation outside lane context (e.g. the
@@ -569,6 +603,28 @@ mod tests {
         let probe_only = ctx.stats;
         assert!(with_insert.transactions > probe_only.transactions);
         assert_eq!(with_insert.join_probes, probe_only.join_probes);
+    }
+
+    #[test]
+    fn queue_ops_are_contended_and_cost_only() {
+        let (cfg, mut heap) = setup();
+        // Solo block: contention clamps up to the floor of 4 contenders.
+        let mut solo = BlockCtx::new(&cfg, &mut heap, 1, None);
+        solo.queue_pop(1);
+        assert_eq!(solo.stats.queue_ops, 1);
+        assert_eq!(solo.stats.queue_cycles, cfg.queue_op_cycles * 4);
+        assert_eq!(solo.stats.cycles, solo.stats.queue_cycles);
+        // A fully resident device pays the clamped ceiling of 24.
+        let mut packed = BlockCtx::new(&cfg, &mut heap, 120, None);
+        packed.queue_pop(1);
+        packed.queue_push(2);
+        assert_eq!(packed.stats.queue_ops, 3);
+        assert_eq!(packed.stats.queue_cycles, 3 * cfg.queue_op_cycles * 24);
+        // Zero items are free.
+        let mut idle = BlockCtx::new(&cfg, &mut heap, 120, None);
+        idle.queue_pop(0);
+        idle.queue_push(0);
+        assert_eq!(idle.stats, BlockStats::default());
     }
 
     #[test]

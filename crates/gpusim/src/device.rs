@@ -72,6 +72,23 @@ pub struct Device {
     /// Trace sink. Disabled by default — recording then costs one
     /// branch per launch.
     tracer: Tracer,
+    /// Open persistent-kernel session, if any
+    /// ([`Device::begin_persistent`] … [`Device::end_persistent`]).
+    persistent: Option<PersistentSession>,
+}
+
+/// Book-keeping of one open persistent-kernel session: one resident
+/// launch whose fixpoint rounds execute via [`Device::persistent_round`].
+struct PersistentSession {
+    /// Device clock when the session began (the launch span's start).
+    start_clock_ns: u64,
+    /// Fixpoint rounds executed so far.
+    rounds: u64,
+    /// Running fold of every round's stats; round schedules are offset
+    /// so the combined timeline renders rounds back to back.
+    combined: KernelStats,
+    /// Makespan-weighted utilization accumulator.
+    util_weighted: f64,
 }
 
 /// Aggregated result of one kernel launch.
@@ -101,6 +118,10 @@ pub struct KernelStats {
     pub join_probes: u64,
     /// Relation tuples streamed across all blocks (relational kernels).
     pub scan_rows: u64,
+    /// Device-side worklist queue operations (persistent kernels).
+    pub queue_ops: u64,
+    /// Cycles spent in contended queue operations (persistent kernels).
+    pub queue_cycles: u64,
     /// Per-block schedule: `(slot, start_cycle, end_cycle)` in launch
     /// order — the raw material for occupancy timelines.
     pub schedule: Vec<(u32, u64, u64)>,
@@ -123,9 +144,12 @@ impl KernelStats {
         (self.ideal_transactions as f64 / self.transactions as f64).min(1.0)
     }
 
-    /// Execution time in nanoseconds at the device clock.
+    /// Execution time in nanoseconds at the device clock. The launch
+    /// overhead is rounded to whole ns exactly as the device clock and
+    /// trace spans round it, so a fractional `launch_overhead_us` can
+    /// never make the reported makespan disagree with the clock advance.
     pub fn time_ns(&self, config: &DeviceConfig) -> f64 {
-        config.cycles_to_ns(self.makespan_cycles) + config.launch_overhead_us * 1e3
+        config.cycles_to_ns(self.makespan_cycles) + (config.launch_overhead_us * 1e3).round()
     }
 
     /// Renders an ASCII occupancy timeline: one row per busy slot, `#`
@@ -134,11 +158,16 @@ impl KernelStats {
     pub fn occupancy_chart(&self, width: usize) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // Degenerate inputs: an empty or zero-cycle schedule has no
+        // timeline to scale against (the scale below would be 0 and the
+        // slot arithmetic nonsense), and a zero-width chart has no
+        // columns (`width - 1` would underflow).
         if self.makespan_cycles == 0 || self.schedule.is_empty() {
             return "(empty launch)\n".into();
         }
+        let width = width.max(1);
         let slots = self.schedule.iter().map(|&(s, _, _)| s).max().unwrap_or(0) as usize + 1;
-        let scale = self.makespan_cycles as f64 / width.max(1) as f64;
+        let scale = self.makespan_cycles as f64 / width as f64;
         for slot in 0..slots {
             let mut row = vec![b'.'; width];
             for &(s, start, end) in &self.schedule {
@@ -196,6 +225,7 @@ impl Device {
             faults_injected: 0,
             clock_ns: 0,
             tracer: Tracer::disabled(),
+            persistent: None,
         }
     }
 
@@ -446,6 +476,8 @@ impl Device {
             stats.malloc_cycles += b.malloc_cycles;
             stats.join_probes += b.join_probes;
             stats.scan_rows += b.scan_rows;
+            stats.queue_ops += b.queue_ops;
+            stats.queue_cycles += b.queue_cycles;
             // Greedy: next block goes to the earliest-finishing slot.
             let (idx, _) =
                 slot_end.iter().enumerate().min_by_key(|(_, &end)| end).expect("at least one slot");
@@ -458,6 +490,164 @@ impl Device {
         let span = stats.makespan_cycles * slot_end.len() as u64;
         stats.utilization = if span == 0 { 1.0 } else { busy as f64 / span as f64 };
         stats
+    }
+
+    /// Opens a persistent-kernel session: ONE resident launch whose
+    /// fixpoint rounds run device-side via [`Device::persistent_round`]
+    /// until [`Device::end_persistent`]. Counts as a single lifetime
+    /// launch, honors the fault plan once (at submission, exactly like
+    /// [`Device::try_launch`]), and charges the launch overhead once —
+    /// that is the whole point of the mode.
+    pub fn begin_persistent(&mut self) -> Result<(), DeviceFault> {
+        assert!(self.persistent.is_none(), "persistent session already open");
+        self.launches += 1;
+        if let Some(fault) = self.check_fault() {
+            return Err(fault);
+        }
+        let start_clock_ns = self.clock_ns;
+        self.clock_ns += (self.config.launch_overhead_us * 1e3).round() as u64;
+        self.persistent = Some(PersistentSession {
+            start_clock_ns,
+            rounds: 0,
+            combined: KernelStats::default(),
+            util_weighted: 0.0,
+        });
+        Ok(())
+    }
+
+    /// Whether a persistent session is currently open.
+    pub fn persistent_active(&self) -> bool {
+        self.persistent.is_some()
+    }
+
+    /// Runs one fixpoint round inside the open persistent session:
+    /// executes the blocks, packs their timelines, and charges one
+    /// grid-wide sync (the barrier every cooperative persistent kernel
+    /// ends a round with). No launch overhead and no fault check — the
+    /// kernel is already resident. The sanitizer epoch still advances
+    /// per round: the grid-wide sync gives rounds the same
+    /// happens-before a kernel boundary would, so shadow state and any
+    /// findings match the multi-launch path exactly.
+    pub fn persistent_round<F>(&mut self, blocks: Vec<F>) -> KernelStats
+    where
+        F: FnOnce(&mut BlockCtx<'_>),
+    {
+        let round_index =
+            self.persistent.as_ref().expect("persistent_round outside a session").rounds + 1;
+        let n = blocks.len();
+        let resident = n.min(self.config.block_slots()).max(1);
+        if let Some(san) = self.san.as_mut() {
+            san.begin_launch();
+        }
+        let mut per_block: Vec<BlockStats> = Vec::with_capacity(n);
+        for (i, f) in blocks.into_iter().enumerate() {
+            if let Some(san) = self.san.as_mut() {
+                san.begin_block(i as u32);
+            }
+            let mut ctx = BlockCtx::new(&self.config, &mut self.heap, resident, self.san.as_mut());
+            f(&mut ctx);
+            per_block.push(ctx.stats);
+        }
+        let mut stats = self.pack(&per_block);
+        stats.makespan_cycles += self.config.grid_sync_cycles;
+        let round_ns = self.config.cycles_to_ns(stats.makespan_cycles).round() as u64;
+        if self.tracer.enabled() {
+            self.trace_persistent_round(round_index, &stats, &per_block, round_ns);
+        }
+        self.clock_ns += round_ns;
+        let session = self.persistent.as_mut().expect("session checked above");
+        session.rounds += 1;
+        let offset = session.combined.makespan_cycles;
+        let c = &mut session.combined;
+        c.blocks += stats.blocks;
+        c.total_block_cycles += stats.total_block_cycles;
+        c.warp_steps += stats.warp_steps;
+        c.divergence_passes += stats.divergence_passes;
+        c.transactions += stats.transactions;
+        c.ideal_transactions += stats.ideal_transactions;
+        c.mallocs += stats.mallocs;
+        c.malloc_cycles += stats.malloc_cycles;
+        c.join_probes += stats.join_probes;
+        c.scan_rows += stats.scan_rows;
+        c.queue_ops += stats.queue_ops;
+        c.queue_cycles += stats.queue_cycles;
+        c.schedule.extend(stats.schedule.iter().map(|&(s, a, b)| (s, offset + a, offset + b)));
+        c.makespan_cycles += stats.makespan_cycles;
+        session.util_weighted += stats.utilization * stats.makespan_cycles as f64;
+        stats
+    }
+
+    /// Closes the persistent session, emitting its single launch span
+    /// (the per-round spans nest inside it on the trace timeline) and
+    /// returning the combined stats: round makespans and counters
+    /// summed, schedules laid back to back, and — via
+    /// [`KernelStats::time_ns`] — ONE launch overhead for the whole
+    /// fixpoint.
+    pub fn end_persistent(&mut self) -> KernelStats {
+        let session = self.persistent.take().expect("end_persistent without begin_persistent");
+        let mut combined = session.combined;
+        combined.utilization = if combined.makespan_cycles == 0 {
+            1.0
+        } else {
+            session.util_weighted / combined.makespan_cycles as f64
+        };
+        if self.tracer.enabled() {
+            self.tracer.span(
+                "gpusim",
+                format!("persistent launch #{}", self.launches),
+                session.start_clock_ns,
+                self.clock_ns - session.start_clock_ns,
+                0,
+                vec![
+                    ("rounds", session.rounds.into()),
+                    ("blocks", combined.blocks.into()),
+                    ("makespan_cycles", combined.makespan_cycles.into()),
+                    ("queue_ops", combined.queue_ops.into()),
+                    ("grid_syncs", session.rounds.into()),
+                ],
+            );
+        }
+        combined
+    }
+
+    /// Emits one span for a persistent-kernel round plus one per block,
+    /// all nested (by timestamp) inside the session's launch span that
+    /// [`Device::end_persistent`] emits. Only called when tracing is on.
+    fn trace_persistent_round(
+        &self,
+        round_index: u64,
+        stats: &KernelStats,
+        per_block: &[BlockStats],
+        round_ns: u64,
+    ) {
+        self.tracer.span(
+            "gpusim",
+            format!("persistent round #{round_index}"),
+            self.clock_ns,
+            round_ns,
+            0,
+            vec![
+                ("blocks", stats.blocks.into()),
+                ("makespan_cycles", stats.makespan_cycles.into()),
+                ("queue_ops", stats.queue_ops.into()),
+                ("grid_sync_cycles", self.config.grid_sync_cycles.into()),
+                ("utilization", stats.utilization.into()),
+            ],
+        );
+        for (i, (&(slot, start, end), b)) in stats.schedule.iter().zip(per_block).enumerate() {
+            self.tracer.span(
+                "gpusim",
+                format!("block {i}"),
+                self.clock_ns + self.config.cycles_to_ns(start).round() as u64,
+                self.config.cycles_to_ns(end - start).round() as u64,
+                slot + 1,
+                vec![
+                    ("transactions", b.transactions.into()),
+                    ("divergence_passes", b.divergence_passes.into()),
+                    ("warp_steps", b.warp_steps.into()),
+                ],
+            );
+        }
     }
 }
 
@@ -713,5 +903,163 @@ mod tests {
         let stats = KernelStats { makespan_cycles: 1303, ..Default::default() };
         let t = stats.time_ns(&dev_cfg);
         assert!(t > 1000.0 + 4999.0, "{t}");
+    }
+
+    #[test]
+    fn fractional_launch_overhead_rounds_like_the_clock() {
+        // Regression: time_ns used to add launch_overhead_us * 1e3
+        // unrounded while the device clock advanced by the rounded value,
+        // so a fractional overhead (5.0004 µs → 5000.4 ns) made the
+        // reported makespan disagree with the clock by fractional ns.
+        let cfg = DeviceConfig { launch_overhead_us: 5.0004, ..flat_config() };
+        let stats = KernelStats::default();
+        assert_eq!(stats.time_ns(&cfg), 5000.0, "overhead contributes its rounded ns");
+        let mut dev = Device::new(cfg);
+        let s = dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(100)]);
+        assert_eq!(
+            dev.clock_ns(),
+            s.time_ns(&dev.config).round() as u64,
+            "clock advance equals the reported launch time exactly"
+        );
+    }
+
+    #[test]
+    fn occupancy_chart_guards_degenerate_schedules() {
+        // Empty launch: no schedule, zero makespan — must not divide by 0.
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let empty = dev.launch(Vec::<fn(&mut BlockCtx<'_>)>::new());
+        assert_eq!(empty.occupancy_chart(40), "(empty launch)\n");
+        // Zero-cost blocks: schedule entries exist but the makespan is 0.
+        let zero = dev.launch(vec![|_ctx: &mut BlockCtx<'_>| {}]);
+        assert_eq!(zero.makespan_cycles, 0);
+        assert_eq!(zero.occupancy_chart(40), "(empty launch)\n");
+        // Zero width must not underflow `width - 1`; it renders 1 column.
+        let real = dev.launch(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(10)]);
+        let chart = real.occupancy_chart(0);
+        assert!(chart.contains('#'), "zero width clamps to one column: {chart:?}");
+    }
+
+    #[test]
+    fn persistent_session_charges_one_overhead_and_one_launch() {
+        let mk = || {
+            (0..4)
+                .map(|_| {
+                    |ctx: &mut BlockCtx<'_>| {
+                        ctx.compute(100);
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = flat_config();
+        // Multi-launch: 3 rounds = 3 launches, 3 overheads.
+        let mut multi = Device::new(cfg);
+        let mut multi_stats = Vec::new();
+        for _ in 0..3 {
+            multi_stats.push(multi.try_launch(mk()).unwrap());
+        }
+        // Persistent: 3 rounds inside one resident launch.
+        let mut per = Device::new(cfg);
+        per.begin_persistent().unwrap();
+        assert!(per.persistent_active());
+        let rounds: Vec<KernelStats> = (0..3).map(|_| per.persistent_round(mk())).collect();
+        let combined = per.end_persistent();
+        assert!(!per.persistent_active());
+        assert_eq!(per.launches(), 1, "one resident launch for the whole fixpoint");
+        assert_eq!(multi.launches(), 3);
+        // Combined stats sum the rounds (each includes its grid sync).
+        assert_eq!(combined.blocks, 12);
+        assert_eq!(combined.makespan_cycles, rounds.iter().map(|r| r.makespan_cycles).sum::<u64>());
+        assert_eq!(
+            rounds[0].makespan_cycles,
+            multi_stats[0].makespan_cycles + cfg.grid_sync_cycles,
+            "a persistent round is the packed work plus one grid-wide sync"
+        );
+        // The clock advanced by one overhead + the rounds, and the
+        // combined time_ns (one overhead) agrees with it exactly.
+        assert_eq!(per.clock_ns(), combined.time_ns(&cfg).round() as u64);
+        // The mode wins whenever saved overheads beat the added syncs.
+        let multi_ns: f64 = multi_stats.iter().map(|s| s.time_ns(&cfg)).sum();
+        assert!(
+            combined.time_ns(&cfg) < multi_ns,
+            "persistent {} !< multi {}",
+            combined.time_ns(&cfg),
+            multi_ns
+        );
+        // The combined schedule lays rounds back to back.
+        assert_eq!(combined.schedule.len(), 12);
+        assert!(combined.schedule.windows(2).all(|w| w[1].1 >= w[0].1 || w[1].2 <= w[0].2));
+    }
+
+    #[test]
+    fn persistent_rounds_nest_inside_one_trace_launch_span() {
+        let mut dev = Device::new(flat_config());
+        dev.set_tracer(Tracer::enabled_new());
+        dev.advance_clock(1000);
+        dev.begin_persistent().unwrap();
+        for _ in 0..2 {
+            dev.persistent_round(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(100)]);
+        }
+        dev.end_persistent();
+        let evs = dev.tracer().events();
+        let launch = evs.iter().find(|e| e.name == "persistent launch #1").unwrap();
+        assert_eq!(launch.ts_ns, 1000, "session span starts where the session began");
+        assert_eq!(launch.ts_ns + launch.dur_ns, dev.clock_ns());
+        let rounds: Vec<_> =
+            evs.iter().filter(|e| e.name.starts_with("persistent round")).collect();
+        assert_eq!(rounds.len(), 2);
+        for r in &rounds {
+            assert!(r.ts_ns >= launch.ts_ns, "round starts inside the launch span");
+            assert!(r.ts_ns + r.dur_ns <= launch.ts_ns + launch.dur_ns);
+        }
+        assert!(rounds[0].ts_ns + rounds[0].dur_ns <= rounds[1].ts_ns, "rounds are sequential");
+    }
+
+    #[test]
+    fn persistent_begin_honors_fault_plan() {
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.set_fault_plan(Some(FaultPlan { period: 2, budget: 1 }));
+        assert!(dev.begin_persistent().is_ok());
+        dev.persistent_round(vec![|ctx: &mut BlockCtx<'_>| ctx.compute(1)]);
+        dev.end_persistent();
+        // Second session is launch #2 → faults; no session is left open.
+        assert_eq!(dev.begin_persistent().unwrap_err().launch_index, 2);
+        assert!(!dev.persistent_active());
+        assert!(dev.begin_persistent().is_ok(), "retry succeeds within budget");
+        dev.end_persistent();
+        assert_eq!(dev.faults_injected(), 1);
+    }
+
+    #[test]
+    fn persistent_sanitizer_epochs_match_multi_launch() {
+        // The sanitizer must see the same launch-epoch sequence either
+        // way, so shadow state (and findings) stay byte-identical.
+        let run = |persistent: bool| -> Option<SanReport> {
+            let mut dev = Device::new(DeviceConfig::tiny().with_sanitizer());
+            let buf = dev.alloc_init(64);
+            let mk = move || {
+                vec![move |ctx: &mut BlockCtx<'_>| {
+                    let mut lane = LaneWork::compute(0, 10);
+                    lane.reads = vec![buf.base];
+                    ctx.warp_process(&[lane]);
+                }]
+            };
+            if persistent {
+                dev.begin_persistent().unwrap();
+                for _ in 0..3 {
+                    dev.persistent_round(mk());
+                }
+                dev.end_persistent();
+            } else {
+                for _ in 0..3 {
+                    dev.try_launch(mk()).unwrap();
+                }
+            }
+            dev.san_report()
+        };
+        let multi = run(false).unwrap();
+        let per = run(true).unwrap();
+        assert_eq!(multi.accesses_checked, per.accesses_checked);
+        assert_eq!(multi.counts, per.counts);
+        assert!(per.is_clean());
     }
 }

@@ -69,8 +69,12 @@ pub enum AccessOrder {
 /// Where an access happened, in simulator coordinates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessSite {
-    /// Kernel launch ordinal on this device (1-based).
-    pub launch: u32,
+    /// Kernel launch ordinal on this device (1-based). `u64` like
+    /// [`crate::Device::launches`]: a long-lived device vetting a 10k+-app
+    /// store snapshot runs hundreds of thousands of launches, so a `u32`
+    /// epoch could wrap and alias two distant launches into one
+    /// happens-before equivalence class.
+    pub launch: u64,
     /// Thread-block index within the launch.
     pub block: u32,
     /// Worklist round within the block (count of `sync`s passed).
@@ -271,7 +275,7 @@ pub struct Sanitizer {
     findings: Vec<Finding>,
     counts: [u64; 6],
     accesses: u64,
-    launch: u32,
+    launch: u64,
     block: u32,
     round: u32,
     warp: u32,
@@ -522,6 +526,23 @@ mod tests {
         let mut a = site(0, 0, 0, 0);
         a.launch = 2;
         assert!(!conflicts(&a, &site(0, 0, 0, 0), true));
+    }
+
+    #[test]
+    fn launch_epoch_survives_u32_overflow() {
+        // Per-device launch counters are u64 everywhere (Device::launches,
+        // this epoch); a 10k+-app campaign on one long-lived device can
+        // cross 2^32 launches, and a wrapped u32 epoch would alias two
+        // distant launches into one happens-before class — hiding races
+        // (same block/round/warp coordinates compare equal) or ordering
+        // accesses that are in fact concurrent.
+        let mut san = Sanitizer::new();
+        san.launch = u64::from(u32::MAX);
+        san.begin_launch();
+        assert_eq!(san.launch, u64::from(u32::MAX) + 1, "no wrap at 2^32");
+        let old = AccessSite { launch: 1, block: 0, round: 0, warp: 0, lane: 0 };
+        let new = AccessSite { launch: san.launch, block: 0, round: 0, warp: 0, lane: 0 };
+        assert!(!conflicts(&old, &new, true), "distinct epochs stay ordered, never aliased");
     }
 
     #[test]

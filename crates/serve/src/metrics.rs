@@ -217,6 +217,9 @@ pub struct Counters {
     pub rel_jobs: AtomicU64,
     /// Jobs executed under the CPU reference engine.
     pub cpu_jobs: AtomicU64,
+    /// Jobs executed under the persistent-kernel mode (one resident
+    /// launch per app).
+    pub persistent_jobs: AtomicU64,
 }
 
 impl Counters {
@@ -246,6 +249,7 @@ impl Counters {
             sliced_fraction_micros: load(&self.sliced_fraction_micros),
             rel_jobs: load(&self.rel_jobs),
             cpu_jobs: load(&self.cpu_jobs),
+            persistent_jobs: load(&self.persistent_jobs),
         }
     }
 }
@@ -289,6 +293,8 @@ pub struct CountersSnapshot {
     pub rel_jobs: u64,
     /// Jobs executed under the CPU reference engine.
     pub cpu_jobs: u64,
+    /// Jobs executed under the persistent-kernel mode.
+    pub persistent_jobs: u64,
 }
 
 impl CountersSnapshot {
@@ -313,6 +319,7 @@ impl CountersSnapshot {
             sliced_fraction_micros: self.sliced_fraction_micros + other.sliced_fraction_micros,
             rel_jobs: self.rel_jobs + other.rel_jobs,
             cpu_jobs: self.cpu_jobs + other.cpu_jobs,
+            persistent_jobs: self.persistent_jobs + other.persistent_jobs,
         }
     }
 
@@ -322,7 +329,8 @@ impl CountersSnapshot {
             "{{\"submitted\":{},\"rejected\":{},\"cache_hits\":{},\"cache_incremental\":{},\
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
              \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{},\
-             \"targeted_jobs\":{},\"sliced_fraction_micros\":{},\"rel_jobs\":{},\"cpu_jobs\":{}}}",
+             \"targeted_jobs\":{},\"sliced_fraction_micros\":{},\"rel_jobs\":{},\"cpu_jobs\":{},\
+             \"persistent_jobs\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -340,6 +348,7 @@ impl CountersSnapshot {
             self.sliced_fraction_micros,
             self.rel_jobs,
             self.cpu_jobs,
+            self.persistent_jobs,
         )
     }
 }

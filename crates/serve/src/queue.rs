@@ -165,6 +165,7 @@ mod tests {
             submitted_at: Instant::now(),
             targeted: false,
             engine: gdroid_core::EngineKind::Worklist,
+            exec: gdroid_core::ExecMode::MultiLaunch,
         }
     }
 

@@ -49,6 +49,9 @@ pub struct ReadyJob {
     pub targeted: bool,
     /// Engine the job runs under (see [`crate::JobSpec::engine`]).
     pub engine: gdroid_core::EngineKind,
+    /// Kernel execution mode (see [`crate::JobSpec::exec`]). Persistent
+    /// jobs bypass the cache/incremental paths and never batch.
+    pub exec: gdroid_core::ExecMode,
     /// Static work estimate (statements × state width), the LPT key.
     pub estimate: u64,
     /// Widest call-graph layer in blocks — the most block slots one of
@@ -249,6 +252,7 @@ mod tests {
             priority,
             targeted: false,
             engine: gdroid_core::EngineKind::Worklist,
+            exec: gdroid_core::ExecMode::MultiLaunch,
             estimate,
             block_demand: 1,
             prep: prepare_vetting(generate_app(0, 100 + id, &GenConfig::tiny())),

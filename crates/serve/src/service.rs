@@ -28,13 +28,14 @@ use crate::pool::DevicePool;
 use crate::queue::{SubmitError, SubmitQueue};
 use crate::scheduler::{block_demand, work_estimate, DispatchHeap, ReadyJob};
 use gdroid_apk::{generate_app, load_bundle, App};
-use gdroid_core::{EngineKind, OptConfig};
+use gdroid_core::{EngineKind, ExecMode, OptConfig};
 use gdroid_gpusim::{DeviceConfig, FaultPlan};
 use gdroid_sumstore::SumStore;
 use gdroid_vetting::{
-    execute_vetting_batch_on_device, execute_vetting_engine_on_device,
-    execute_vetting_engine_on_device_with_store, execute_vetting_engine_targeted_on_device,
-    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_incremental,
+    execute_vetting_batch_on_device, execute_vetting_engine_on_device_mode,
+    execute_vetting_engine_on_device_with_store_mode,
+    execute_vetting_engine_targeted_on_device_mode,
+    execute_vetting_engine_targeted_on_device_with_store_mode, execute_vetting_incremental,
     execute_vetting_on_device, execute_vetting_on_device_with_store,
     execute_vetting_targeted_on_device, execute_vetting_targeted_on_device_with_store,
     prepare_vetting, PreparedApp, VettingRun,
@@ -85,6 +86,15 @@ pub struct ServiceConfig {
     /// the configured engine's caps lack `targeted` (only the CPU
     /// reference does).
     pub engine: EngineKind,
+    /// Kernel execution mode worklist jobs run under. Under
+    /// [`ExecMode::Persistent`] each app's fixpoint runs as one resident
+    /// mega-kernel launch; verdicts and facts stay byte-identical to
+    /// multi-launch, but the cost profile differs, so persistent jobs
+    /// bypass the result cache (both directions), skip the incremental
+    /// warm start, and never join a co-resident batch. Jobs running on an
+    /// engine whose caps lack `persistent` fall back to
+    /// [`ExecMode::MultiLaunch`].
+    pub exec: ExecMode,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +112,7 @@ impl Default for ServiceConfig {
             sumstore: None,
             coresident: 1,
             engine: EngineKind::Worklist,
+            exec: ExecMode::MultiLaunch,
         }
     }
 }
@@ -119,6 +130,7 @@ struct ServiceState {
     sumstore: Option<Arc<SumStore>>,
     coresident: usize,
     engine: EngineKind,
+    exec: ExecMode,
     /// Total block slots of one device (`sm_count × blocks_per_sm`) — the
     /// budget co-resident top-ups must fit into.
     block_slots: u64,
@@ -166,6 +178,7 @@ impl VettingService {
             sumstore: config.sumstore,
             coresident: config.coresident.max(1),
             engine: config.engine,
+            exec: config.exec,
             block_slots: (config.device_config.sm_count as u64)
                 * (config.device_config.blocks_per_sm as u64),
         });
@@ -194,7 +207,10 @@ impl VettingService {
         } else {
             self.state.engine
         };
-        JobSpec { id, priority, source, submitted_at: Instant::now(), targeted, engine }
+        // Engines without persistent caps (rel, cpu) run multi-launch; a
+        // persistent service setting only applies where it is meaningful.
+        let exec = if engine.caps().persistent { self.state.exec } else { ExecMode::MultiLaunch };
+        JobSpec { id, priority, source, submitted_at: Instant::now(), targeted, engine, exec }
     }
 
     /// Blocking submission (backpressure when the queue is full).
@@ -341,8 +357,11 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
         // outcomes, and a `take_previous`-style probe would invalidate a
         // perfectly good full entry. Non-worklist engines bypass too —
         // cached outcomes embed the worklist cost profile, which a rel or
-        // cpu job must not be served.
-        if !job.targeted && job.engine == EngineKind::Worklist {
+        // cpu job must not be served. Persistent jobs likewise: their
+        // cost profile (one launch per app) differs from the cached
+        // multi-launch one.
+        if !job.targeted && job.engine == EngineKind::Worklist && job.exec == ExecMode::MultiLaunch
+        {
             if let Some(outcome) = state.cache.lookup(content_hash) {
                 Counters::bump(&state.metrics.counters.cache_hits);
                 state.deliver(JobResult {
@@ -377,6 +396,7 @@ fn prep_loop(queue: &SubmitQueue, state: &ServiceState) {
             priority: job.priority,
             targeted: job.targeted,
             engine: job.engine,
+            exec: job.exec,
             estimate,
             block_demand: block_demand(&prep),
             prep,
@@ -449,6 +469,7 @@ fn exec_loop(state: &ServiceState) {
             && state.sumstore.is_none()
             && !group[0].targeted
             && group[0].engine == EngineKind::Worklist
+            && group[0].exec == ExecMode::MultiLaunch
         {
             let mut demand = group[0].block_demand;
             while group.len() < state.coresident && demand < state.block_slots {
@@ -457,7 +478,7 @@ fn exec_loop(state: &ServiceState) {
                     break;
                 };
                 let Some(extra) = try_incremental(state, extra) else { continue };
-                if extra.engine != EngineKind::Worklist {
+                if extra.engine != EngineKind::Worklist || extra.exec != ExecMode::MultiLaunch {
                     stragglers.push(extra);
                     continue;
                 }
@@ -482,9 +503,14 @@ fn exec_loop(state: &ServiceState) {
 /// entry is invalidated either way). Returns the job back when it still
 /// needs a full device run. Targeted jobs always do: their sliced path
 /// must neither consume nor invalidate cached full analyses. Non-worklist
-/// jobs always do too — the cache is a worklist-engine artifact.
+/// jobs always do too — the cache is a worklist-engine artifact — and so
+/// do persistent jobs, whose cost profile the cached entries don't match.
 fn try_incremental(state: &ServiceState, job: ReadyJob) -> Option<ReadyJob> {
-    if job.failures == 0 && !job.targeted && job.engine == EngineKind::Worklist {
+    if job.failures == 0
+        && !job.targeted
+        && job.engine == EngineKind::Worklist
+        && job.exec == ExecMode::MultiLaunch
+    {
         if let Some(prev) = state.cache.take_previous(&job.package, job.content_hash) {
             if let Some(changed) =
                 changed_methods(&prev, &job.method_hashes, job.interner_fingerprint)
@@ -519,33 +545,40 @@ fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
     // store rather than fault; targeted dispatch was already routed to a
     // slicing-capable engine at submission.
     let store = state.sumstore.as_deref().filter(|_| job.engine.caps().sumstore);
-    let attempt = match (job.engine, job.targeted, store) {
-        (EngineKind::Worklist, true, Some(store)) => {
+    // Multi-launch worklist jobs keep the legacy opt-configurable path;
+    // everything else (other engines, persistent execution) goes through
+    // the engine dispatch layer, which owns the exec-mode plumbing.
+    let attempt = match (job.engine, job.exec, job.targeted, store) {
+        (EngineKind::Worklist, ExecMode::MultiLaunch, true, Some(store)) => {
             execute_vetting_targeted_on_device_with_store(&job.prep, &mut lease, state.opt, store)
                 .map(|(run, _)| run)
         }
-        (EngineKind::Worklist, true, None) => {
+        (EngineKind::Worklist, ExecMode::MultiLaunch, true, None) => {
             execute_vetting_targeted_on_device(&job.prep, &mut lease, state.opt)
         }
-        (EngineKind::Worklist, false, Some(store)) => {
+        (EngineKind::Worklist, ExecMode::MultiLaunch, false, Some(store)) => {
             execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
                 .map(|(run, _)| run)
         }
-        (EngineKind::Worklist, false, None) => {
+        (EngineKind::Worklist, ExecMode::MultiLaunch, false, None) => {
             execute_vetting_on_device(&job.prep, &mut lease, state.opt)
         }
-        (engine, true, Some(store)) => execute_vetting_engine_targeted_on_device_with_store(
-            &job.prep, &mut lease, engine, store,
+        (engine, exec, true, Some(store)) => {
+            execute_vetting_engine_targeted_on_device_with_store_mode(
+                &job.prep, &mut lease, engine, store, exec,
+            )
+            .map(|(run, _)| run)
+        }
+        (engine, exec, true, None) => {
+            execute_vetting_engine_targeted_on_device_mode(&job.prep, &mut lease, engine, exec)
+        }
+        (engine, exec, false, Some(store)) => execute_vetting_engine_on_device_with_store_mode(
+            &job.prep, &mut lease, engine, store, exec,
         )
         .map(|(run, _)| run),
-        (engine, true, None) => {
-            execute_vetting_engine_targeted_on_device(&job.prep, &mut lease, engine)
+        (engine, exec, false, None) => {
+            execute_vetting_engine_on_device_mode(&job.prep, &mut lease, engine, exec)
         }
-        (engine, false, Some(store)) => {
-            execute_vetting_engine_on_device_with_store(&job.prep, &mut lease, engine, store)
-                .map(|(run, _)| run)
-        }
-        (engine, false, None) => execute_vetting_engine_on_device(&job.prep, &mut lease, engine),
     };
     match attempt {
         Ok(run) => {
@@ -623,6 +656,9 @@ fn finish(
         EngineKind::Rel => Counters::bump(&state.metrics.counters.rel_jobs),
         EngineKind::Cpu => Counters::bump(&state.metrics.counters.cpu_jobs),
     }
+    if job.exec == ExecMode::Persistent {
+        Counters::bump(&state.metrics.counters.persistent_jobs);
+    }
     let outcome = run.outcome.clone();
     if job.targeted {
         // Never cache a targeted outcome as a full one; account the
@@ -635,10 +671,10 @@ fn finish(
                 .sliced_fraction_micros
                 .fetch_add((prov.sliced_fraction * 1e6).round() as u64, Ordering::Relaxed);
         }
-    } else if job.engine == EngineKind::Worklist {
-        // Only worklist outcomes enter the cache: a hit is served
-        // verbatim, so its embedded cost profile must match the engine
-        // future worklist jobs expect.
+    } else if job.engine == EngineKind::Worklist && job.exec == ExecMode::MultiLaunch {
+        // Only multi-launch worklist outcomes enter the cache: a hit is
+        // served verbatim, so its embedded cost profile must match the
+        // engine and exec mode future worklist jobs expect.
         state.cache.insert(
             job.content_hash,
             &job.package,
@@ -828,6 +864,48 @@ mod tests {
         assert!(j.contains("\"rel_jobs\":6") && j.contains("\"cpu_jobs\":0"));
     }
 
+    #[test]
+    fn persistent_jobs_bypass_the_cache_and_match_multi_launch_reports() {
+        let svc = VettingService::start(ServiceConfig {
+            prep_workers: 1,
+            devices: 1,
+            exec: ExecMode::Persistent,
+            coresident: 4,
+            ..ServiceConfig::default()
+        });
+        for seed in 0..3u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5700 + seed)).unwrap();
+        }
+        // Resubmit the same apps: a multi-launch service would serve
+        // cache hits, a persistent service must re-analyze every one —
+        // cached outcomes embed the multi-launch cost profile.
+        svc.wait_for(3);
+        for seed in 0..3u64 {
+            svc.submit(Priority::Standard, seed_source(seed as usize, 5700 + seed)).unwrap();
+        }
+        let (report, results) = svc.drain();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.status == JobStatus::Completed));
+        assert_eq!(report.cache.hits, 0, "persistent jobs must never be served from the cache");
+        assert_eq!(report.counters.persistent_jobs, 6);
+        assert_eq!(report.counters.batched_jobs, 0, "persistent jobs never join a batch");
+        // The vetting report itself is exec-mode-invariant byte for byte.
+        for r in &results {
+            let reference = vet_app(
+                generate_app(r.id as usize % 3, 5700 + r.id % 3, &GenConfig::tiny()),
+                gdroid_vetting::Engine::Gpu(OptConfig::gdroid()),
+            );
+            assert_eq!(
+                r.outcome.as_ref().unwrap().report.to_json(),
+                reference.report.to_json(),
+                "job {} diverged from the multi-launch reference",
+                r.id
+            );
+        }
+        let j = report.to_json();
+        assert!(j.contains("\"persistent_jobs\":6"), "{j}");
+    }
+
     fn ready_job(id: u64, seed: u64) -> ReadyJob {
         let prep = prepare_vetting(generate_app(id as usize, seed, &GenConfig::tiny()));
         let hashes = method_hashes(&prep.app.program);
@@ -837,6 +915,7 @@ mod tests {
             priority: Priority::Standard,
             targeted: false,
             engine: EngineKind::Worklist,
+            exec: ExecMode::MultiLaunch,
             estimate: work_estimate(&prep),
             block_demand: block_demand(&prep),
             content_hash: app_content_hash(&prep.app),
@@ -872,6 +951,7 @@ mod tests {
             coresident: 4,
             block_slots: 120,
             engine: EngineKind::Worklist,
+            exec: ExecMode::MultiLaunch,
         };
         for id in 0..5u64 {
             assert!(state.dispatch.push(ready_job(id, 5500 + id)).is_ok());

@@ -11,7 +11,9 @@
 use crate::pipeline::{finish_vetting, trace_stage_spans, PreparedApp, VettingRun};
 use crate::store_exec::{absorb_into_store, collect_presolved, StoreUse};
 use gdroid_analysis::{AppAnalysis, FactStore, StoreKind};
-use gdroid_core::{AnalysisEngine, CpuEngine, EngineAnalysis, EngineKind, WorklistEngine};
+use gdroid_core::{
+    AnalysisEngine, CpuEngine, EngineAnalysis, EngineKind, ExecMode, WorklistEngine,
+};
 use gdroid_gpusim::{Device, DeviceConfig, DeviceFault};
 use gdroid_rel::RelEngine;
 use gdroid_sumstore::SumStore;
@@ -22,8 +24,19 @@ use std::collections::HashMap;
 /// rung (MAT+GRP+MER); the legacy ladder rungs stay reachable through
 /// [`crate::Engine::Gpu`].
 pub fn engine_for(kind: EngineKind) -> Box<dyn AnalysisEngine> {
+    engine_for_mode(kind, ExecMode::MultiLaunch)
+}
+
+/// [`engine_for`] with an [`ExecMode`]. Only the worklist engine can run
+/// persistent (`caps().persistent`); the caller must gate on that —
+/// passing `Persistent` with any other engine panics.
+pub fn engine_for_mode(kind: EngineKind, exec: ExecMode) -> Box<dyn AnalysisEngine> {
+    assert!(
+        exec == ExecMode::MultiLaunch || kind.caps().persistent,
+        "engine {kind} does not support persistent-kernel execution"
+    );
     match kind {
-        EngineKind::Worklist => Box::new(WorklistEngine::gdroid()),
+        EngineKind::Worklist => Box::new(WorklistEngine::gdroid().with_exec(exec)),
         EngineKind::Rel => Box::new(RelEngine),
         EngineKind::Cpu => Box::new(CpuEngine),
     }
@@ -65,7 +78,18 @@ pub fn execute_vetting_engine_on_device(
     device: &mut Device,
     kind: EngineKind,
 ) -> Result<VettingRun, DeviceFault> {
-    let ea = engine_for(kind).analyze_on(
+    execute_vetting_engine_on_device_mode(prep, device, kind, ExecMode::MultiLaunch)
+}
+
+/// [`execute_vetting_engine_on_device`] with an [`ExecMode`]: persistent
+/// runs the whole fixpoint as one resident launch (worklist engine only).
+pub fn execute_vetting_engine_on_device_mode(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    exec: ExecMode,
+) -> Result<VettingRun, DeviceFault> {
+    let ea = engine_for_mode(kind, exec).analyze_on(
         device,
         &prep.app.program,
         &prep.cg,
@@ -78,8 +102,17 @@ pub fn execute_vetting_engine_on_device(
 
 /// Vets a prepared app with the selected engine on a fresh device.
 pub fn execute_vetting_engine(prep: &PreparedApp, kind: EngineKind) -> VettingRun {
+    execute_vetting_engine_mode(prep, kind, ExecMode::MultiLaunch)
+}
+
+/// [`execute_vetting_engine`] with an [`ExecMode`].
+pub fn execute_vetting_engine_mode(
+    prep: &PreparedApp,
+    kind: EngineKind,
+    exec: ExecMode,
+) -> VettingRun {
     let mut device = Device::new(DeviceConfig::tesla_p40());
-    execute_vetting_engine_on_device(prep, &mut device, kind)
+    execute_vetting_engine_on_device_mode(prep, &mut device, kind, exec)
         .expect("a fresh device has no fault plan")
 }
 
@@ -91,9 +124,20 @@ pub fn execute_vetting_engine_targeted_on_device(
     device: &mut Device,
     kind: EngineKind,
 ) -> Result<VettingRun, DeviceFault> {
+    execute_vetting_engine_targeted_on_device_mode(prep, device, kind, ExecMode::MultiLaunch)
+}
+
+/// [`execute_vetting_engine_targeted_on_device`] with an [`ExecMode`]:
+/// the sliced worklist runs inside one resident launch when persistent.
+pub fn execute_vetting_engine_targeted_on_device_mode(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    exec: ExecMode,
+) -> Result<VettingRun, DeviceFault> {
     assert!(kind.caps().targeted, "engine {kind} does not support targeted vetting");
     let slice = crate::targeted::compute_vetting_slice(prep);
-    let ea = engine_for(kind).analyze_on(
+    let ea = engine_for_mode(kind, exec).analyze_on(
         device,
         &prep.app.program,
         &prep.cg,
@@ -115,9 +159,26 @@ pub fn execute_vetting_engine_on_device_with_store(
     kind: EngineKind,
     store: &SumStore,
 ) -> Result<(VettingRun, StoreUse), DeviceFault> {
+    execute_vetting_engine_on_device_with_store_mode(
+        prep,
+        device,
+        kind,
+        store,
+        ExecMode::MultiLaunch,
+    )
+}
+
+/// [`execute_vetting_engine_on_device_with_store`] with an [`ExecMode`].
+pub fn execute_vetting_engine_on_device_with_store_mode(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    store: &SumStore,
+    exec: ExecMode,
+) -> Result<(VettingRun, StoreUse), DeviceFault> {
     assert!(kind.caps().sumstore, "engine {kind} does not support the summary store");
     let (presolved, hashes) = collect_presolved(prep, store);
-    let ea = engine_for(kind).analyze_on(
+    let ea = engine_for_mode(kind, exec).analyze_on(
         device,
         &prep.app.program,
         &prep.cg,
@@ -142,6 +203,24 @@ pub fn execute_vetting_engine_targeted_on_device_with_store(
     kind: EngineKind,
     store: &SumStore,
 ) -> Result<(VettingRun, StoreUse), DeviceFault> {
+    execute_vetting_engine_targeted_on_device_with_store_mode(
+        prep,
+        device,
+        kind,
+        store,
+        ExecMode::MultiLaunch,
+    )
+}
+
+/// [`execute_vetting_engine_targeted_on_device_with_store`] with an
+/// [`ExecMode`].
+pub fn execute_vetting_engine_targeted_on_device_with_store_mode(
+    prep: &PreparedApp,
+    device: &mut Device,
+    kind: EngineKind,
+    store: &SumStore,
+    exec: ExecMode,
+) -> Result<(VettingRun, StoreUse), DeviceFault> {
     assert!(
         kind.caps().targeted && kind.caps().sumstore,
         "engine {kind} does not compose targeted vetting with the summary store"
@@ -150,7 +229,7 @@ pub fn execute_vetting_engine_targeted_on_device_with_store(
     let (all_presolved, hashes) = collect_presolved(prep, store);
     let presolved: HashMap<_, _> =
         all_presolved.into_iter().filter(|(m, _)| slice.members.contains(m)).collect();
-    let ea = engine_for(kind).analyze_on(
+    let ea = engine_for_mode(kind, exec).analyze_on(
         device,
         &prep.app.program,
         &prep.cg,
@@ -181,11 +260,23 @@ pub fn execute_vetting_engine_traced(
     kind: EngineKind,
     tracer: &gdroid_trace::Tracer,
 ) -> VettingRun {
+    execute_vetting_engine_traced_mode(prep, kind, ExecMode::MultiLaunch, tracer)
+}
+
+/// [`execute_vetting_engine_traced`] with an [`ExecMode`]: under
+/// persistent execution the trace shows the fixpoint rounds nested
+/// inside one `persistent launch` span instead of a span per launch.
+pub fn execute_vetting_engine_traced_mode(
+    prep: &PreparedApp,
+    kind: EngineKind,
+    exec: ExecMode,
+    tracer: &gdroid_trace::Tracer,
+) -> VettingRun {
     let mut device = Device::new(DeviceConfig::tesla_p40());
     device.set_tracer(tracer.clone());
     let prep_ns = prep.prep_timing.envgen_ns + prep.prep_timing.callgraph_ns;
     device.advance_clock(prep_ns.round() as u64);
-    let ea = engine_for(kind)
+    let ea = engine_for_mode(kind, exec)
         .analyze_on(&mut device, &prep.app.program, &prep.cg, &prep.roots, &HashMap::new(), None)
         .expect("a fresh device has no fault plan");
     let run = finish_engine_run(prep, kind, ea);
@@ -284,6 +375,43 @@ mod tests {
         let rel = execute_vetting_engine(&prep, EngineKind::Rel);
         assert!(cpu.outcome.store_bytes > 0);
         assert_eq!(rel.outcome.store_bytes, 0);
+    }
+
+    #[test]
+    fn persistent_exec_reports_match_multi_launch() {
+        for seed in [8710u64, 8711] {
+            let prep = prepare_vetting(generate_app(0, seed, &GenConfig::tiny()));
+            let mut md = Device::new(DeviceConfig::tesla_p40());
+            let multi = execute_vetting_engine_on_device(&prep, &mut md, EngineKind::Worklist)
+                .expect("no fault plan");
+            let mut pd = Device::new(DeviceConfig::tesla_p40());
+            let per = execute_vetting_engine_on_device_mode(
+                &prep,
+                &mut pd,
+                EngineKind::Worklist,
+                ExecMode::Persistent,
+            )
+            .expect("no fault plan");
+            assert_eq!(
+                per.outcome.report.to_json(),
+                multi.outcome.report.to_json(),
+                "persistent verdicts diverged on seed {seed}"
+            );
+            // Same fixpoint, one launch instead of one per round.
+            assert_eq!(pd.launches(), 1, "seed {seed}");
+            if md.launches() > 1 {
+                assert!(
+                    per.outcome.timing.idfg_ns < multi.outcome.timing.idfg_ns,
+                    "seed {seed}: persistent not faster"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent")]
+    fn persistent_exec_rejects_non_worklist_engines() {
+        engine_for_mode(EngineKind::Rel, ExecMode::Persistent);
     }
 
     #[test]

@@ -42,9 +42,13 @@ pub mod targeted;
 
 pub use assess::{assess_app, Assessment, RiskBand, Signal};
 pub use engines::{
-    engine_for, execute_vetting_engine, execute_vetting_engine_on_device,
-    execute_vetting_engine_on_device_with_store, execute_vetting_engine_targeted_on_device,
-    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_engine_traced,
+    engine_for, engine_for_mode, execute_vetting_engine, execute_vetting_engine_mode,
+    execute_vetting_engine_on_device, execute_vetting_engine_on_device_mode,
+    execute_vetting_engine_on_device_with_store, execute_vetting_engine_on_device_with_store_mode,
+    execute_vetting_engine_targeted_on_device, execute_vetting_engine_targeted_on_device_mode,
+    execute_vetting_engine_targeted_on_device_with_store,
+    execute_vetting_engine_targeted_on_device_with_store_mode, execute_vetting_engine_traced,
+    execute_vetting_engine_traced_mode,
 };
 pub use pipeline::{
     execute_vetting, execute_vetting_batch_on_device, execute_vetting_full,

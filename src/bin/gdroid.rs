@@ -83,6 +83,18 @@
 //! verdicts are byte-identical across engines — only modeled timing
 //! differs.
 //!
+//! `--exec persistent` switches the worklist engine to the
+//! persistent-kernel mode: each app's whole fixpoint runs as one
+//! resident mega-kernel launch owning a device-side worklist — one
+//! launch overhead per app instead of one per round, with a modeled
+//! grid-wide sync between rounds and host↔device traffic collapsed to
+//! the initial upload plus the final download. Facts and verdicts are
+//! byte-identical to multi-launch; only the cost profile changes, so
+//! persistent service jobs bypass the result cache and incremental warm
+//! starts and never join a co-resident batch (`vet`, `serve`, `batch`,
+//! and `campaign` all accept the flag; only the worklist engine supports
+//! it — see `gdroid engines`).
+//!
 //! Apps can come from a `.jil` file (the textual IR) or be generated on
 //! the fly from a numeric seed.
 
@@ -90,7 +102,7 @@ use gdroid::analysis::{analyze_app, StoreKind};
 use gdroid::apk::{
     generate_app, App, AppStats, Category, Corpus, CorpusStats, GenConfig, Manifest,
 };
-use gdroid::core::{EngineKind, OptConfig};
+use gdroid::core::{EngineKind, ExecMode, OptConfig};
 use gdroid::icfg::prepare_app;
 use gdroid::ir::text::{parse_program, print_program};
 use gdroid::ir::MethodId;
@@ -101,9 +113,10 @@ use gdroid::serve::{
 use gdroid::sumstore::SumStore;
 use gdroid::trace::Tracer;
 use gdroid::vetting::{
-    execute_vetting, execute_vetting_engine_on_device, execute_vetting_engine_on_device_with_store,
-    execute_vetting_engine_targeted_on_device,
-    execute_vetting_engine_targeted_on_device_with_store, execute_vetting_full_with_store,
+    execute_vetting, execute_vetting_engine_on_device_mode,
+    execute_vetting_engine_on_device_with_store_mode,
+    execute_vetting_engine_targeted_on_device_mode,
+    execute_vetting_engine_targeted_on_device_with_store_mode, execute_vetting_full_with_store,
     execute_vetting_gpu_traced, execute_vetting_gpu_traced_with_store, execute_vetting_targeted,
     execute_vetting_targeted_on_device_with_store, execute_vetting_targeted_traced,
     prepare_vetting, sink_reachability_findings, trace_stage_spans, vet_app, Engine,
@@ -114,7 +127,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gdroid gen <seed> [out.jil]\n  gdroid vet <app.jil|seed> \
-         [--engine plain|mat|matgrp|gdroid|worklist|rel|cpu|mtcpu|amandroid] [--targeted] \
+         [--engine plain|mat|matgrp|gdroid|worklist|rel|cpu|mtcpu|amandroid] \
+         [--exec multi|persistent] [--targeted] \
          [--sumstore <dir>] [--trace <out.json>] [--json]\n  \
          gdroid engines\n  \
          gdroid lint <app.jil|seed>\n  \
@@ -122,13 +136,15 @@ fn usage() -> ! {
          gdroid corpus <n>\n  gdroid dot <app.jil|seed> [out.dot]\n  gdroid export <n> <dir>\n  \
          gdroid assess <app.jil|seed> [--json]\n  \
          gdroid serve --apps N [--workers K] [--devices D] [--coresident C] [--faults P:B] \
-         [--engine worklist|rel|cpu] [--targeted-lane] [--sumstore <dir>] [--trace-dir <dir>] \
-         [--digest] [--json]\n  \
+         [--engine worklist|rel|cpu] [--exec multi|persistent] [--targeted-lane] \
+         [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid batch <bundle-dir> [--workers K] [--devices D] [--coresident C] \
-         [--engine worklist|rel|cpu] [--sumstore <dir>] [--trace-dir <dir>] [--digest] [--json]\n  \
+         [--engine worklist|rel|cpu] [--exec multi|persistent] [--sumstore <dir>] \
+         [--trace-dir <dir>] [--digest] [--json]\n  \
          gdroid sumstore stats|clear <dir>\n  \
          gdroid campaign --apps N [--shards S] [--seed X] [--workers K] [--devices D] \
-         [--coresident C] [--engine worklist|rel|cpu] [--targeted] [--sumstore] [--scale F] \
+         [--coresident C] [--engine worklist|rel|cpu] [--exec multi|persistent] [--targeted] \
+         [--sumstore] [--scale F] \
          [--journal-dir DIR] [--out FILE] [--verdicts FILE] [--trace-dir DIR] [--fresh] [--json]"
     );
     exit(2)
@@ -150,6 +166,15 @@ fn service_engine(args: &[String]) -> EngineKind {
     match flag_str(args, "--engine") {
         None => EngineKind::Worklist,
         Some(s) => EngineKind::parse(s).unwrap_or_else(|| usage()),
+    }
+}
+
+/// Parses `--exec multi|persistent` for the verbs that run worklist
+/// kernels. Defaults to classic per-round multi-launch execution.
+fn service_exec(args: &[String]) -> ExecMode {
+    match flag_str(args, "--exec") {
+        None => ExecMode::MultiLaunch,
+        Some(s) => ExecMode::parse(s).unwrap_or_else(|| usage()),
     }
 }
 
@@ -373,6 +398,31 @@ fn main() {
                 },
                 None => VetEngine::Legacy(Engine::Gpu(OptConfig::gdroid())),
             };
+            let exec = service_exec(&args);
+            let vet_engine = match (exec, vet_engine) {
+                (ExecMode::MultiLaunch, e) => e,
+                (ExecMode::Persistent, VetEngine::Kind(kind)) => {
+                    if !kind.caps().persistent {
+                        eprintln!(
+                            "engine {kind} does not support --exec persistent \
+                             (see `gdroid engines`)"
+                        );
+                        exit(2);
+                    }
+                    VetEngine::Kind(kind)
+                }
+                (ExecMode::Persistent, VetEngine::Legacy(_)) => {
+                    if args.iter().any(|a| a == "--engine") {
+                        eprintln!(
+                            "--exec persistent requires the worklist engine (see `gdroid engines`)"
+                        );
+                        exit(2);
+                    }
+                    // Default engine: route through the worklist engine
+                    // kind, whose dispatch owns the exec-mode plumbing.
+                    VetEngine::Kind(EngineKind::Worklist)
+                }
+            };
             let app = load_app(target);
             let trace_path = flag_str(&args, "--trace");
             let tracer =
@@ -403,18 +453,20 @@ fn main() {
                     Some(dir) => {
                         let store = open_sumstore(dir);
                         let (run, used) = if targeted {
-                            execute_vetting_engine_targeted_on_device_with_store(
+                            execute_vetting_engine_targeted_on_device_with_store_mode(
                                 &prep,
                                 &mut device,
                                 kind,
                                 &store,
+                                exec,
                             )
                         } else {
-                            execute_vetting_engine_on_device_with_store(
+                            execute_vetting_engine_on_device_with_store_mode(
                                 &prep,
                                 &mut device,
                                 kind,
                                 &store,
+                                exec,
                             )
                         }
                         .expect("a fresh device has no fault plan");
@@ -422,11 +474,14 @@ fn main() {
                         eprintln!("sumstore: {} hit(s), {} miss(es)", used.hits, used.misses);
                         run
                     }
-                    None if targeted => {
-                        execute_vetting_engine_targeted_on_device(&prep, &mut device, kind)
-                            .expect("a fresh device has no fault plan")
-                    }
-                    None => execute_vetting_engine_on_device(&prep, &mut device, kind)
+                    None if targeted => execute_vetting_engine_targeted_on_device_mode(
+                        &prep,
+                        &mut device,
+                        kind,
+                        exec,
+                    )
+                    .expect("a fresh device has no fault plan"),
+                    None => execute_vetting_engine_on_device_mode(&prep, &mut device, kind, exec)
                         .expect("a fresh device has no fault plan"),
                 };
                 if tracer.enabled() {
@@ -536,16 +591,20 @@ fn main() {
             }
         }
         "engines" => {
-            println!("{:<10} {:<9} {:<9} {:<9} note", "engine", "sumstore", "targeted", "batching");
+            println!(
+                "{:<10} {:<9} {:<9} {:<9} {:<11} note",
+                "engine", "sumstore", "targeted", "batching", "persistent"
+            );
             let mark = |b: bool| if b { "yes" } else { "no" };
             for kind in EngineKind::ALL {
                 let caps = kind.caps();
                 println!(
-                    "{:<10} {:<9} {:<9} {:<9} {}",
+                    "{:<10} {:<9} {:<9} {:<9} {:<11} {}",
                     kind.as_str(),
                     mark(caps.sumstore),
                     mark(caps.targeted),
                     mark(caps.batching),
+                    mark(caps.persistent),
                     caps.note,
                 );
             }
@@ -643,6 +702,7 @@ fn main() {
                 sumstore: sumstore.clone(),
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 engine: service_engine(&args),
+                exec: service_exec(&args),
                 ..ServiceConfig::default()
             });
             let targeted_lane = args.iter().any(|a| a == "--targeted-lane");
@@ -699,6 +759,7 @@ fn main() {
                 sumstore: sumstore.clone(),
                 coresident: flag_value(&args, "--coresident").unwrap_or(1),
                 engine: service_engine(&args),
+                exec: service_exec(&args),
                 ..ServiceConfig::default()
             });
             for path in bundles {
@@ -777,6 +838,7 @@ fn main() {
                 targeted: args.iter().any(|a| a == "--targeted"),
                 sumstore: args.iter().any(|a| a == "--sumstore"),
                 engine: service_engine(&args),
+                exec: service_exec(&args),
                 trace_dir: flag_str(&args, "--trace-dir").map(Into::into),
             };
             let started = std::time::Instant::now();
