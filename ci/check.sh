@@ -172,4 +172,40 @@ then
   exit 1
 fi
 
+echo "==> snapshot smoke: rotated kill/resume reproduces the fleet report byte-for-byte"
+snap_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir" "$store_dir" "$batch_dir" "$camp_dir" "$snap_dir"' EXIT
+./target/release/gdroid campaign --apps 20 --shards 2 --rotate 3 --journal-dir "$snap_dir/jr" \
+  --out "$snap_dir/fleet-a.json" >/dev/null
+# Kill twice: first cut the newest shard-0 segment mid-record, resume; then
+# cut the (new) unsealed tail again and resume once more. Both recoveries
+# must converge on the uninterrupted report.
+newest_segment() {
+  for f in "$snap_dir/jr"/shard-0.journal.*; do echo "${f##*.} $f"; done | sort -n | tail -1 | cut -d' ' -f2-
+}
+newest=$(newest_segment)
+head -c $(( $(wc -c < "$newest") - 40 )) "$newest" > "$snap_dir/cut" && mv "$snap_dir/cut" "$newest"
+./target/release/gdroid campaign --apps 20 --shards 2 --rotate 3 --journal-dir "$snap_dir/jr" \
+  --out "$snap_dir/fleet-b.json" >/dev/null
+cmp -s "$snap_dir/fleet-a.json" "$snap_dir/fleet-b.json" || {
+  echo "snapshot smoke: resume after a mid-segment cut diverged" >&2
+  exit 1
+}
+newest=$(newest_segment)
+head -c $(( $(wc -c < "$newest") / 2 )) "$newest" > "$snap_dir/cut" && mv "$snap_dir/cut" "$newest"
+./target/release/gdroid campaign --apps 20 --shards 2 --rotate 3 --journal-dir "$snap_dir/jr" \
+  --out "$snap_dir/fleet-c.json" >/dev/null
+cmp -s "$snap_dir/fleet-a.json" "$snap_dir/fleet-c.json" || {
+  echo "snapshot smoke: resume after an unsealed-tail cut diverged" >&2
+  exit 1
+}
+
+echo "==> snapshot smoke: snapshot10k sweep is byte-deterministic at reduced N"
+(cd "$batch_dir" && "$repo_root/target/release/figures" snapshot10k --apps 48 >/dev/null && mv BENCH_snapshot10k.json sa.json)
+(cd "$batch_dir" && "$repo_root/target/release/figures" snapshot10k --apps 48 >/dev/null && mv BENCH_snapshot10k.json sb.json)
+cmp -s "$batch_dir/sa.json" "$batch_dir/sb.json" || {
+  echo "snapshot smoke: BENCH_snapshot10k.json differs between identical runs" >&2
+  exit 1
+}
+
 echo "ci/check.sh: all green"

@@ -33,14 +33,15 @@
 use gdroid_apk::Corpus;
 use gdroid_bench::{
     batch_benchmark, corpus1000_benchmark, experiments, persist_benchmark, rel_benchmark,
-    run_corpus, sancheck_corpus, serve_benchmark, sumstore_benchmark, targeted_benchmark,
-    trace_benchmark, PERSIST_DETAIL_APPS, REL_DETAIL_APPS,
+    run_corpus, sancheck_corpus, serve_benchmark, snapshot_benchmark, snapshot_rotate,
+    sumstore_benchmark, targeted_benchmark, trace_benchmark, PERSIST_DETAIL_APPS, REL_DETAIL_APPS,
+    SNAPSHOT_SHARDS,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000|rel|persist> \
+        "usage: figures <table1|fig1|fig4|fig8|fig9|fig10|fig11|fig12|table2|all|multigpu|autotune|csv|debug|sancheck|serve|sumstore|trace|batch|targeted|corpus1000|rel|persist|snapshot10k> \
          [--apps N] [--scale S]"
     );
     std::process::exit(2)
@@ -57,6 +58,8 @@ fn main() {
     // else defaults to the first 100.
     let mut apps = if experiment == "corpus1000" || experiment == "rel" || experiment == "persist" {
         1000
+    } else if experiment == "snapshot10k" {
+        10_000
     } else {
         100
     };
@@ -194,6 +197,24 @@ fn main() {
         });
         print!("{summary}");
         eprintln!("wrote BENCH_persist.json");
+        return;
+    }
+
+    if experiment == "snapshot10k" {
+        eprintln!(
+            "streaming a rotated snapshot campaign over {apps} apps ({SNAPSHOT_SHARDS} shards, \
+             segments of {}) plus store and delta lanes…",
+            snapshot_rotate(apps)
+        );
+        let t0 = Instant::now();
+        let (json, summary) = snapshot_benchmark(apps);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        std::fs::write("BENCH_snapshot10k.json", &json).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_snapshot10k.json: {e}");
+            std::process::exit(1)
+        });
+        print!("{summary}");
+        eprintln!("wrote BENCH_snapshot10k.json");
         return;
     }
 

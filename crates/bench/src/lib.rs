@@ -22,6 +22,7 @@ pub mod record;
 pub mod rel;
 pub mod sancheck;
 pub mod serve;
+pub mod snapshot;
 pub mod stats;
 pub mod sumstore;
 pub mod targeted;
@@ -37,6 +38,10 @@ pub use record::{run_app, run_corpus, AppRecord, GpuSummary};
 pub use rel::{fact_digest, rel_benchmark, run_rel_point, RelPoint, REL_DETAIL_APPS, REL_WINDOW};
 pub use sancheck::{sancheck_corpus, SancheckOutcome};
 pub use serve::{run_service, serve_benchmark, ServePoint};
+pub use snapshot::{
+    run_store_comparison, snapshot_benchmark, snapshot_rotate, ShardHits, StoreComparison,
+    SNAPSHOT_ROTATE, SNAPSHOT_SHARDS,
+};
 pub use stats::{percent_below, percent_between, Series};
 pub use sumstore::{run_sumstore_point, sumstore_benchmark, SumstorePoint};
 pub use targeted::{run_targeted_point, targeted_benchmark, TargetedPoint};

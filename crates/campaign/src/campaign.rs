@@ -1,16 +1,26 @@
 //! Campaign orchestration: one serve fleet per shard, streamed
 //! submission with bounded memory, durable per-app checkpointing, and
 //! the final journal → [`FleetReport`] fold.
+//!
+//! Snapshot mode (`rotate_records`) swaps the single-file journal for
+//! rotated segments and the monolithic fold for the incremental
+//! sealed-rollup fold; `shared_stores` hands every shard service the same
+//! result cache and summary store `Arc`s; `delta_base` turns the run into
+//! a daily-delta campaign that copies forward the base snapshot's records
+//! for apps whose generator seed did not change and re-vets only the
+//! rest.
 
+use crate::fold::ShardFold;
 use crate::journal::{
-    read_journal, AppRecord, Journal, JournalError, JournalHeader, RecordStatus, JOURNAL_VERSION,
+    read_journal, read_rotated_tail, read_shard_records, AppRecord, Journal, JournalError,
+    JournalHeader, RecordStatus, SegmentedJournal, JOURNAL_VERSION,
 };
 use crate::report::FleetReport;
 use gdroid_apk::{Corpus, GenConfig, PAPER_MASTER_SEED};
 use gdroid_core::{EngineKind, ExecMode};
 use gdroid_serve::{
-    fnv1a, job_trace, JobResult, JobSource, JobStatus, Priority, ServiceConfig, ServiceReport,
-    VettingService,
+    fnv1a, job_trace, JobResult, JobSource, JobStatus, Priority, ResultCache, ServiceConfig,
+    ServiceReport, VettingService,
 };
 use gdroid_sumstore::SumStore;
 use std::collections::{HashMap, HashSet};
@@ -39,10 +49,10 @@ pub struct CampaignConfig {
     pub coresident: usize,
     /// Vet through the demand-driven fast lane (backward sink slices).
     pub targeted: bool,
-    /// Attach a per-shard cross-app summary store. Store pre-solving
-    /// couples an app's modeled timing to completion order, so journaled
-    /// timings are only run-stable with one worker and one device per
-    /// shard; verdicts are order-independent either way.
+    /// Attach a cross-app summary store. Store pre-solving couples an
+    /// app's modeled timing to completion order, so journaled timings are
+    /// only run-stable with one worker and one device per shard; verdicts
+    /// are order-independent either way.
     pub sumstore: bool,
     /// Analysis engine every shard service vets with. Non-worklist
     /// engines bypass the per-shard result cache and co-resident
@@ -59,6 +69,28 @@ pub struct CampaignConfig {
     /// Write per-app modeled-time Chrome traces under
     /// `<dir>/shard-<s>/job-<index>.json`.
     pub trace_dir: Option<PathBuf>,
+    /// Snapshot mode: rotate each shard journal every this many records
+    /// (`None` keeps the single-file format, the default). Resume and the
+    /// fleet fold then read only the one unsealed segment per shard.
+    pub rotate_records: Option<usize>,
+    /// Share one result cache (and, with [`Self::sumstore`], one summary
+    /// store) across every shard service instead of cold-isolating each
+    /// shard. Changes store-hit coverage — a method summarized by shard 0
+    /// pre-solves shard 3's duplicate — so it participates in
+    /// [`config_digest`].
+    pub shared_stores: bool,
+    /// Daily-delta mode: the journal directory of a finished base
+    /// campaign. Apps whose effective per-app seed matches their base
+    /// record are copied forward without re-vetting; only changed (and
+    /// newly added) apps run.
+    pub delta_base: Option<PathBuf>,
+    /// Daily-update model: how many apps per million get their generator
+    /// seed deterministically perturbed (0 = pristine corpus). Part of
+    /// the journal header (it changes per-app seeds), not the config
+    /// digest (a delta run against an un-updated base is the point).
+    pub update_ppm: u32,
+    /// Salt selecting *which* apps the update model perturbs.
+    pub update_salt: u64,
 }
 
 impl CampaignConfig {
@@ -80,6 +112,11 @@ impl CampaignConfig {
             engine: EngineKind::Worklist,
             exec: ExecMode::MultiLaunch,
             trace_dir: None,
+            rotate_records: None,
+            shared_stores: false,
+            delta_base: None,
+            update_ppm: 0,
+            update_salt: 0,
         }
     }
 }
@@ -87,20 +124,44 @@ impl CampaignConfig {
 /// Digest over everything that shapes journaled record *content* — the
 /// generator profile and the vetting mode. Resuming under a different
 /// digest is refused (the records would describe different apps or a
-/// different analysis); topology knobs (shard service sizes, coresidency)
-/// are deliberately excluded because they never change a record byte.
+/// different analysis); topology knobs (shard service sizes, coresidency,
+/// journal rotation) are deliberately excluded because they never change
+/// a record byte. Store sharing is included: it changes store-hit
+/// coverage and therefore modeled timings.
 pub fn config_digest(config: &CampaignConfig) -> u64 {
     fnv1a(
         format!(
-            "gen={:?} targeted={} sumstore={} engine={} exec={}",
+            "gen={:?} targeted={} sumstore={} engine={} exec={} shared={}",
             config.gen,
             config.targeted,
             config.sumstore,
             config.engine.as_str(),
-            config.exec.as_str()
+            config.exec.as_str(),
+            config.shared_stores,
         )
         .as_bytes(),
     )
+}
+
+/// The effective generator seed of `index` under the daily-update model:
+/// the corpus seed, deterministically perturbed for the `ppm`-fraction of
+/// apps the salt selects. A pure function of (corpus, index, ppm, salt),
+/// so resumed and delta runs agree app by app on what "changed" means.
+pub fn effective_seed(corpus: &Corpus, index: usize, ppm: u32, salt: u64) -> u64 {
+    let base = corpus.seed_for(index);
+    if ppm == 0 {
+        return base;
+    }
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&salt.to_le_bytes());
+    bytes[8..].copy_from_slice(&(index as u64).to_le_bytes());
+    let h = fnv1a(&bytes);
+    if h % 1_000_000 < u64::from(ppm) {
+        // `| 1` guarantees the perturbed seed differs from the base.
+        base ^ (h | 1)
+    } else {
+        base
+    }
 }
 
 /// Why a campaign failed.
@@ -141,6 +202,35 @@ impl From<JournalError> for CampaignError {
     }
 }
 
+/// What a daily-delta campaign changed relative to its base snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaReport {
+    /// Apps in the base snapshot.
+    pub base_apps: usize,
+    /// Apps in this campaign.
+    pub apps: usize,
+    /// Apps copied forward from the base unchanged (no re-vetting).
+    pub copied: usize,
+    /// Apps re-vetted because their effective seed changed (or their base
+    /// record was not a completion).
+    pub revetted: usize,
+    /// Apps with no base record at all (catalog growth).
+    pub added: usize,
+    /// Re-vetted apps whose verdict differs from their base verdict.
+    pub verdict_flips: usize,
+}
+
+impl DeltaReport {
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"base_apps\":{},\"apps\":{},\"copied\":{},\"revetted\":{},\"added\":{},\
+             \"verdict_flips\":{}}}",
+            self.base_apps, self.apps, self.copied, self.revetted, self.added, self.verdict_flips
+        )
+    }
+}
+
 /// What a finished (or finished-by-resume) campaign hands back.
 pub struct CampaignOutcome {
     /// The canonical fleet report, folded from the journals. Byte-stable
@@ -150,13 +240,19 @@ pub struct CampaignOutcome {
     /// store counters). Non-canonical: resumes and thread interleaving
     /// change it, so it never goes into the report file.
     pub service: ServiceReport,
-    /// Apps skipped because a journal already held their record.
+    /// Apps skipped because a journal already held their terminal
+    /// (non-failed) record.
     pub resumed: usize,
     /// Apps executed (and journaled) by this run.
     pub executed: usize,
+    /// Apps copied forward from the delta base without re-vetting.
+    pub copied: usize,
+    /// The delta summary, when this was a `--delta` run.
+    pub delta: Option<DeltaReport>,
 }
 
-/// The journal path of shard `shard`.
+/// The single-file journal path of shard `shard` (legacy, non-rotated
+/// layout).
 pub fn journal_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard}.journal"))
 }
@@ -177,10 +273,46 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, Campaign
     let corpus =
         Corpus { master_seed: config.master_seed, size: config.apps, config: config.gen.clone() };
 
+    // Daily-delta: load the base snapshot up front and refuse bases the
+    // per-record seed comparison would be meaningless against.
+    let base: Option<(usize, HashMap<usize, AppRecord>)> = match &config.delta_base {
+        Some(dir) => {
+            let (header, records) = crate::journal::read_campaign_journals(dir)?;
+            if header.master_seed != config.master_seed {
+                return Err(CampaignError::Config(format!(
+                    "delta base has master seed {:#x}, campaign has {:#x}",
+                    header.master_seed, config.master_seed
+                )));
+            }
+            if header.config_digest != digest {
+                return Err(CampaignError::Config(
+                    "delta base was vetted under a different generator/mode config".into(),
+                ));
+            }
+            Some((header.apps, final_records_by_index(records)))
+        }
+        None => None,
+    };
+
+    // Shared cross-shard stores: one result cache (and one summary store)
+    // for the whole fleet instead of a cold-isolated pair per shard.
+    let shared_cache = config.shared_stores.then(|| Arc::new(ResultCache::new()));
+    let shared_store = (config.shared_stores && config.sumstore).then(|| Arc::new(SumStore::new()));
+
     let shard_outcomes: Vec<Result<ShardOutcome, CampaignError>> = std::thread::scope(|scope| {
-        let corpus = &corpus;
         let handles: Vec<_> = (0..config.shards)
-            .map(|shard| scope.spawn(move || run_shard(config, corpus, digest, shard)))
+            .map(|shard| {
+                let ctx = ShardCtx {
+                    config,
+                    corpus: &corpus,
+                    digest,
+                    shard,
+                    shared_cache: shared_cache.clone(),
+                    shared_store: shared_store.clone(),
+                    base: base.as_ref().map(|(_, map)| map),
+                };
+                scope.spawn(move || run_shard(ctx))
+            })
             .collect();
         handles
             .into_iter()
@@ -196,44 +328,139 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, Campaign
     let mut service: Option<ServiceReport> = None;
     let mut resumed = 0;
     let mut executed = 0;
+    let mut copied = 0;
     for outcome in shard_outcomes {
         let o = outcome?;
         resumed += o.resumed;
         executed += o.executed;
+        copied += o.copied;
         service = Some(match service {
             Some(merged) => merged.merge(&o.report),
             None => o.report,
         });
     }
+    let mut service = service.expect("shards > 0 always yields a service report");
+    if config.shared_stores {
+        // Every shard's report snapshotted the *same* shared cache/store,
+        // so the merged global stats counted them once per shard; replace
+        // them with one snapshot. The per-shard attribution in
+        // `service.per_source` keeps the split.
+        if let Some(cache) = &shared_cache {
+            service.cache = cache.stats();
+        }
+        if let Some(store) = &shared_store {
+            service.sumstore = store.stats();
+        }
+    }
 
     // The fleet report is folded from what is durably on disk — never
     // from live state — so an uninterrupted run and a kill/resume run
-    // produce the byte-identical report.
-    let mut shard_records = Vec::with_capacity(config.shards);
-    for shard in 0..config.shards {
-        let contents = read_journal(&journal_path(&config.journal_dir, shard))?;
-        shard_records.push(contents.records);
+    // produce the byte-identical report. Rotated campaigns fold
+    // incrementally: sealed-rollup + unsealed tail per shard, reading one
+    // segment each.
+    let fleet = if config.rotate_records.is_some() {
+        let mut tails = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            tails.push(read_rotated_tail(&config.journal_dir, shard)?);
+        }
+        FleetReport::from_folds(config.master_seed, config.apps, digest, tails)
+    } else {
+        let mut shard_records = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let contents = read_journal(&journal_path(&config.journal_dir, shard))?;
+            shard_records.push(contents.records);
+        }
+        FleetReport::from_records(config.master_seed, config.apps, digest, shard_records)
+    };
+
+    let delta = match base {
+        Some((base_apps, base_map)) => {
+            // Flip detection needs every final record, so this one read is
+            // monolithic even under rotation (delta is a once-a-day path).
+            let mut own = Vec::new();
+            for shard in 0..config.shards {
+                own.push(read_shard_records(&config.journal_dir, shard)?.1);
+            }
+            let own_map = final_records_by_index(own);
+            let added = own_map.keys().filter(|i| !base_map.contains_key(i)).count();
+            let verdict_flips = own_map
+                .iter()
+                .filter(|(index, record)| {
+                    base_map.get(index).is_some_and(|b| {
+                        b.status == RecordStatus::Completed
+                            && record.status == RecordStatus::Completed
+                            && b.verdict != record.verdict
+                    })
+                })
+                .count();
+            Some(DeltaReport {
+                base_apps,
+                apps: config.apps,
+                copied,
+                revetted: executed,
+                added,
+                verdict_flips,
+            })
+        }
+        None => None,
+    };
+
+    Ok(CampaignOutcome { fleet, service, resumed, executed, copied, delta })
+}
+
+/// Folds per-shard record lists down to the final record per index under
+/// the superseding rule (a later record beats an earlier `Failed` one).
+fn final_records_by_index(shard_records: Vec<Vec<AppRecord>>) -> HashMap<usize, AppRecord> {
+    let mut map: HashMap<usize, AppRecord> = HashMap::new();
+    for record in shard_records.into_iter().flatten() {
+        match map.get(&record.index) {
+            Some(existing) if existing.status != RecordStatus::Failed => {}
+            _ => {
+                map.insert(record.index, record);
+            }
+        }
     }
-    let fleet = FleetReport::from_records(config.master_seed, config.apps, digest, shard_records);
-    let service = service.expect("shards > 0 always yields a service report");
-    Ok(CampaignOutcome { fleet, service, resumed, executed })
+    map
 }
 
 struct ShardOutcome {
     report: ServiceReport,
     resumed: usize,
     executed: usize,
+    copied: usize,
+}
+
+/// Everything one shard worker needs.
+struct ShardCtx<'a> {
+    config: &'a CampaignConfig,
+    corpus: &'a Corpus,
+    digest: u64,
+    shard: usize,
+    shared_cache: Option<Arc<ResultCache>>,
+    shared_store: Option<Arc<SumStore>>,
+    base: Option<&'a HashMap<usize, AppRecord>>,
+}
+
+/// One shard's journal, in either layout.
+enum ShardJournal {
+    Single(Journal),
+    Rotated(Box<SegmentedJournal>),
+}
+
+impl ShardJournal {
+    fn append(&mut self, record: &AppRecord) -> Result<(), JournalError> {
+        match self {
+            ShardJournal::Single(j) => j.append(record),
+            ShardJournal::Rotated(j) => j.append(record),
+        }
+    }
 }
 
 /// Runs one shard: open-or-resume its journal, stream its strided index
 /// slice through a fresh [`VettingService`], and checkpoint every
 /// terminal result the moment it is harvested.
-fn run_shard(
-    config: &CampaignConfig,
-    corpus: &Corpus,
-    digest: u64,
-    shard: usize,
-) -> Result<ShardOutcome, CampaignError> {
+fn run_shard(ctx: ShardCtx<'_>) -> Result<ShardOutcome, CampaignError> {
+    let ShardCtx { config, corpus, digest, shard, shared_cache, shared_store, base } = ctx;
     let header = JournalHeader {
         version: JOURNAL_VERSION,
         master_seed: config.master_seed,
@@ -241,10 +468,35 @@ fn run_shard(
         shards: config.shards,
         shard,
         config_digest: digest,
+        update_ppm: config.update_ppm,
+        update_salt: config.update_salt,
     };
-    let (mut journal, existing) =
-        Journal::open_or_create(&journal_path(&config.journal_dir, shard), &header)?;
-    let done: HashSet<usize> = existing.iter().map(|r| r.index).collect();
+    let (mut journal, resume_fold) = match config.rotate_records {
+        Some(rotate) => {
+            let (journal, fold) =
+                SegmentedJournal::open_or_create(&config.journal_dir, shard, &header, rotate)?;
+            (ShardJournal::Rotated(Box::new(journal)), fold)
+        }
+        None => {
+            let (journal, existing) =
+                Journal::open_or_create(&journal_path(&config.journal_dir, shard), &header)?;
+            let mut fold = ShardFold::default();
+            for record in &existing {
+                fold.fold(record);
+            }
+            (ShardJournal::Single(journal), fold)
+        }
+    };
+    // The done-set excludes still-open failures: a transiently failed app
+    // is re-run on resume, and its later record supersedes the failure in
+    // the fold. Quarantined apps stay done — they exhausted their
+    // retries under this very config.
+    let done: HashSet<usize> = resume_fold
+        .indices
+        .iter()
+        .copied()
+        .filter(|i| !resume_fold.open_failed.contains_key(i))
+        .collect();
     let resumed = done.len();
 
     let trace_dir = config.trace_dir.as_ref().map(|d| d.join(format!("shard-{shard}")));
@@ -253,26 +505,39 @@ fn run_shard(
     }
 
     let svc = VettingService::start(ServiceConfig {
+        label: format!("shard-{shard}"),
         prep_workers: config.prep_workers,
         devices: config.devices,
         coresident: config.coresident,
-        sumstore: config.sumstore.then(|| Arc::new(SumStore::new())),
+        sumstore: config
+            .sumstore
+            .then(|| shared_store.clone().unwrap_or_else(|| Arc::new(SumStore::new()))),
+        result_cache: shared_cache,
         engine: config.engine,
         exec: config.exec,
         ..ServiceConfig::default()
     });
 
-    let mut pending: HashMap<u64, usize> = HashMap::new();
+    let mut pending: HashMap<u64, (usize, u64)> = HashMap::new();
     let mut executed = 0usize;
+    let mut copied = 0usize;
     for index in Corpus::shard_indices(config.apps, shard, config.shards) {
         if done.contains(&index) {
             continue;
         }
-        let source = JobSource::Seed {
-            index,
-            seed: corpus.seed_for(index),
-            config: Box::new(config.gen.clone()),
-        };
+        let seed = effective_seed(corpus, index, config.update_ppm, config.update_salt);
+        // Daily-delta copy-forward: an identical seed under an identical
+        // config digest regenerates the identical app, so the base
+        // snapshot's completed record IS this campaign's record.
+        if let Some(record) = base
+            .and_then(|map| map.get(&index))
+            .filter(|r| r.status == RecordStatus::Completed && r.seed == seed && r.index == index)
+        {
+            journal.append(record)?;
+            copied += 1;
+            continue;
+        }
+        let source = JobSource::Seed { index, seed, config: Box::new(config.gen.clone()) };
         let submitted = if config.targeted {
             svc.submit_targeted(source)
         } else {
@@ -280,38 +545,47 @@ fn run_shard(
         };
         let id = submitted
             .map_err(|e| CampaignError::Shard(format!("shard {shard}: submit failed: {e:?}")))?;
-        pending.insert(id, index);
+        pending.insert(id, (index, seed));
         // Harvest-as-you-go: submission backpressure plus immediate
         // harvesting bounds resident results by the in-flight window, so
-        // a 1000-app shard never holds 1000 outcomes.
-        checkpoint(&mut journal, &mut pending, svc.take_results(), trace_dir.as_deref())
-            .map(|n| executed += n)?;
+        // a 10k-app shard never holds 10k outcomes.
+        checkpoint(
+            &mut journal,
+            &mut pending,
+            svc.take_results(),
+            trace_dir.as_deref(),
+            &mut executed,
+        )?;
     }
     let (report, rest) = svc.drain();
-    checkpoint(&mut journal, &mut pending, rest, trace_dir.as_deref()).map(|n| executed += n)?;
+    checkpoint(&mut journal, &mut pending, rest, trace_dir.as_deref(), &mut executed)?;
     if !pending.is_empty() {
         return Err(CampaignError::Shard(format!(
             "shard {shard}: {} job(s) never produced a result",
             pending.len()
         )));
     }
-    Ok(ShardOutcome { report, resumed, executed })
+    Ok(ShardOutcome { report, resumed, executed, copied })
 }
 
-/// Journals a batch of harvested results (and writes their traces).
-/// Returns how many records were appended.
+/// Journals a batch of harvested results (and writes their traces),
+/// bumping `executed` once per *successfully appended* record — a
+/// mid-batch failure leaves the count agreeing with what is durably on
+/// disk. The journal append comes before the trace write: a crash (or
+/// full disk) between the two loses a redundant trace, never a record.
 fn checkpoint(
-    journal: &mut Journal,
-    pending: &mut HashMap<u64, usize>,
+    journal: &mut ShardJournal,
+    pending: &mut HashMap<u64, (usize, u64)>,
     results: Vec<JobResult>,
     trace_dir: Option<&Path>,
-) -> Result<usize, CampaignError> {
-    let appended = results.len();
+    executed: &mut usize,
+) -> Result<(), CampaignError> {
     for result in results {
-        let index = pending.remove(&result.id).ok_or_else(|| {
+        let (index, seed) = pending.remove(&result.id).ok_or_else(|| {
             CampaignError::Shard(format!("result for unknown job id {}", result.id))
         })?;
-        journal.append(&to_record(index, &result))?;
+        journal.append(&to_record(index, seed, &result))?;
+        *executed += 1;
         if let Some(dir) = trace_dir {
             std::fs::write(
                 dir.join(format!("job-{index:06}.json")),
@@ -319,15 +593,16 @@ fn checkpoint(
             )?;
         }
     }
-    Ok(appended)
+    Ok(())
 }
 
 /// Converts a terminal [`JobResult`] into its durable journal record.
-fn to_record(index: usize, result: &JobResult) -> AppRecord {
+fn to_record(index: usize, seed: u64, result: &JobResult) -> AppRecord {
     let package = if result.package.is_empty() { "-".to_owned() } else { result.package.clone() };
     match (&result.status, &result.outcome) {
         (JobStatus::Completed, Some(outcome)) => AppRecord {
             index,
+            seed,
             package,
             status: RecordStatus::Completed,
             verdict: format!("{:?}", outcome.report.verdict),
@@ -347,6 +622,7 @@ fn to_record(index: usize, result: &JobResult) -> AppRecord {
         },
         (status, _) => AppRecord {
             index,
+            seed,
             package,
             status: if matches!(status, JobStatus::Quarantined) {
                 RecordStatus::Quarantined
@@ -365,5 +641,140 @@ fn to_record(index: usize, result: &JobResult) -> AppRecord {
             sliced_micros: None,
             attempts: result.attempts,
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdroid_serve::CacheDisposition;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("gdroid-campaign-unit-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header(dir_apps: usize) -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            master_seed: 1,
+            apps: dir_apps,
+            shards: 1,
+            shard: 0,
+            config_digest: 2,
+            update_ppm: 0,
+            update_salt: 0,
+        }
+    }
+
+    fn failed_result(id: u64) -> JobResult {
+        JobResult {
+            id,
+            package: format!("com.gen.app{id:04}"),
+            priority: Priority::Standard,
+            content_hash: 0,
+            status: JobStatus::Failed("injected".into()),
+            cache: CacheDisposition::Miss,
+            outcome: None,
+            attempts: 1,
+            faults_seen: 0,
+            timeouts_seen: 0,
+            queue_wait_ns: 0,
+            prep_ns: 0,
+            exec_wall_ns: 0,
+        }
+    }
+
+    #[test]
+    fn checkpoint_counts_only_successful_appends() {
+        // Regression: the old code took `results.len()` before appending,
+        // so an unknown job id mid-batch reported records that were never
+        // journaled. The count must track durable appends exactly.
+        let dir = tmp_dir("checkpoint-count");
+        let (journal, _) = Journal::open_or_create(&journal_path(&dir, 0), &header(4)).unwrap();
+        let mut journal = ShardJournal::Single(journal);
+        let mut pending: HashMap<u64, (usize, u64)> = HashMap::new();
+        pending.insert(7, (0, 0xA));
+        // Job 8 was never submitted: the batch fails halfway.
+        let mut executed = 0usize;
+        let err = checkpoint(
+            &mut journal,
+            &mut pending,
+            vec![failed_result(7), failed_result(8)],
+            None,
+            &mut executed,
+        );
+        assert!(matches!(err, Err(CampaignError::Shard(_))));
+        assert_eq!(executed, 1, "only the journaled record may count");
+        drop(journal);
+        let contents = read_journal(&journal_path(&dir, 0)).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.records[0].index, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_journals_before_the_trace_write() {
+        // A failing trace write must not lose the already-durable record
+        // or its count.
+        let dir = tmp_dir("checkpoint-order");
+        let (journal, _) = Journal::open_or_create(&journal_path(&dir, 0), &header(4)).unwrap();
+        let mut journal = ShardJournal::Single(journal);
+        let mut pending: HashMap<u64, (usize, u64)> = HashMap::new();
+        pending.insert(7, (0, 0xA));
+        // A trace "directory" that is actually a file: the write fails.
+        let bogus = dir.join("traces");
+        std::fs::write(&bogus, b"not a directory").unwrap();
+        let mut executed = 0usize;
+        let err = checkpoint(
+            &mut journal,
+            &mut pending,
+            vec![failed_result(7)],
+            Some(&bogus),
+            &mut executed,
+        );
+        assert!(matches!(err, Err(CampaignError::Io(_))));
+        assert_eq!(executed, 1, "the record was journaled before the trace failed");
+        drop(journal);
+        assert_eq!(read_journal(&journal_path(&dir, 0)).unwrap().records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn effective_seed_is_deterministic_and_ppm_scales_perturbation() {
+        let corpus = Corpus { master_seed: 77, size: 1000, config: GenConfig::tiny() };
+        for index in 0..1000 {
+            assert_eq!(
+                effective_seed(&corpus, index, 0, 9),
+                corpus.seed_for(index),
+                "ppm=0 must leave every seed pristine"
+            );
+            assert_eq!(
+                effective_seed(&corpus, index, 100_000, 9),
+                effective_seed(&corpus, index, 100_000, 9),
+                "perturbation must be deterministic"
+            );
+        }
+        let perturbed = (0..1000)
+            .filter(|&i| effective_seed(&corpus, i, 100_000, 9) != corpus.seed_for(i))
+            .count();
+        assert!(
+            (50..200).contains(&perturbed),
+            "100k ppm should perturb roughly 10% of 1000 apps, got {perturbed}"
+        );
+        // A different salt selects a different app subset.
+        let other_salt = (0..1000)
+            .filter(|&i| effective_seed(&corpus, i, 100_000, 10) != corpus.seed_for(i))
+            .count();
+        let overlap = (0..1000)
+            .filter(|&i| {
+                effective_seed(&corpus, i, 100_000, 9) != corpus.seed_for(i)
+                    && effective_seed(&corpus, i, 100_000, 10) != corpus.seed_for(i)
+            })
+            .count();
+        assert!(overlap < perturbed.min(other_salt), "salts must select different subsets");
     }
 }

@@ -1,13 +1,13 @@
 //! The durable per-shard checkpoint journal.
 //!
 //! Each shard of a campaign appends one line per terminal app outcome to
-//! `shard-<i>.journal` in the campaign directory. The format is
-//! line-oriented `key=value` text (not JSON — the repo has no JSON
-//! parser, and a flat record needs none):
+//! its journal in the campaign directory. The format is line-oriented
+//! `key=value` text (not JSON — the repo has no JSON parser, and a flat
+//! record needs none):
 //!
 //! ```text
-//! gdroid-campaign v=1 seed=000000000000d401d … crc=…   ← header, line 1
-//! app i=12 pkg=com.gen.app0012 status=completed verdict=Suspicious …  crc=…
+//! gdroid-campaign v=2 seed=00000000000d401d … crc=…   ← header, line 1
+//! app i=12 pkg=com.gen.app0012 seed=… status=completed verdict=Suspicious …  crc=…
 //! ```
 //!
 //! Every line carries a trailing FNV-1a checksum over the bytes before
@@ -15,24 +15,42 @@
 //! is a valid prefix plus at most one torn line; [`read_journal`]
 //! tolerates exactly that (the torn tail is dropped and reported), while
 //! corruption *before* the tail is a hard error — a half-overwritten
-//! journal must not silently masquerade as a checkpoint. Resume truncates
-//! the torn tail ([`Journal::open_or_create`]) and re-runs only the apps
-//! with no valid record, so a killed campaign converges to the same
-//! journal contents — and therefore the byte-identical fleet report — an
-//! uninterrupted run produces.
+//! journal must not silently masquerade as a checkpoint. A file torn
+//! *inside its header line* (no complete line at all) is reported as
+//! [`JournalError::TornHeader`] and recreated on open: nothing was ever
+//! durably journaled, so there is nothing to lose. Resume truncates the
+//! torn tail and re-runs every app without a non-failed record, so a
+//! killed campaign converges to the same journal contents — and therefore
+//! the byte-identical fleet report — an uninterrupted run produces.
+//!
+//! ## Rotation (snapshot mode)
+//!
+//! Store-snapshot campaigns rotate each shard journal into size-bounded
+//! segments `shard-<s>.journal.<k>` ([`SegmentedJournal`]). When a
+//! segment reaches the rotation threshold it is *sealed*: a `rollup`
+//! footer line — a serialized [`ShardFold`] covering **every record of
+//! every segment so far** — is appended, and the next segment is created
+//! carrying the same rollup as its second line. Resume and the
+//! fleet-report fold therefore read only the one unsealed segment: its
+//! embedded rollup stands in for all sealed history, byte-exactly
+//! ([`crate::fold`]).
 
+use crate::fold::ShardFold;
 use gdroid_serve::fnv1a;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Journal format version; bumped on any line-format change.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Journal format version; bumped on any line-format change. Version 2
+/// added the per-record generator seed (`seed=`) and the header's
+/// daily-update model fields (`upd=`/`usalt=`).
+pub const JOURNAL_VERSION: u32 = 2;
 
-/// Campaign identity pinned in line 1 of every shard journal. A resume
-/// whose header disagrees is refused: records from a different corpus,
-/// shard layout, or generator profile must never be folded together.
+/// Campaign identity pinned in line 1 of every shard journal (and every
+/// rotated segment). A resume whose header disagrees is refused: records
+/// from a different corpus, shard layout, generator profile, or update
+/// model must never be folded together.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JournalHeader {
     /// Format version.
@@ -47,6 +65,11 @@ pub struct JournalHeader {
     pub shard: usize,
     /// Digest of the generator config and mode flags.
     pub config_digest: u64,
+    /// Daily-update model: apps perturbed per million (0 = pristine
+    /// corpus). Changes per-app seeds, so it pins resume identity.
+    pub update_ppm: u32,
+    /// Salt selecting *which* apps the update model perturbs.
+    pub update_salt: u64,
 }
 
 /// Terminal status of one app, as journaled.
@@ -87,6 +110,10 @@ impl RecordStatus {
 pub struct AppRecord {
     /// Corpus index of the app.
     pub index: usize,
+    /// Generator seed the app was vetted under (the effective per-app
+    /// seed after the update model) — what delta campaigns compare to
+    /// decide whether an app changed since the base snapshot.
+    pub seed: u64,
     /// Package name (no embedded whitespace; enforced on write).
     pub package: String,
     /// Terminal status.
@@ -128,7 +155,13 @@ impl AppRecord {
 pub enum JournalError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// Line 1 is missing or unparsable.
+    /// The file holds no complete line at all — empty, or torn inside
+    /// its header line before the first `\n` ever reached disk. Nothing
+    /// was durably journaled; open recreates the file instead of
+    /// hard-failing.
+    TornHeader,
+    /// Line 1 is complete but unparsable (wrong magic, bad checksum, or
+    /// missing fields) — real corruption, never auto-recreated.
     BadHeader(String),
     /// The on-disk header disagrees with the campaign being run.
     HeaderMismatch {
@@ -150,6 +183,9 @@ impl fmt::Display for JournalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::TornHeader => {
+                write!(f, "journal torn inside its header line (no complete line on disk)")
+            }
             JournalError::BadHeader(r) => write!(f, "bad journal header: {r}"),
             JournalError::HeaderMismatch { expected, found } => write!(
                 f,
@@ -192,10 +228,23 @@ fn field_req<'a>(body: &'a str, key: &str) -> Result<&'a str, String> {
     field(body, key).ok_or_else(|| format!("missing field {key}"))
 }
 
-fn header_line(h: &JournalHeader) -> String {
+/// Renders the header line; rotated segments append their segment index
+/// (an extra token the header parser ignores, so header equality checks
+/// compare campaign identity, not segment position).
+fn header_line(h: &JournalHeader, segment: Option<usize>) -> String {
+    let seg = segment.map(|s| format!(" segment={s}")).unwrap_or_default();
     seal(format!(
-        "gdroid-campaign v={} seed={:016x} apps={} shards={} shard={} config={:016x}",
-        h.version, h.master_seed, h.apps, h.shards, h.shard, h.config_digest
+        "gdroid-campaign v={} seed={:016x} apps={} shards={} shard={} config={:016x} upd={} \
+         usalt={:016x}{}",
+        h.version,
+        h.master_seed,
+        h.apps,
+        h.shards,
+        h.shard,
+        h.config_digest,
+        h.update_ppm,
+        h.update_salt,
+        seg
     ))
 }
 
@@ -212,6 +261,9 @@ fn parse_header(body: &str) -> Result<JournalHeader, String> {
         shard: field_req(body, "shard")?.parse().map_err(|e| format!("shard: {e}"))?,
         config_digest: u64::from_str_radix(field_req(body, "config")?, 16)
             .map_err(|e| format!("config: {e}"))?,
+        update_ppm: field_req(body, "upd")?.parse().map_err(|e| format!("upd: {e}"))?,
+        update_salt: u64::from_str_radix(field_req(body, "usalt")?, 16)
+            .map_err(|e| format!("usalt: {e}"))?,
     })
 }
 
@@ -226,10 +278,11 @@ fn record_line(r: &AppRecord) -> String {
         None => String::new(),
     };
     seal(format!(
-        "app i={} pkg={} status={} verdict={} leaks={} report={:016x} envgen={:.1} cg={:.1} \
-         idfg={:.1} taint={:.1} nodes={} rounds={} attempts={}{}",
+        "app i={} pkg={} seed={:016x} status={} verdict={} leaks={} report={:016x} envgen={:.1} \
+         cg={:.1} idfg={:.1} taint={:.1} nodes={} rounds={} attempts={}{}",
         r.index,
         r.package,
+        r.seed,
         r.status.as_str(),
         r.verdict,
         r.leaks,
@@ -254,6 +307,8 @@ fn parse_record(body: &str) -> Result<AppRecord, String> {
     };
     Ok(AppRecord {
         index: field_req(body, "i")?.parse().map_err(|e| format!("i: {e}"))?,
+        seed: u64::from_str_radix(field_req(body, "seed")?, 16)
+            .map_err(|e| format!("seed: {e}"))?,
         package: field_req(body, "pkg")?.to_owned(),
         status: RecordStatus::parse(field_req(body, "status")?)
             .ok_or_else(|| "bad status".to_owned())?,
@@ -275,13 +330,21 @@ fn parse_record(body: &str) -> Result<AppRecord, String> {
     })
 }
 
-/// The parsed contents of one shard journal.
+/// The parsed contents of one shard journal (or one rotated segment).
 #[derive(Debug)]
 pub struct JournalContents {
     /// The campaign header.
     pub header: JournalHeader,
+    /// Rotated segment index (`None` for a single-file journal).
+    pub segment: Option<usize>,
+    /// The cumulative rollup a rotated segment ≥ 1 carries as its second
+    /// line — the fold of every record in every earlier segment.
+    pub base: Option<ShardFold>,
     /// Valid records, in append (completion) order.
     pub records: Vec<AppRecord>,
+    /// The sealing footer rollup, present iff this segment was sealed
+    /// (covers `base` plus this segment's own records).
+    pub sealed: Option<ShardFold>,
     /// Bytes of valid prefix (header + records); anything beyond is a
     /// torn tail.
     pub valid_len: u64,
@@ -289,9 +352,10 @@ pub struct JournalContents {
     pub truncated: bool,
 }
 
-/// Reads a journal, tolerating a torn final line (reported via
-/// [`JournalContents::truncated`]). Corruption before the tail is a
-/// [`JournalError::Corrupt`].
+/// Reads a journal file (single-file or one rotated segment), tolerating
+/// a torn final line (reported via [`JournalContents::truncated`]).
+/// Corruption before the tail is a [`JournalError::Corrupt`]; a file with
+/// no complete line at all is [`JournalError::TornHeader`].
 pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
     let mut text = String::new();
     File::open(path)?.read_to_string(&mut text).map_err(JournalError::Io)?;
@@ -301,16 +365,55 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
     let tail = lines.pop().unwrap_or("");
     let mut truncated = !tail.is_empty();
     let Some(first) = lines.first() else {
-        return Err(JournalError::BadHeader("empty file".into()));
+        // Zero complete lines: either a 0-byte file or one torn inside
+        // its header line. Nothing durable is lost by recreating it.
+        return Err(JournalError::TornHeader);
     };
-    let header = match unseal(first) {
-        Some(body) => parse_header(body).map_err(JournalError::BadHeader)?,
+    let (header, segment) = match unseal(first) {
+        Some(body) => {
+            let header = parse_header(body).map_err(JournalError::BadHeader)?;
+            let segment = match field(body, "segment") {
+                Some(s) => Some(
+                    s.parse::<usize>()
+                        .map_err(|e| JournalError::BadHeader(format!("segment: {e}")))?,
+                ),
+                None => None,
+            };
+            (header, segment)
+        }
         None => return Err(JournalError::BadHeader("line 1 failed its checksum".into())),
     };
+    let mut base = None;
     let mut records = Vec::new();
+    let mut sealed = None;
     let mut valid_len = first.len() as u64 + 1;
     for (k, line) in lines.iter().enumerate().skip(1) {
-        let parsed = unseal(line).map(parse_record);
+        let parsed = match unseal(line) {
+            Some(body) if body.starts_with("rollup ") => {
+                match ShardFold::parse_body(body) {
+                    Ok(fold) if k == 1 && segment.is_some_and(|s| s > 0) => {
+                        // Line 2 of a later segment: the carried base.
+                        base = Some(fold);
+                        valid_len += line.len() as u64 + 1;
+                        continue;
+                    }
+                    Ok(fold) => {
+                        // A sealing footer must be the final valid line.
+                        if k + 1 != lines.len() {
+                            return Err(JournalError::Corrupt {
+                                line: k + 1,
+                                reason: "rollup footer before end of segment".into(),
+                            });
+                        }
+                        sealed = Some(fold);
+                        valid_len += line.len() as u64 + 1;
+                        continue;
+                    }
+                    Err(e) => Some(Err(e)),
+                }
+            }
+            other => other.map(parse_record),
+        };
         match parsed {
             Some(Ok(record)) => {
                 records.push(record);
@@ -331,10 +434,10 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, JournalError> {
             }
         }
     }
-    Ok(JournalContents { header, records, valid_len, truncated })
+    Ok(JournalContents { header, segment, base, records, sealed, valid_len, truncated })
 }
 
-/// An open, append-mode shard journal.
+/// An open, append-mode shard journal (single-file flavor).
 pub struct Journal {
     writer: BufWriter<File>,
     path: PathBuf,
@@ -345,15 +448,16 @@ impl Journal {
     /// file).
     pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, JournalError> {
         let mut file = File::create(path)?;
-        file.write_all(header_line(header).as_bytes())?;
+        file.write_all(header_line(header, None).as_bytes())?;
         file.flush()?;
         Ok(Journal { writer: BufWriter::new(file), path: path.to_owned() })
     }
 
     /// Opens an existing journal for resume — validating its header
     /// against `header` and truncating any torn tail — or creates it
-    /// fresh. Returns the journal positioned for append plus the valid
-    /// records already on disk.
+    /// fresh. A file torn inside its header line is recreated (nothing
+    /// was durably journaled). Returns the journal positioned for append
+    /// plus the valid records already on disk.
     pub fn open_or_create(
         path: &Path,
         header: &JournalHeader,
@@ -361,7 +465,13 @@ impl Journal {
         if !path.exists() {
             return Ok((Journal::create(path, header)?, Vec::new()));
         }
-        let contents = read_journal(path)?;
+        let contents = match read_journal(path) {
+            Ok(contents) => contents,
+            Err(JournalError::TornHeader) => {
+                return Ok((Journal::create(path, header)?, Vec::new()));
+            }
+            Err(e) => return Err(e),
+        };
         if contents.header != *header {
             return Err(JournalError::HeaderMismatch {
                 expected: Box::new(header.clone()),
@@ -390,6 +500,284 @@ impl Journal {
     }
 }
 
+/// The path of rotated segment `segment` of shard `shard`.
+pub fn segment_path(dir: &Path, shard: usize, segment: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.journal.{segment}"))
+}
+
+/// A rotated shard journal: records append to the current segment; every
+/// `rotate` records the segment seals (its cumulative [`ShardFold`]
+/// rollup becomes its footer) and the next segment opens carrying that
+/// rollup as its second line. The fold of everything durably journaled is
+/// therefore always reconstructible from the newest segment alone.
+pub struct SegmentedJournal {
+    dir: PathBuf,
+    shard: usize,
+    header: JournalHeader,
+    rotate: usize,
+    writer: BufWriter<File>,
+    segment: usize,
+    in_segment: usize,
+    fold: ShardFold,
+}
+
+impl SegmentedJournal {
+    /// Opens (resuming) or creates the rotated journal of `shard` under
+    /// `dir`, sealing every `rotate` records. Returns the journal plus
+    /// the fold of everything already durably on disk (the resume
+    /// state). Torn tails are truncated; a newest segment torn inside
+    /// its header or carried-rollup line is recreated from its
+    /// predecessor's sealed footer.
+    pub fn open_or_create(
+        dir: &Path,
+        shard: usize,
+        header: &JournalHeader,
+        rotate: usize,
+    ) -> Result<(SegmentedJournal, ShardFold), JournalError> {
+        let rotate = rotate.max(1);
+        let mut last = 0;
+        while segment_path(dir, shard, last + 1).exists() {
+            last += 1;
+        }
+        let path = segment_path(dir, shard, last);
+        if !path.exists() {
+            let journal = SegmentedJournal::create_segment(
+                dir,
+                shard,
+                header,
+                rotate,
+                0,
+                ShardFold::default(),
+            )?;
+            let fold = journal.fold.clone();
+            return Ok((journal, fold));
+        }
+        let contents = match read_journal(&path) {
+            Ok(c) => Ok(c),
+            Err(JournalError::TornHeader) => Err(()),
+            Err(e) => return Err(e),
+        };
+        // A newest segment with no usable prefix (torn header, or a later
+        // segment whose carried rollup never hit disk) is recreated from
+        // its predecessor's sealed footer — which was flushed before this
+        // segment was ever created.
+        let recreate = match &contents {
+            Err(()) => true,
+            Ok(c) => last > 0 && c.base.is_none() && c.sealed.is_none(),
+        };
+        if recreate {
+            if let Ok(c) = &contents {
+                if !c.records.is_empty() {
+                    return Err(JournalError::Corrupt {
+                        line: 2,
+                        reason: "segment holds records but no carried rollup".into(),
+                    });
+                }
+            }
+            let base = if last == 0 {
+                ShardFold::default()
+            } else {
+                let prev = read_journal(&segment_path(dir, shard, last - 1))?;
+                prev.sealed.ok_or(JournalError::Corrupt {
+                    line: 1,
+                    reason: format!("segment {} precedes segment {last} but is unsealed", last - 1),
+                })?
+            };
+            let journal = SegmentedJournal::create_segment(dir, shard, header, rotate, last, base)?;
+            let fold = journal.fold.clone();
+            return Ok((journal, fold));
+        }
+        let contents = contents.expect("recreate cases returned above");
+        if contents.header != *header {
+            return Err(JournalError::HeaderMismatch {
+                expected: Box::new(header.clone()),
+                found: Box::new(contents.header),
+            });
+        }
+        if let Some(sealed) = contents.sealed {
+            // Sealed but the crash hit before the successor was created:
+            // open the successor fresh.
+            let journal =
+                SegmentedJournal::create_segment(dir, shard, header, rotate, last + 1, sealed)?;
+            let fold = journal.fold.clone();
+            return Ok((journal, fold));
+        }
+        let mut fold = contents.base.unwrap_or_default();
+        for record in &contents.records {
+            fold.fold(record);
+        }
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(contents.valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::End(0))?;
+        let mut journal = SegmentedJournal {
+            dir: dir.to_owned(),
+            shard,
+            header: header.clone(),
+            rotate,
+            writer,
+            segment: last,
+            in_segment: contents.records.len(),
+            fold,
+        };
+        // A crash after the threshold but before the footer reached disk:
+        // finish the seal now so segments stay bounded.
+        if journal.in_segment >= journal.rotate {
+            journal.seal()?;
+        }
+        let fold = journal.fold.clone();
+        Ok((journal, fold))
+    }
+
+    /// Creates segment `segment` fresh: header line, then (for segments
+    /// past the first) the carried cumulative rollup.
+    fn create_segment(
+        dir: &Path,
+        shard: usize,
+        header: &JournalHeader,
+        rotate: usize,
+        segment: usize,
+        base: ShardFold,
+    ) -> Result<SegmentedJournal, JournalError> {
+        let mut file = File::create(segment_path(dir, shard, segment))?;
+        file.write_all(header_line(header, Some(segment)).as_bytes())?;
+        if segment > 0 {
+            file.write_all(seal(base.serialize_body()).as_bytes())?;
+        }
+        file.flush()?;
+        Ok(SegmentedJournal {
+            dir: dir.to_owned(),
+            shard,
+            header: header.clone(),
+            rotate,
+            writer: BufWriter::new(file),
+            segment,
+            in_segment: 0,
+            fold: base,
+        })
+    }
+
+    /// Appends one record (flushed per record, like [`Journal::append`])
+    /// and seals the segment when it reaches the rotation threshold.
+    pub fn append(&mut self, record: &AppRecord) -> Result<(), JournalError> {
+        let line = record_line(record);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        // Fold the *round-tripped* record, not the in-memory one: journal
+        // text is the durable truth (timings are formatted to one
+        // decimal), and the sealed rollup must be byte-identical to what
+        // a monolithic re-read of the segment would fold.
+        let parsed = unseal(line.trim_end())
+            .ok_or(())
+            .and_then(|body| parse_record(body).map_err(|_| ()))
+            .expect("a just-written record line round-trips");
+        self.fold.fold(&parsed);
+        self.in_segment += 1;
+        if self.in_segment >= self.rotate {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment (appends the cumulative rollup footer)
+    /// and opens the next one carrying that rollup.
+    fn seal(&mut self) -> Result<(), JournalError> {
+        self.writer.write_all(seal(self.fold.serialize_body()).as_bytes())?;
+        self.writer.flush()?;
+        let next = SegmentedJournal::create_segment(
+            &self.dir,
+            self.shard,
+            &self.header,
+            self.rotate,
+            self.segment + 1,
+            self.fold.clone(),
+        )?;
+        self.writer = next.writer;
+        self.segment = next.segment;
+        self.in_segment = 0;
+        Ok(())
+    }
+
+    /// The cumulative fold of every record appended or resumed so far.
+    pub fn fold(&self) -> &ShardFold {
+        &self.fold
+    }
+
+    /// Segments on disk (the current, unsealed one included).
+    pub fn segments(&self) -> usize {
+        self.segment + 1
+    }
+}
+
+/// The incremental read of a rotated shard journal: the carried rollup of
+/// all sealed history plus the unsealed tail's records — only the newest
+/// segment is opened.
+pub fn read_rotated_tail(
+    dir: &Path,
+    shard: usize,
+) -> Result<(ShardFold, Vec<AppRecord>), JournalError> {
+    let mut last = 0;
+    while segment_path(dir, shard, last + 1).exists() {
+        last += 1;
+    }
+    let contents = read_journal(&segment_path(dir, shard, last))?;
+    if let Some(sealed) = contents.sealed {
+        return Ok((sealed, Vec::new()));
+    }
+    Ok((contents.base.unwrap_or_default(), contents.records))
+}
+
+/// Reads every record of one shard, oldest first, across whatever layout
+/// the journal uses — the single file `shard-<s>.journal` or the rotated
+/// segments `shard-<s>.journal.<k>`. The monolithic view the rotated
+/// fast path is gated against.
+pub fn read_shard_records(
+    dir: &Path,
+    shard: usize,
+) -> Result<(JournalHeader, Vec<AppRecord>), JournalError> {
+    let single = dir.join(format!("shard-{shard}.journal"));
+    if single.exists() {
+        let contents = read_journal(&single)?;
+        return Ok((contents.header, contents.records));
+    }
+    let mut records = Vec::new();
+    let mut header = None;
+    let mut segment = 0;
+    loop {
+        let path = segment_path(dir, shard, segment);
+        if !path.exists() {
+            break;
+        }
+        let contents = read_journal(&path)?;
+        records.extend(contents.records);
+        header.get_or_insert(contents.header);
+        segment += 1;
+    }
+    match header {
+        Some(header) => Ok((header, records)),
+        None => Err(JournalError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no journal for shard {shard} in {}", dir.display()),
+        ))),
+    }
+}
+
+/// Reads a whole campaign directory: shard 0's header names the shard
+/// count, and every shard's records are returned oldest-first. Used by
+/// delta campaigns to load their base snapshot and by monolithic
+/// (gate/verdict) reads of rotated campaigns.
+pub fn read_campaign_journals(
+    dir: &Path,
+) -> Result<(JournalHeader, Vec<Vec<AppRecord>>), JournalError> {
+    let (header, first) = read_shard_records(dir, 0)?;
+    let mut shards = Vec::with_capacity(header.shards.max(1));
+    shards.push(first);
+    for shard in 1..header.shards {
+        shards.push(read_shard_records(dir, shard)?.1);
+    }
+    Ok((header, shards))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +785,7 @@ mod tests {
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir()
             .join(format!("gdroid-campaign-journal-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("shard-0.journal")
     }
@@ -409,12 +798,15 @@ mod tests {
             shards: 2,
             shard: 0,
             config_digest: 0xABCD,
+            update_ppm: 0,
+            update_salt: 0,
         }
     }
 
     fn record(index: usize) -> AppRecord {
         AppRecord {
             index,
+            seed: 0xBEEF ^ index as u64,
             package: format!("com.gen.app{index:04}"),
             status: RecordStatus::Completed,
             verdict: "Suspicious".into(),
@@ -442,6 +834,7 @@ mod tests {
         let c = read_journal(&path).unwrap();
         assert_eq!(c.header, header());
         assert!(!c.truncated);
+        assert!(c.segment.is_none() && c.base.is_none() && c.sealed.is_none());
         assert_eq!(c.records.len(), 4);
         for (i, r) in c.records.iter().enumerate() {
             assert_eq!(r, &record(i), "record {i} did not round-trip");
@@ -476,6 +869,32 @@ mod tests {
     }
 
     #[test]
+    fn header_torn_inside_line_one_is_reported_and_recreated() {
+        let path = tmp("torn-header");
+        // A header line cut before its '\n' ever reached disk.
+        let full = header_line(&header(), None);
+        std::fs::write(&path, &full.as_bytes()[..full.len() - 9]).unwrap();
+        match read_journal(&path) {
+            Err(JournalError::TornHeader) => {}
+            other => panic!("expected TornHeader, got {other:?}"),
+        }
+        // A 0-byte file is the same case (create crashed pre-write).
+        let empty = path.parent().unwrap().join("empty.journal");
+        std::fs::write(&empty, b"").unwrap();
+        match read_journal(&empty) {
+            Err(JournalError::TornHeader) => {}
+            other => panic!("expected TornHeader for empty file, got {other:?}"),
+        }
+        // open_or_create recreates instead of hard-failing.
+        let (mut j, records) = Journal::open_or_create(&path, &header()).unwrap();
+        assert!(records.is_empty());
+        j.append(&record(0)).unwrap();
+        drop(j);
+        assert_eq!(read_journal(&path).unwrap().records.len(), 1);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
     fn mid_file_corruption_is_a_hard_error() {
         let path = tmp("corrupt");
         let mut j = Journal::create(&path, &header()).unwrap();
@@ -505,6 +924,102 @@ mod tests {
             Err(JournalError::HeaderMismatch { .. }) => {}
             other => panic!("expected HeaderMismatch, got {:?}", other.err()),
         }
+        let mut updated = header();
+        updated.update_ppm = 5000;
+        match Journal::open_or_create(&path, &updated) {
+            Err(JournalError::HeaderMismatch { .. }) => {}
+            other => panic!("update model must pin resume identity, got {:?}", other.err()),
+        }
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_tail_read_matches_full_read() {
+        let dir = tmp("rotate").parent().unwrap().to_owned();
+        let (mut j, fold) = SegmentedJournal::open_or_create(&dir, 0, &header(), 3).unwrap();
+        assert_eq!(fold, ShardFold::default());
+        for i in 0..8 {
+            j.append(&record(i)).unwrap();
+        }
+        // 8 records at rotate=3: segments 0,1 sealed (3 each), segment 2
+        // holds the 2-record unsealed tail.
+        assert_eq!(j.segments(), 3);
+        let whole_fold = j.fold().clone();
+        drop(j);
+        let s0 = read_journal(&segment_path(&dir, 0, 0)).unwrap();
+        assert_eq!(s0.segment, Some(0));
+        assert!(s0.base.is_none());
+        assert_eq!(s0.records.len(), 3);
+        assert!(s0.sealed.is_some());
+        let s2 = read_journal(&segment_path(&dir, 0, 2)).unwrap();
+        assert_eq!(s2.records.len(), 2);
+        assert!(s2.sealed.is_none());
+        // Incremental tail read: base rollup + tail == fold of all 8.
+        let (base, tail) = read_rotated_tail(&dir, 0).unwrap();
+        let mut folded = base;
+        for r in &tail {
+            folded.fold(r);
+        }
+        assert_eq!(folded, whole_fold);
+        // Monolithic read sees all 8 records in order.
+        let (h, records) = read_shard_records(&dir, 0).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 8);
+        assert_eq!(records[7], record(7));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotated_resume_survives_kills_at_every_awkward_point() {
+        let dir = tmp("rotate-kill").parent().unwrap().to_owned();
+        let (mut j, _) = SegmentedJournal::open_or_create(&dir, 0, &header(), 3).unwrap();
+        for i in 0..7 {
+            j.append(&record(i)).unwrap();
+        }
+        drop(j);
+        // Kill 1: torn record in the unsealed tail (segment 2).
+        let p2 = segment_path(&dir, 0, 2);
+        let bytes = std::fs::read(&p2).unwrap();
+        std::fs::write(&p2, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut j, fold) = SegmentedJournal::open_or_create(&dir, 0, &header(), 3).unwrap();
+        assert_eq!(fold.apps(), 6, "torn record 6 must be truncated");
+        j.append(&record(6)).unwrap();
+        drop(j);
+        // Kill 2: newest segment torn inside its header — recreated from
+        // the predecessor's sealed footer.
+        let bytes = std::fs::read(&p2).unwrap();
+        std::fs::write(&p2, &bytes[..10]).unwrap();
+        let (mut j, fold) = SegmentedJournal::open_or_create(&dir, 0, &header(), 3).unwrap();
+        assert_eq!(fold.apps(), 6, "segment 2's records were lost with its header");
+        j.append(&record(6)).unwrap();
+        let whole = j.fold().clone();
+        drop(j);
+        let (h, records) = read_shard_records(&dir, 0).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 7);
+        let mut refold = ShardFold::default();
+        for r in &records {
+            refold.fold(r);
+        }
+        assert_eq!(refold, whole);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_segment_without_successor_resumes_into_a_fresh_one() {
+        let dir = tmp("rotate-sealed").parent().unwrap().to_owned();
+        let (mut j, _) = SegmentedJournal::open_or_create(&dir, 0, &header(), 2).unwrap();
+        for i in 0..4 {
+            j.append(&record(i)).unwrap();
+        }
+        assert_eq!(j.segments(), 3);
+        drop(j);
+        // Simulate a crash right after sealing segment 1 but before
+        // segment 2 was created.
+        std::fs::remove_file(segment_path(&dir, 0, 2)).unwrap();
+        let (j, fold) = SegmentedJournal::open_or_create(&dir, 0, &header(), 2).unwrap();
+        assert_eq!(fold.apps(), 4, "sealed rollup carries all four records");
+        assert_eq!(j.segments(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

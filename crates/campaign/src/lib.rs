@@ -28,14 +28,18 @@
 //! lines) any shard count.
 
 pub mod campaign;
+pub mod fold;
 pub mod journal;
 pub mod report;
 
 pub use campaign::{
-    config_digest, journal_path, run_campaign, CampaignConfig, CampaignError, CampaignOutcome,
+    config_digest, effective_seed, journal_path, run_campaign, CampaignConfig, CampaignError,
+    CampaignOutcome, DeltaReport,
 };
+pub use fold::{FoldOutcome, OpenFailure, ShardFold, TopApp};
 pub use journal::{
-    read_journal, AppRecord, Journal, JournalContents, JournalError, JournalHeader, RecordStatus,
-    JOURNAL_VERSION,
+    read_campaign_journals, read_journal, read_rotated_tail, read_shard_records, segment_path,
+    AppRecord, Journal, JournalContents, JournalError, JournalHeader, RecordStatus,
+    SegmentedJournal, JOURNAL_VERSION,
 };
 pub use report::{FleetReport, ShardSummary, Straggler, STRAGGLER_COUNT};

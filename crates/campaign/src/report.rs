@@ -8,9 +8,18 @@
 //! set. Wall-clock aggregates (which vary run to run and are meaningless
 //! after a resume) live in the merged [`gdroid_serve::ServiceReport`],
 //! which the campaign layer keeps out of the canonical report file.
+//!
+//! Two fold paths, one implementation: [`FleetReport::from_records`]
+//! runs every record of every shard through a [`ShardFold`];
+//! [`FleetReport::from_folds`] starts each shard from a sealed-segment
+//! rollup (a deserialized `ShardFold`) and folds only the unsealed tail.
+//! Both finish through the same aggregation, so the incremental report is
+//! byte-identical to the monolithic one by construction — a property the
+//! snapshot bench and `tests/resume_gate.rs` assert outright.
 
-use crate::journal::{AppRecord, RecordStatus};
-use gdroid_serve::{fnv1a, Histogram, HistogramSnapshot};
+use crate::fold::ShardFold;
+use crate::journal::AppRecord;
+use gdroid_serve::HistogramSnapshot;
 
 /// How many stragglers (slowest apps fleet-wide) the report lists.
 pub const STRAGGLER_COUNT: usize = 5;
@@ -26,6 +35,10 @@ pub struct ShardSummary {
     pub completed: usize,
     /// Suspicious verdicts.
     pub suspicious: usize,
+    /// Clean verdicts (tallied explicitly, not inferred by subtraction).
+    pub clean: usize,
+    /// Completed apps whose verdict is neither `Clean` nor `Suspicious`.
+    pub unknown: usize,
     /// Quarantined apps.
     pub quarantined: usize,
     /// Failed apps.
@@ -67,10 +80,17 @@ pub struct FleetReport {
     pub shards: usize,
     /// Generator/mode digest (matches the journal headers).
     pub config_digest: u64,
-    /// All records, sorted by corpus index (shard-agnostic order).
+    /// Kept records, sorted by corpus index (shard-agnostic order). In
+    /// the incremental ([`Self::from_folds`]) path this holds only the
+    /// unsealed-tail records — see [`Self::records_complete`].
     pub records: Vec<AppRecord>,
     /// Owning shard of each entry in `records` (parallel vec).
     pub record_shards: Vec<usize>,
+    /// Whether `records` covers every tallied app (`false` when the
+    /// report was folded incrementally from sealed-segment rollups, which
+    /// carry aggregates but not individual records). Every tally and
+    /// digest in the report covers all apps either way.
+    pub records_complete: bool,
     /// Per-shard rollups, by shard index.
     pub per_shard: Vec<ShardSummary>,
     /// Completed apps fleet-wide.
@@ -79,6 +99,10 @@ pub struct FleetReport {
     pub suspicious: usize,
     /// Clean verdicts fleet-wide.
     pub clean: usize,
+    /// Completed apps with an unrecognized verdict string fleet-wide —
+    /// surfaced as its own tally so a verdict-format drift can never be
+    /// silently misbinned as clean.
+    pub unknown: usize,
     /// Quarantined apps fleet-wide.
     pub quarantined: usize,
     /// Failed apps fleet-wide.
@@ -103,77 +127,126 @@ pub struct FleetReport {
     pub app_model: HistogramSnapshot,
     /// The `STRAGGLER_COUNT` slowest apps fleet-wide.
     pub stragglers: Vec<Straggler>,
-    /// FNV-1a over the sorted verdict lines — one u64 that two campaigns
-    /// (any shard layout) can compare to prove verdict equality.
+    /// Order-independent digest over every app's verdict line (the
+    /// wrapping sum of per-line FNV-1a hashes) — one u64 that two
+    /// campaigns (any shard layout, any fold path) can compare to prove
+    /// verdict equality.
     pub verdict_digest: u64,
 }
 
 impl FleetReport {
     /// Folds per-shard record sets (element `i` = shard `i`'s journal
-    /// records, in append order) into the fleet report. Duplicate indices
-    /// within a shard keep the first record (a resumed shard never
-    /// re-runs a journaled app, so duplicates only arise from a journal
-    /// edited by hand).
+    /// records, in append order) into the fleet report, under the
+    /// superseding-record rule: a later record for an index replaces an
+    /// earlier `Failed` one (resume re-runs transient failures), while
+    /// any other duplicate keeps the first record.
     pub fn from_records(
         master_seed: u64,
         apps: usize,
         config_digest: u64,
         shard_records: Vec<Vec<AppRecord>>,
     ) -> FleetReport {
-        let shards = shard_records.len().max(1);
+        let folded = shard_records
+            .into_iter()
+            .map(|records| {
+                let mut fold = ShardFold::default();
+                let kept = fold_keeping_records(&mut fold, records);
+                (fold, kept)
+            })
+            .collect();
+        FleetReport::finish(master_seed, apps, config_digest, folded, true)
+    }
+
+    /// The incremental fold: element `i` is shard `i`'s sealed-history
+    /// rollup (from its newest segment) plus the unsealed tail's records.
+    /// Byte-identical to [`Self::from_records`] over the same underlying
+    /// record set, but only the one unsealed segment per shard was read —
+    /// so [`Self::records`] holds tail records only
+    /// ([`Self::records_complete`] is `false`).
+    pub fn from_folds(
+        master_seed: u64,
+        apps: usize,
+        config_digest: u64,
+        shard_tails: Vec<(ShardFold, Vec<AppRecord>)>,
+    ) -> FleetReport {
+        let folded = shard_tails
+            .into_iter()
+            .map(|(mut fold, tail)| {
+                let kept = fold_keeping_records(&mut fold, tail);
+                (fold, kept)
+            })
+            .collect();
+        FleetReport::finish(master_seed, apps, config_digest, folded, false)
+    }
+
+    fn finish(
+        master_seed: u64,
+        apps: usize,
+        config_digest: u64,
+        folded: Vec<(ShardFold, Vec<AppRecord>)>,
+        records_complete: bool,
+    ) -> FleetReport {
+        let shards = folded.len().max(1);
+        let mut per_shard = Vec::with_capacity(folded.len());
         let mut merged: Vec<(usize, AppRecord)> = Vec::new();
-        let mut per_shard = Vec::with_capacity(shards);
-        for (shard, records) in shard_records.into_iter().enumerate() {
-            let mut summary = ShardSummary {
+        let mut hist_buckets = [0u64; 17];
+        let mut hist_sum = 0u64;
+        let mut hist_max = 0u64;
+        let mut retried_apps = 0;
+        let mut targeted_apps = 0;
+        let mut sliced_micros_sum = 0u64;
+        let mut verdict_digest = 0u64;
+        let mut top: Vec<Straggler> = Vec::new();
+        for (shard, (fold, kept)) in folded.into_iter().enumerate() {
+            per_shard.push(ShardSummary {
                 shard,
-                apps: 0,
-                completed: 0,
-                suspicious: 0,
-                quarantined: 0,
-                failed: 0,
-                leaks: 0,
-                modeled_total_ns: 0.0,
-                nodes: 0,
-                rounds: 0,
-            };
-            let mut seen = std::collections::HashSet::new();
-            for record in records {
-                if !seen.insert(record.index) {
-                    continue;
-                }
-                summary.apps += 1;
-                match record.status {
-                    RecordStatus::Completed => {
-                        summary.completed += 1;
-                        summary.modeled_total_ns += record.total_ns();
-                        if record.verdict == "Suspicious" {
-                            summary.suspicious += 1;
-                        }
-                    }
-                    RecordStatus::Quarantined => summary.quarantined += 1,
-                    RecordStatus::Failed => summary.failed += 1,
-                }
-                summary.leaks += record.leaks;
-                summary.nodes += record.nodes;
-                summary.rounds += record.rounds;
-                merged.push((shard, record));
+                apps: fold.apps(),
+                completed: fold.completed,
+                suspicious: fold.suspicious,
+                clean: fold.clean,
+                unknown: fold.unknown,
+                quarantined: fold.quarantined,
+                failed: fold.failed(),
+                leaks: fold.leaks,
+                modeled_total_ns: fold.modeled_total_ns,
+                nodes: fold.nodes,
+                rounds: fold.rounds,
+            });
+            for (i, &b) in fold.hist_buckets.iter().enumerate() {
+                hist_buckets[i] += b;
             }
-            per_shard.push(summary);
+            hist_sum += fold.hist_sum;
+            hist_max = hist_max.max(fold.hist_max);
+            retried_apps += fold.final_retried();
+            targeted_apps += fold.targeted;
+            sliced_micros_sum += fold.sliced_micros_sum;
+            verdict_digest = verdict_digest.wrapping_add(fold.final_verdict_fold());
+            top.extend(fold.top.iter().map(|t| Straggler {
+                index: t.index,
+                package: t.package.clone(),
+                shard,
+                total_ns: t.total_ns,
+            }));
+            merged.extend(kept.into_iter().map(|r| (shard, r)));
         }
         merged.sort_by_key(|(_, r)| r.index);
+        // Top-k selection is associative: the fleet's exact slowest apps
+        // are among the union of per-shard tops (indices are unique
+        // across shards, so the tie-break is total).
+        top.sort_by(|a, b| b.total_ns.total_cmp(&a.total_ns).then(a.index.cmp(&b.index)));
+        top.truncate(STRAGGLER_COUNT);
 
         let completed: usize = per_shard.iter().map(|s| s.completed).sum();
         let suspicious: usize = per_shard.iter().map(|s| s.suspicious).sum();
+        let clean: usize = per_shard.iter().map(|s| s.clean).sum();
+        let unknown: usize = per_shard.iter().map(|s| s.unknown).sum();
         let quarantined: usize = per_shard.iter().map(|s| s.quarantined).sum();
         let failed: usize = per_shard.iter().map(|s| s.failed).sum();
         let leaks: usize = per_shard.iter().map(|s| s.leaks).sum();
-        let retried_apps = merged.iter().filter(|(_, r)| r.attempts > 1).count();
-
-        let targeted: Vec<u64> = merged.iter().filter_map(|(_, r)| r.sliced_micros).collect();
-        let mean_sliced_fraction = if targeted.is_empty() {
+        let mean_sliced_fraction = if targeted_apps == 0 {
             1.0
         } else {
-            targeted.iter().sum::<u64>() as f64 / 1e6 / targeted.len() as f64
+            sliced_micros_sum as f64 / 1e6 / targeted_apps as f64
         };
 
         let modeled_serial_ns: f64 = per_shard.iter().map(|s| s.modeled_total_ns).sum();
@@ -181,60 +254,48 @@ impl FleetReport {
         let mean_shard = modeled_serial_ns / shards as f64;
         let imbalance = if mean_shard > 0.0 { modeled_makespan_ns / mean_shard } else { 1.0 };
 
-        let histogram = Histogram::new();
-        for (_, r) in merged.iter().filter(|(_, r)| r.status == RecordStatus::Completed) {
-            histogram.record(r.total_ns().round() as u64);
-        }
-
-        let mut by_cost: Vec<&(usize, AppRecord)> =
-            merged.iter().filter(|(_, r)| r.status == RecordStatus::Completed).collect();
-        by_cost.sort_by(|a, b| {
-            b.1.total_ns().total_cmp(&a.1.total_ns()).then(a.1.index.cmp(&b.1.index))
-        });
-        let stragglers = by_cost
-            .iter()
-            .take(STRAGGLER_COUNT)
-            .map(|(shard, r)| Straggler {
-                index: r.index,
-                package: r.package.clone(),
-                shard: *shard,
-                total_ns: r.total_ns(),
-            })
-            .collect();
-
         let (record_shards, records): (Vec<usize>, Vec<AppRecord>) = merged.into_iter().unzip();
-        let mut report = FleetReport {
+        FleetReport {
             master_seed,
             apps,
             shards,
             config_digest,
             records,
             record_shards,
+            records_complete,
             per_shard,
             completed,
             suspicious,
-            clean: completed - suspicious,
+            clean,
+            unknown,
             quarantined,
             failed,
             leaks,
             retried_apps,
-            targeted_apps: targeted.len(),
+            targeted_apps,
             mean_sliced_fraction,
             modeled_serial_ns,
             modeled_makespan_ns,
             imbalance,
-            app_model: histogram.snapshot(),
-            stragglers,
-            verdict_digest: 0,
-        };
-        report.verdict_digest = fnv1a(report.verdict_lines().as_bytes());
-        report
+            app_model: HistogramSnapshot::from_buckets(hist_buckets, hist_sum, hist_max),
+            stragglers: top,
+            verdict_digest,
+        }
     }
 
-    /// One line per app, sorted by corpus index:
+    /// Apps tallied across every shard (sealed history included) — the
+    /// completeness check callers use instead of `records.len()`, which
+    /// undercounts in the incremental fold.
+    pub fn tallied_apps(&self) -> usize {
+        self.per_shard.iter().map(|s| s.apps).sum()
+    }
+
+    /// One line per kept record, sorted by corpus index:
     /// `index package verdict report_fnv`. Independent of shard layout,
-    /// so `sort`ed verdict files from an S-shard and a 1-shard campaign
-    /// over the same corpus compare byte-for-byte.
+    /// so verdict files from an S-shard and a 1-shard campaign over the
+    /// same corpus compare byte-for-byte. Only covers every app when
+    /// [`Self::records_complete`] — rotated campaigns use the monolithic
+    /// journal read for verdict dumps.
     pub fn verdict_lines(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -253,13 +314,15 @@ impl FleetReport {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"shard\":{},\"apps\":{},\"completed\":{},\"suspicious\":{},\
-                     \"quarantined\":{},\"failed\":{},\"leaks\":{},\"modeled_total_ns\":{:.1},\
-                     \"nodes\":{},\"rounds\":{}}}",
+                    "{{\"shard\":{},\"apps\":{},\"completed\":{},\"suspicious\":{},\"clean\":{},\
+                     \"unknown\":{},\"quarantined\":{},\"failed\":{},\"leaks\":{},\
+                     \"modeled_total_ns\":{:.1},\"nodes\":{},\"rounds\":{}}}",
                     s.shard,
                     s.apps,
                     s.completed,
                     s.suspicious,
+                    s.clean,
+                    s.unknown,
                     s.quarantined,
                     s.failed,
                     s.leaks,
@@ -285,10 +348,10 @@ impl FleetReport {
         format!(
             "{{\"campaign\":{{\"master_seed\":{},\"apps\":{},\"shards\":{},\
              \"config_digest\":{}}},\"verdicts\":{{\"completed\":{},\"suspicious\":{},\
-             \"clean\":{},\"quarantined\":{},\"failed\":{},\"leaks\":{},\"retried_apps\":{},\
-             \"targeted_apps\":{},\"mean_sliced_fraction\":{:.6},\"digest\":\"{:016x}\"}},\
-             \"modeled\":{{\"serial_ns\":{:.1},\"makespan_ns\":{:.1},\"imbalance\":{:.4},\
-             \"app_model\":{}}},\"per_shard\":[{}],\"stragglers\":[{}]}}",
+             \"clean\":{},\"unknown\":{},\"quarantined\":{},\"failed\":{},\"leaks\":{},\
+             \"retried_apps\":{},\"targeted_apps\":{},\"mean_sliced_fraction\":{:.6},\
+             \"digest\":\"{:016x}\"}},\"modeled\":{{\"serial_ns\":{:.1},\"makespan_ns\":{:.1},\
+             \"imbalance\":{:.4},\"app_model\":{}}},\"per_shard\":[{}],\"stragglers\":[{}]}}",
             self.master_seed,
             self.apps,
             self.shards,
@@ -296,6 +359,7 @@ impl FleetReport {
             self.completed,
             self.suspicious,
             self.clean,
+            self.unknown,
             self.quarantined,
             self.failed,
             self.leaks,
@@ -324,8 +388,8 @@ impl FleetReport {
         .unwrap();
         writeln!(
             out,
-            "verdicts: {} suspicious / {} clean ({} leaks), {} quarantined, {} failed",
-            self.suspicious, self.clean, self.leaks, self.quarantined, self.failed
+            "verdicts: {} suspicious / {} clean / {} unknown ({} leaks), {} quarantined, {} failed",
+            self.suspicious, self.clean, self.unknown, self.leaks, self.quarantined, self.failed
         )
         .unwrap();
         writeln!(
@@ -364,13 +428,44 @@ impl FleetReport {
     }
 }
 
+/// Folds `records` into `fold` while maintaining the kept-record list
+/// under the same superseding semantics: a later record replaces an
+/// earlier `Failed` one in place; other duplicates are dropped.
+fn fold_keeping_records(fold: &mut ShardFold, records: Vec<AppRecord>) -> Vec<AppRecord> {
+    use crate::fold::FoldOutcome;
+    let mut kept: Vec<AppRecord> = Vec::new();
+    let mut pos_by_index = std::collections::HashMap::new();
+    for record in records {
+        match fold.fold(&record) {
+            FoldOutcome::Recorded => {
+                pos_by_index.insert(record.index, kept.len());
+                kept.push(record);
+            }
+            FoldOutcome::Replaced => match pos_by_index.get(&record.index) {
+                Some(&pos) => kept[pos] = record,
+                // The superseded failure lives in a carried base rollup,
+                // not in this record list — the superseding record is new
+                // here.
+                None => {
+                    pos_by_index.insert(record.index, kept.len());
+                    kept.push(record);
+                }
+            },
+            FoldOutcome::Skipped => {}
+        }
+    }
+    kept
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::RecordStatus;
 
     fn record(index: usize, verdict: &str, total_ms: f64) -> AppRecord {
         AppRecord {
             index,
+            seed: 0x5000 + index as u64,
             package: format!("com.gen.app{index:04}"),
             status: RecordStatus::Completed,
             verdict: verdict.to_owned(),
@@ -409,7 +504,10 @@ mod tests {
         assert_eq!(split.shards, 2);
         assert_eq!(split.suspicious, 3);
         assert_eq!(split.clean, 3);
+        assert_eq!(split.unknown, 0);
         assert_eq!(split.leaks, 3);
+        assert!(solo.records_complete && split.records_complete);
+        assert_eq!(split.tallied_apps(), 6);
         // Shard 0 holds the even indices: 1 + 3 + 5 ms modeled.
         assert!((split.per_shard[0].modeled_total_ns - 9e6).abs() < 1.0);
         assert!((split.per_shard[1].modeled_total_ns - 12e6).abs() < 1.0);
@@ -433,6 +531,7 @@ mod tests {
         let j = a.to_json();
         assert!(j.starts_with("{\"campaign\":{\"master_seed\":1,\"apps\":2,"));
         assert!(j.contains("\"suspicious\":1"));
+        assert!(j.contains("\"unknown\":0"));
         assert!(j.contains("\"digest\":\""));
         assert!(j.contains("\"app_model\":{\"count\":2"));
         assert!(a.render().contains("verdict digest"));
@@ -456,5 +555,59 @@ mod tests {
         assert_eq!(r.completed, 1);
         assert_eq!(r.quarantined, 1);
         assert_eq!(r.clean, 1);
+    }
+
+    #[test]
+    fn failed_records_are_superseded_and_unknown_verdicts_surface() {
+        // Index 2 fails, then completes on resume: the completion wins.
+        let mut failed = record(2, "-", 0.0);
+        failed.status = RecordStatus::Failed;
+        failed.report_fnv = 0;
+        let mut odd = record(3, "Malformed?", 1.0);
+        odd.leaks = 0;
+        let r = FleetReport::from_records(
+            0,
+            4,
+            0,
+            vec![vec![failed.clone(), record(2, "Clean", 2.0), odd]],
+        );
+        assert_eq!(r.failed, 0, "a superseded failure must not tally as failed");
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.clean, 1);
+        assert_eq!(r.unknown, 1, "an unrecognized verdict must surface, not bin as clean");
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[0].verdict, "Clean");
+        // A failure never superseded still tallies as failed.
+        let r2 = FleetReport::from_records(0, 1, 0, vec![vec![failed]]);
+        assert_eq!(r2.failed, 1);
+        assert_eq!(r2.tallied_apps(), 1);
+    }
+
+    #[test]
+    fn incremental_fold_matches_monolithic_byte_for_byte() {
+        // Split each shard's records at an arbitrary seal point: rollup +
+        // tail must produce the same JSON as the full record read.
+        let all: Vec<AppRecord> = (0..10)
+            .map(|i| record(i, if i % 3 == 0 { "Suspicious" } else { "Clean" }, (i + 1) as f64))
+            .collect();
+        let shard0: Vec<AppRecord> = all.iter().filter(|r| r.index % 2 == 0).cloned().collect();
+        let shard1: Vec<AppRecord> = all.iter().filter(|r| r.index % 2 == 1).cloned().collect();
+        let monolithic = FleetReport::from_records(3, 10, 8, vec![shard0.clone(), shard1.clone()]);
+        for cut in 0..=3 {
+            let seal = |records: &[AppRecord]| {
+                let mut fold = ShardFold::default();
+                for r in &records[..cut] {
+                    fold.fold(r);
+                }
+                // Round-trip through the serialized rollup, as a real
+                // sealed segment would.
+                let fold = ShardFold::parse_body(&fold.serialize_body()).unwrap();
+                (fold, records[cut..].to_vec())
+            };
+            let incremental = FleetReport::from_folds(3, 10, 8, vec![seal(&shard0), seal(&shard1)]);
+            assert!(!incremental.records_complete);
+            assert_eq!(incremental.tallied_apps(), 10);
+            assert_eq!(incremental.to_json(), monolithic.to_json(), "cut at {cut}");
+        }
     }
 }

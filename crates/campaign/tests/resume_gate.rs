@@ -1,8 +1,15 @@
 //! Campaign gates: kill/resume byte-identity and shard-layout
-//! invariance, driven through the public API over real (tiny) corpora.
+//! invariance, driven through the public API over real (tiny) corpora —
+//! plus the snapshot-mode gates (rotated journals, incremental folds,
+//! failed-record re-runs, and daily-delta campaigns).
 
-use gdroid_apk::GenConfig;
-use gdroid_campaign::{journal_path, run_campaign, CampaignConfig, CampaignError};
+use gdroid_apk::{Corpus, GenConfig};
+use gdroid_campaign::{
+    config_digest, effective_seed, journal_path, read_rotated_tail, read_shard_records,
+    run_campaign, segment_path, AppRecord, CampaignConfig, CampaignError, FleetReport, Journal,
+    JournalHeader, RecordStatus, SegmentedJournal, ShardFold, JOURNAL_VERSION,
+};
+use proptest::prelude::*;
 use std::path::PathBuf;
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -90,6 +97,194 @@ fn resume_under_a_different_profile_is_refused() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// A journal record with the campaign's terminal-failure shape, crafted
+/// through the public journal API so resume sees exactly what a crashed
+/// run would have left behind.
+fn stub_record(index: usize, status: RecordStatus, attempts: u32) -> AppRecord {
+    AppRecord {
+        index,
+        seed: 0,
+        package: format!("com.gen.app{index:04}"),
+        status,
+        verdict: "-".to_owned(),
+        leaks: 0,
+        report_fnv: 0,
+        envgen_ns: 0.0,
+        callgraph_ns: 0.0,
+        idfg_ns: 0.0,
+        taint_ns: 0.0,
+        nodes: 0,
+        rounds: 0,
+        sliced_micros: None,
+        attempts,
+    }
+}
+
+#[test]
+fn failed_records_rerun_on_resume_but_quarantined_stay_done() {
+    // Regression for the resume done-set bug: a journaled `Failed` record
+    // used to mark its app permanently done, so a transient host failure
+    // silently shrank every resumed campaign. Failed apps must re-run
+    // (their fresh record superseding the failure in the fold);
+    // quarantined apps — which exhausted their retries — must not.
+    let ref_dir = tmp_dir("failed-ref");
+    let reference = run_campaign(&tiny_campaign(ref_dir.clone(), 6, 1)).unwrap();
+
+    let dir = tmp_dir("failed-rerun");
+    let config = tiny_campaign(dir.clone(), 6, 1);
+    std::fs::create_dir_all(&dir).unwrap();
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        master_seed: config.master_seed,
+        apps: config.apps,
+        shards: config.shards,
+        shard: 0,
+        config_digest: config_digest(&config),
+        update_ppm: 0,
+        update_salt: 0,
+    };
+    {
+        let (mut journal, existing) =
+            Journal::open_or_create(&journal_path(&dir, 0), &header).unwrap();
+        assert!(existing.is_empty());
+        journal.append(&stub_record(2, RecordStatus::Failed, 1)).unwrap();
+        journal.append(&stub_record(4, RecordStatus::Quarantined, 3)).unwrap();
+    }
+
+    let outcome = run_campaign(&config).unwrap();
+    assert_eq!(outcome.resumed, 1, "only the quarantined app is done");
+    assert_eq!(outcome.executed, 5, "the failed app must be re-vetted");
+    assert_eq!(outcome.fleet.failed, 0, "the re-run record supersedes the failure");
+    assert_eq!(outcome.fleet.quarantined, 1);
+    assert_eq!(outcome.fleet.completed, 5);
+    // The superseding record carries the real verdict, byte-identical to
+    // the uninterrupted run's.
+    let verdict_of = |fleet: &FleetReport, index: usize| {
+        fleet.records.iter().find(|r| r.index == index).map(|r| r.verdict.clone()).unwrap()
+    };
+    assert_eq!(verdict_of(&outcome.fleet, 2), verdict_of(&reference.fleet, 2));
+
+    std::fs::remove_dir_all(ref_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn rotated_campaign(dir: PathBuf, apps: usize, shards: usize, rotate: usize) -> CampaignConfig {
+    CampaignConfig { rotate_records: Some(rotate), ..tiny_campaign(dir, apps, shards) }
+}
+
+#[test]
+fn rotated_campaign_folds_incrementally_and_survives_kills() {
+    // Uninterrupted non-rotated reference: rotation must never change a
+    // report byte.
+    let plain_dir = tmp_dir("rotate-plain");
+    let plain = run_campaign(&tiny_campaign(plain_dir.clone(), 10, 2)).unwrap();
+
+    let ref_dir = tmp_dir("rotate-ref");
+    let config = rotated_campaign(ref_dir.clone(), 10, 2, 3);
+    let reference = run_campaign(&config).unwrap();
+    assert!(segment_path(&ref_dir, 0, 1).exists(), "rotation must actually produce segments");
+    assert_eq!(reference.fleet.to_json(), plain.fleet.to_json());
+    // Incremental fold gate: the sealed-rollup fast path must be
+    // byte-identical to the monolithic re-read of every segment.
+    let mut all_records = Vec::new();
+    for shard in 0..config.shards {
+        all_records.push(read_shard_records(&ref_dir, shard).unwrap().1);
+    }
+    let monolithic = FleetReport::from_records(
+        config.master_seed,
+        config.apps,
+        config_digest(&config),
+        all_records,
+    );
+    assert_eq!(reference.fleet.to_json(), monolithic.to_json());
+
+    // Kill inside the unsealed tail: cut the newest segment mid-record.
+    let kill_dir = tmp_dir("rotate-kill-tail");
+    let kill_cfg = rotated_campaign(kill_dir.clone(), 10, 2, 3);
+    run_campaign(&kill_cfg).unwrap();
+    let mut newest = 0;
+    while segment_path(&kill_dir, 0, newest + 1).exists() {
+        newest += 1;
+    }
+    let tail = segment_path(&kill_dir, 0, newest);
+    let bytes = std::fs::read(&tail).unwrap();
+    std::fs::write(&tail, &bytes[..bytes.len().saturating_sub(40)]).unwrap();
+    let resumed = run_campaign(&kill_cfg).unwrap();
+    assert_eq!(resumed.fleet.to_json(), reference.fleet.to_json());
+
+    // Kill at a segment boundary: the newest segment vanishes entirely
+    // (crash between seal and successor creation, then the file lost);
+    // resume recreates it from the predecessor's sealed footer and
+    // re-vets exactly the lost records.
+    let lost = read_shard_records(&kill_dir, 0).unwrap().1.len();
+    std::fs::remove_file(segment_path(&kill_dir, 0, newest)).unwrap();
+    let survivors = read_shard_records(&kill_dir, 0).unwrap().1.len();
+    let resumed = run_campaign(&kill_cfg).unwrap();
+    assert!(resumed.executed >= lost - survivors);
+    assert_eq!(resumed.fleet.to_json(), reference.fleet.to_json());
+
+    // Kill inside the newest segment's header line: recreated from the
+    // predecessor footer, same outcome.
+    let mut newest = 0;
+    while segment_path(&kill_dir, 0, newest + 1).exists() {
+        newest += 1;
+    }
+    std::fs::write(segment_path(&kill_dir, 0, newest), b"gdroid-camp").unwrap();
+    let resumed = run_campaign(&kill_cfg).unwrap();
+    assert_eq!(resumed.fleet.to_json(), reference.fleet.to_json());
+
+    std::fs::remove_dir_all(plain_dir).ok();
+    std::fs::remove_dir_all(ref_dir).ok();
+    std::fs::remove_dir_all(kill_dir).ok();
+}
+
+#[test]
+fn delta_campaign_copies_unchanged_apps_and_revets_updates() {
+    let base_dir = tmp_dir("delta-base");
+    let base = run_campaign(&tiny_campaign(base_dir.clone(), 8, 1)).unwrap();
+
+    // No updates: every app's effective seed matches the base, so the
+    // whole campaign is a copy-forward and the report is byte-identical.
+    let same_dir = tmp_dir("delta-same");
+    let mut same_cfg = tiny_campaign(same_dir.clone(), 8, 1);
+    same_cfg.delta_base = Some(base_dir.clone());
+    let same = run_campaign(&same_cfg).unwrap();
+    assert_eq!(same.copied, 8);
+    assert_eq!(same.executed, 0);
+    assert_eq!(same.fleet.to_json(), base.fleet.to_json());
+    let delta = same.delta.expect("delta campaigns report their delta");
+    assert_eq!((delta.copied, delta.revetted, delta.added, delta.verdict_flips), (8, 0, 0, 0));
+
+    // A daily update perturbing some seeds: exactly the perturbed apps
+    // re-vet; the rest copy forward.
+    let corpus = Corpus { master_seed: same_cfg.master_seed, size: 8, config: GenConfig::tiny() };
+    let (salt, changed) = (0u64..256)
+        .map(|salt| {
+            let changed = (0..8)
+                .filter(|&i| effective_seed(&corpus, i, 400_000, salt) != corpus.seed_for(i))
+                .count();
+            (salt, changed)
+        })
+        .find(|&(_, changed)| (1..=7).contains(&changed))
+        .expect("some salt perturbs a strict subset of 8 apps");
+    let upd_dir = tmp_dir("delta-upd");
+    let mut upd_cfg = tiny_campaign(upd_dir.clone(), 8, 1);
+    upd_cfg.delta_base = Some(base_dir.clone());
+    upd_cfg.update_ppm = 400_000;
+    upd_cfg.update_salt = salt;
+    let upd = run_campaign(&upd_cfg).unwrap();
+    assert_eq!(upd.copied, 8 - changed);
+    assert_eq!(upd.executed, changed);
+    let delta = upd.delta.expect("delta campaigns report their delta");
+    assert_eq!((delta.copied, delta.revetted, delta.added), (8 - changed, changed, 0));
+    assert!(delta.verdict_flips <= changed);
+    assert_eq!(upd.fleet.completed, 8);
+
+    std::fs::remove_dir_all(base_dir).ok();
+    std::fs::remove_dir_all(same_dir).ok();
+    std::fs::remove_dir_all(upd_dir).ok();
+}
+
 #[test]
 fn targeted_campaign_records_slices_and_agrees_on_verdicts() {
     let full_dir = tmp_dir("targeted-full");
@@ -107,4 +302,123 @@ fn targeted_campaign_records_slices_and_agrees_on_verdicts() {
     assert_eq!(verdicts(&fast.fleet), verdicts(&full.fleet));
     std::fs::remove_dir_all(full_dir).ok();
     std::fs::remove_dir_all(fast_dir).ok();
+}
+
+/// Expands one sampled tuple into a full journal record. Timings step by
+/// 0.5 so the one-decimal journal formatting round-trips bit-exactly;
+/// everything else derives deterministically from the tuple.
+fn record_from(raw: &(usize, u8, u64, u32, u64)) -> AppRecord {
+    let &(index, status, mix, timing, nodes) = raw;
+    let status = match status {
+        0 => RecordStatus::Completed,
+        1 => RecordStatus::Failed,
+        _ => RecordStatus::Quarantined,
+    };
+    let verdict = if status == RecordStatus::Completed {
+        ["Benign", "Suspicious", "Suspicious(2)", "Odd?"][(mix % 4) as usize].to_owned()
+    } else {
+        "-".to_owned()
+    };
+    AppRecord {
+        index,
+        seed: 0xABC0 ^ index as u64,
+        package: format!("com.gen.app{index:04}"),
+        status,
+        verdict,
+        leaks: (mix % 5) as usize,
+        report_fnv: nodes.wrapping_mul(0x9E37_79B9),
+        envgen_ns: f64::from(timing) * 0.5,
+        callgraph_ns: f64::from(timing % 37) * 0.5,
+        idfg_ns: f64::from(timing % 11) * 0.5,
+        taint_ns: f64::from(timing % 53) * 0.5,
+        nodes,
+        rounds: nodes / 7,
+        sliced_micros: (mix % 3 == 0).then_some(mix * 1000),
+        attempts: 1 + (mix % 3) as u32,
+    }
+}
+
+fn proptest_header() -> JournalHeader {
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        master_seed: 0xDEAD,
+        apps: 30,
+        shards: 1,
+        shard: 0,
+        config_digest: 0xFEED,
+        update_ppm: 0,
+        update_salt: 0,
+    }
+}
+
+/// Fleet report of shard 0's rotated journal via the incremental
+/// (sealed-rollup + tail) path.
+fn incremental_report(dir: &std::path::Path) -> FleetReport {
+    let tail = read_rotated_tail(dir, 0).unwrap();
+    FleetReport::from_folds(0xDEAD, 30, 0xFEED, vec![tail])
+}
+
+/// Fleet report of the same journal via the monolithic every-segment
+/// re-read.
+fn monolithic_report(dir: &std::path::Path) -> FleetReport {
+    let records = read_shard_records(dir, 0).unwrap().1;
+    FleetReport::from_records(0xDEAD, 30, 0xFEED, vec![records])
+}
+
+proptest! {
+    /// Satellite gate: for random record sets, random rotation
+    /// thresholds, and a random kill point anywhere in the newest
+    /// segment (any boundary, torn tail, torn header, torn carried
+    /// rollup), the rotated incremental fold stays byte-identical to the
+    /// monolithic re-read — before the kill, and after recovery.
+    #[test]
+    fn rotated_fold_equals_monolithic_under_random_kills(
+        raw in proptest::collection::vec(
+            (0usize..30, 0u8..3, 0u64..4096, 0u32..100, 0u64..1000), 0..40),
+        rotate in 1usize..8,
+        case in 0u64..u64::MAX,
+        kill_pm in 0u64..1000,
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("gdroid-rotate-prop-{}-{case:016x}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = proptest_header();
+
+        let (mut journal, resumed) =
+            SegmentedJournal::open_or_create(&dir, 0, &header, rotate).unwrap();
+        prop_assert_eq!(resumed, ShardFold::default());
+        let mut expected = ShardFold::default();
+        for tuple in &raw {
+            let record = record_from(tuple);
+            journal.append(&record).unwrap();
+            expected.fold(&record);
+        }
+        prop_assert_eq!(journal.fold().serialize_body(), expected.serialize_body());
+        drop(journal);
+
+        // Incremental == monolithic on the intact journal.
+        prop_assert_eq!(incremental_report(&dir).to_json(), monolithic_report(&dir).to_json());
+
+        // Kill: chop the newest segment at a random byte offset, recover
+        // by reopening, and re-compare.
+        let mut newest = 0;
+        while segment_path(&dir, 0, newest + 1).exists() {
+            newest += 1;
+        }
+        let tail_path = segment_path(&dir, 0, newest);
+        let bytes = std::fs::read(&tail_path).unwrap();
+        let cut = (bytes.len() * kill_pm as usize) / 1000;
+        std::fs::write(&tail_path, &bytes[..cut]).unwrap();
+        let (journal, recovered) =
+            SegmentedJournal::open_or_create(&dir, 0, &header, rotate).unwrap();
+        drop(journal);
+        let incremental = incremental_report(&dir);
+        prop_assert_eq!(incremental.to_json(), monolithic_report(&dir).to_json());
+        // The recovered resume fold must describe exactly the surviving
+        // records (what the incremental report tallies).
+        prop_assert_eq!(recovered.apps(), incremental.tallied_apps());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

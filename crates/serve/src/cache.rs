@@ -139,6 +139,12 @@ pub struct ResultCache {
     inner: Mutex<CacheInner>,
 }
 
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache").finish_non_exhaustive()
+    }
+}
+
 impl Default for ResultCache {
     fn default() -> Self {
         Self::new()

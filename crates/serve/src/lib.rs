@@ -57,6 +57,7 @@ pub use cache::{
 pub use job::{CacheDisposition, JobResult, JobSource, JobSpec, JobStatus, Priority};
 pub use metrics::{
     Counters, CountersSnapshot, Histogram, HistogramSnapshot, ServiceMetrics, ServiceReport,
+    SourceStats,
 };
 pub use pool::{DeviceLease, DevicePool};
 pub use queue::{SubmitError, SubmitQueue};

@@ -56,11 +56,17 @@ impl Histogram {
         }
     }
 
+    /// The bucket index a sample lands in (bounds are inclusive upper
+    /// edges; the 17th bucket is overflow). Public so out-of-process
+    /// folds — the campaign journal rollup — can mirror the bucketing
+    /// exactly.
+    pub fn bucket_for(ns: u64) -> usize {
+        BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(BUCKET_BOUNDS_NS.len())
+    }
+
     /// Records one sample.
     pub fn record(&self, ns: u64) {
-        let bucket =
-            BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(BUCKET_BOUNDS_NS.len());
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[Histogram::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(ns, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(ns, Ordering::Relaxed);
@@ -220,6 +226,13 @@ pub struct Counters {
     /// Jobs executed under the persistent-kernel mode (one resident
     /// launch per app).
     pub persistent_jobs: AtomicU64,
+    /// Summary-store method hits attributable to this service's own
+    /// executions (service-local even when the store `Arc` is shared
+    /// across shards — the store's global stats can't say *who* hit).
+    pub store_hits: AtomicU64,
+    /// Summary-store method misses attributable to this service's own
+    /// executions.
+    pub store_misses: AtomicU64,
 }
 
 impl Counters {
@@ -250,6 +263,8 @@ impl Counters {
             rel_jobs: load(&self.rel_jobs),
             cpu_jobs: load(&self.cpu_jobs),
             persistent_jobs: load(&self.persistent_jobs),
+            store_hits: load(&self.store_hits),
+            store_misses: load(&self.store_misses),
         }
     }
 }
@@ -295,6 +310,10 @@ pub struct CountersSnapshot {
     pub cpu_jobs: u64,
     /// Jobs executed under the persistent-kernel mode.
     pub persistent_jobs: u64,
+    /// Summary-store hits from this service's own executions.
+    pub store_hits: u64,
+    /// Summary-store misses from this service's own executions.
+    pub store_misses: u64,
 }
 
 impl CountersSnapshot {
@@ -320,6 +339,8 @@ impl CountersSnapshot {
             rel_jobs: self.rel_jobs + other.rel_jobs,
             cpu_jobs: self.cpu_jobs + other.cpu_jobs,
             persistent_jobs: self.persistent_jobs + other.persistent_jobs,
+            store_hits: self.store_hits + other.store_hits,
+            store_misses: self.store_misses + other.store_misses,
         }
     }
 
@@ -330,7 +351,7 @@ impl CountersSnapshot {
              \"prepared\":{},\"executed\":{},\"retries\":{},\"faults\":{},\"timeouts\":{},\
              \"quarantined\":{},\"completed\":{},\"batches\":{},\"batched_jobs\":{},\
              \"targeted_jobs\":{},\"sliced_fraction_micros\":{},\"rel_jobs\":{},\"cpu_jobs\":{},\
-             \"persistent_jobs\":{}}}",
+             \"persistent_jobs\":{},\"store_hits\":{},\"store_misses\":{}}}",
             self.submitted,
             self.rejected,
             self.cache_hits,
@@ -349,6 +370,8 @@ impl CountersSnapshot {
             self.rel_jobs,
             self.cpu_jobs,
             self.persistent_jobs,
+            self.store_hits,
+            self.store_misses,
         )
     }
 }
@@ -390,9 +413,13 @@ impl ServiceMetrics {
         }
     }
 
-    /// Builds the machine-readable report.
+    /// Builds the machine-readable report. `label` names this service in
+    /// the report's per-source attribution (shards pass their shard
+    /// label, so a merged fleet report can still say which shard's jobs
+    /// hit the shared caches).
     pub fn report(
         &self,
+        label: &str,
         cache: CacheStats,
         sumstore: SumStoreStats,
         device_launches: u64,
@@ -401,8 +428,16 @@ impl ServiceMetrics {
         let wall_ns = self.started.elapsed().as_nanos() as u64;
         let counters = self.counters.snapshot();
         let (apps_per_sec, coresidency, mean_sliced_fraction) = derived_ratios(&counters, wall_ns);
+        let per_source = vec![SourceStats {
+            label: label.to_owned(),
+            cache_hits: counters.cache_hits,
+            cache_incremental: counters.cache_incremental,
+            store_hits: counters.store_hits,
+            store_misses: counters.store_misses,
+        }];
         ServiceReport {
             counters,
+            per_source,
             queue_wait: self.queue_wait.snapshot(),
             prep: self.prep.snapshot(),
             exec_wall: self.exec_wall.snapshot(),
@@ -438,11 +473,48 @@ fn derived_ratios(counters: &CountersSnapshot, wall_ns: u64) -> (f64, f64, f64) 
     (apps_per_sec, coresidency, mean_sliced_fraction)
 }
 
+/// Per-service attribution of shared-resource traffic. When several
+/// shard services share one result cache or summary store, the shared
+/// object's global stats can't say which shard benefited; each service
+/// contributes one entry of its own (service-local) hit counts, and
+/// [`ServiceReport::merge`] concatenates them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceStats {
+    /// The contributing service's label.
+    pub label: String,
+    /// Exact result-cache hits this service took.
+    pub cache_hits: u64,
+    /// Incremental warm-starts this service took.
+    pub cache_incremental: u64,
+    /// Summary-store method hits this service's executions took.
+    pub store_hits: u64,
+    /// Summary-store method misses this service's executions took.
+    pub store_misses: u64,
+}
+
+impl SourceStats {
+    fn to_json(&self) -> String {
+        debug_assert!(
+            !self.label.contains(['"', '\\']),
+            "source label {:?} needs JSON escaping",
+            self.label
+        );
+        format!(
+            "{{\"label\":\"{}\",\"cache_hits\":{},\"cache_incremental\":{},\"store_hits\":{},\
+             \"store_misses\":{}}}",
+            self.label, self.cache_hits, self.cache_incremental, self.store_hits, self.store_misses
+        )
+    }
+}
+
 /// The machine-readable service summary (`--json` / `BENCH_serve.json`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceReport {
     /// Event counters.
     pub counters: CountersSnapshot,
+    /// Per-contributing-service attribution (one entry per merged
+    /// service, in merge order).
+    pub per_source: Vec<SourceStats>,
     /// Queue-wait latency.
     pub queue_wait: HistogramSnapshot,
     /// Prep-stage latency.
@@ -483,8 +555,11 @@ impl ServiceReport {
         let counters = self.counters.merge(&other.counters);
         let wall_ns = self.wall_ns.max(other.wall_ns);
         let (apps_per_sec, coresidency, mean_sliced_fraction) = derived_ratios(&counters, wall_ns);
+        let mut per_source = self.per_source.clone();
+        per_source.extend(other.per_source.iter().cloned());
         ServiceReport {
             counters,
+            per_source,
             queue_wait: self.queue_wait.merge(&other.queue_wait),
             prep: self.prep.merge(&other.prep),
             exec_wall: self.exec_wall.merge(&other.exec_wall),
@@ -508,13 +583,16 @@ impl ServiceReport {
 
     /// JSON rendering.
     pub fn to_json(&self) -> String {
+        let per_source =
+            self.per_source.iter().map(SourceStats::to_json).collect::<Vec<_>>().join(",");
         format!(
-            "{{\"counters\":{},\"latency\":{{\"queue_wait\":{},\"prep\":{},\"exec_wall\":{},\
-             \"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\
-             \"invalidations\":{},\"insertions\":{}}},\"sumstore\":{},\"wall_ns\":{},\
+            "{{\"counters\":{},\"per_source\":[{}],\"latency\":{{\"queue_wait\":{},\"prep\":{},\
+             \"exec_wall\":{},\"kernel_model\":{},\"taint_model\":{}}},\"cache\":{{\"hits\":{},\
+             \"misses\":{},\"invalidations\":{},\"insertions\":{}}},\"sumstore\":{},\"wall_ns\":{},\
              \"apps_per_sec\":{:.3},\"coresidency\":{:.3},\"mean_sliced_fraction\":{:.6},\
              \"device_launches\":{},\"device_faults\":{}}}",
             self.counters.to_json(),
+            per_source,
             self.queue_wait.to_json(),
             self.prep.to_json(),
             self.exec_wall.to_json(),
@@ -636,16 +714,24 @@ mod tests {
         }
         let cache = |h, m| CacheStats { hits: h, misses: m, invalidations: 0, insertions: m };
         let sum = |h, m| SumStoreStats { hits: h, misses: m, insertions: m, reloc_failures: 0 };
-        let mut expect = whole.report(cache(6, 2), sum(8, 2), 10, 1);
-        let mut merged = parts[0].report(cache(2, 1), sum(3, 1), 4, 0).merge(&parts[1].report(
-            cache(4, 1),
-            sum(5, 1),
-            6,
-            1,
-        ));
+        let mut expect = whole.report("whole", cache(6, 2), sum(8, 2), 10, 1);
+        let mut merged = parts[0]
+            .report("shard-0", cache(2, 1), sum(3, 1), 4, 0)
+            .merge(&parts[1].report("shard-1", cache(4, 1), sum(5, 1), 6, 1));
+        // Per-source attribution is one entry per contributing service —
+        // by construction different between the whole and the split — so
+        // it is checked structurally and cleared before the byte compare.
+        assert_eq!(merged.per_source.len(), 2);
+        assert_eq!(merged.per_source[0].label, "shard-0");
+        assert_eq!(merged.per_source[1].label, "shard-1");
+        assert_eq!(
+            merged.per_source[0].cache_hits + merged.per_source[1].cache_hits,
+            expect.per_source[0].cache_hits
+        );
         for r in [&mut expect, &mut merged] {
             r.wall_ns = 1_000_000;
             r.apps_per_sec = 0.0;
+            r.per_source.clear();
         }
         assert_eq!(merged.to_json(), expect.to_json());
         assert!(merged.mean_sliced_fraction > 0.0 && merged.mean_sliced_fraction < 1.0);
@@ -655,11 +741,14 @@ mod tests {
     fn report_json_is_wellformed() {
         let m = ServiceMetrics::new();
         Counters::bump(&m.counters.completed);
+        Counters::bump(&m.counters.store_hits);
         m.exec_wall.record(1_000);
-        let r = m.report(CacheStats::default(), SumStoreStats::default(), 3, 1);
+        let r = m.report("service", CacheStats::default(), SumStoreStats::default(), 3, 1);
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"completed\":1"));
+        assert!(j.contains("\"store_hits\":1"));
+        assert!(j.contains("\"per_source\":[{\"label\":\"service\",\"cache_hits\":0,"));
         assert!(j.contains("\"device_faults\":1"));
         assert!(j.contains("\"apps_per_sec\":"));
         assert!(j.contains("\"targeted_jobs\":0"));

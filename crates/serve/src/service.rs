@@ -38,7 +38,7 @@ use gdroid_vetting::{
     execute_vetting_engine_targeted_on_device_with_store_mode, execute_vetting_incremental,
     execute_vetting_on_device, execute_vetting_on_device_with_store,
     execute_vetting_targeted_on_device, execute_vetting_targeted_on_device_with_store,
-    prepare_vetting, PreparedApp, VettingRun,
+    prepare_vetting, PreparedApp, StoreUse, VettingRun,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,6 +48,10 @@ use std::time::{Duration, Instant};
 /// Tunables of a [`VettingService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
+    /// Label naming this service in the report's per-source attribution
+    /// (campaign shards pass `shard-<s>` so merged fleet reports keep
+    /// per-shard hit counts even when the caches themselves are shared).
+    pub label: String,
     /// Host-side prep worker threads (K).
     pub prep_workers: usize,
     /// Simulated devices and executor threads (D).
@@ -72,6 +76,11 @@ pub struct ServiceConfig {
     /// runs pre-solve store-hit methods and feed fresh summaries back;
     /// `None` disables the store entirely.
     pub sumstore: Option<Arc<SumStore>>,
+    /// Optional externally shared result cache. Campaign shards hand the
+    /// same `Arc` to every shard service so one shard's completed app
+    /// serves another's duplicate; `None` gives the service a private
+    /// cache (the default, and the previous behavior).
+    pub result_cache: Option<Arc<ResultCache>>,
     /// Co-residency degree: an executor that pops a job tops the device
     /// up with up to `coresident - 1` further ready jobs whose combined
     /// block demand fits the device's block slots, and runs the group as
@@ -100,6 +109,7 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
+            label: "service".to_owned(),
             prep_workers: 2,
             devices: 2,
             queue_capacity: 64,
@@ -110,6 +120,7 @@ impl Default for ServiceConfig {
             device_config: DeviceConfig::tesla_p40(),
             opt: OptConfig::gdroid(),
             sumstore: None,
+            result_cache: None,
             coresident: 1,
             engine: EngineKind::Worklist,
             exec: ExecMode::MultiLaunch,
@@ -118,8 +129,9 @@ impl Default for ServiceConfig {
 }
 
 struct ServiceState {
+    label: String,
     dispatch: DispatchHeap,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
     metrics: ServiceMetrics,
     pool: DevicePool,
     results: Mutex<Vec<JobResult>>,
@@ -166,8 +178,9 @@ impl VettingService {
         };
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity.max(1)));
         let state = Arc::new(ServiceState {
+            label: config.label,
             dispatch: DispatchHeap::new(dispatch_capacity),
-            cache: ResultCache::new(),
+            cache: config.result_cache.unwrap_or_else(|| Arc::new(ResultCache::new())),
             metrics: ServiceMetrics::new(),
             pool: DevicePool::new(config.devices, config.device_config, config.fault_plan),
             results: Mutex::new(Vec::new()),
@@ -307,6 +320,7 @@ impl VettingService {
             h.join().expect("executor panicked");
         }
         let report = self.state.metrics.report(
+            &self.state.label,
             self.state.cache.stats(),
             self.state.sumstore.as_ref().map(|s| s.stats()).unwrap_or_default(),
             self.state.pool.total_launches(),
@@ -545,20 +559,34 @@ fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
     // store rather than fault; targeted dispatch was already routed to a
     // slicing-capable engine at submission.
     let store = state.sumstore.as_deref().filter(|_| job.engine.caps().sumstore);
+    // Store-backed runs report which methods *this* execution hit; the
+    // counters keep that attribution service-local, because the store's
+    // own global stats can't when the store Arc is shared across shards.
+    let account = |used: StoreUse| {
+        state.metrics.counters.store_hits.fetch_add(used.hits, Ordering::Relaxed);
+        state.metrics.counters.store_misses.fetch_add(used.misses, Ordering::Relaxed);
+    };
     // Multi-launch worklist jobs keep the legacy opt-configurable path;
     // everything else (other engines, persistent execution) goes through
     // the engine dispatch layer, which owns the exec-mode plumbing.
     let attempt = match (job.engine, job.exec, job.targeted, store) {
         (EngineKind::Worklist, ExecMode::MultiLaunch, true, Some(store)) => {
             execute_vetting_targeted_on_device_with_store(&job.prep, &mut lease, state.opt, store)
-                .map(|(run, _)| run)
+                .map(|(run, used)| {
+                    account(used);
+                    run
+                })
         }
         (EngineKind::Worklist, ExecMode::MultiLaunch, true, None) => {
             execute_vetting_targeted_on_device(&job.prep, &mut lease, state.opt)
         }
         (EngineKind::Worklist, ExecMode::MultiLaunch, false, Some(store)) => {
-            execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store)
-                .map(|(run, _)| run)
+            execute_vetting_on_device_with_store(&job.prep, &mut lease, state.opt, store).map(
+                |(run, used)| {
+                    account(used);
+                    run
+                },
+            )
         }
         (EngineKind::Worklist, ExecMode::MultiLaunch, false, None) => {
             execute_vetting_on_device(&job.prep, &mut lease, state.opt)
@@ -567,7 +595,10 @@ fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
             execute_vetting_engine_targeted_on_device_with_store_mode(
                 &job.prep, &mut lease, engine, store, exec,
             )
-            .map(|(run, _)| run)
+            .map(|(run, used)| {
+                account(used);
+                run
+            })
         }
         (engine, exec, true, None) => {
             execute_vetting_engine_targeted_on_device_mode(&job.prep, &mut lease, engine, exec)
@@ -575,7 +606,10 @@ fn exec_solo(state: &ServiceState, mut job: ReadyJob) {
         (engine, exec, false, Some(store)) => execute_vetting_engine_on_device_with_store_mode(
             &job.prep, &mut lease, engine, store, exec,
         )
-        .map(|(run, _)| run),
+        .map(|(run, used)| {
+            account(used);
+            run
+        }),
         (engine, exec, false, None) => {
             execute_vetting_engine_on_device_mode(&job.prep, &mut lease, engine, exec)
         }
@@ -819,8 +853,58 @@ mod tests {
         assert!(report.sumstore.insertions > 0);
         assert!(report.sumstore.hits > 0, "shared-library corpus must hit the store");
         assert_eq!(report.sumstore.hits, store.stats().hits);
+        // Service-local attribution must agree with the store's own view
+        // when this service is the store's only client.
+        assert_eq!(report.counters.store_hits, store.stats().hits);
+        assert_eq!(report.counters.store_misses, store.stats().misses);
+        assert_eq!(report.per_source.len(), 1);
+        assert_eq!(report.per_source[0].store_hits, store.stats().hits);
         let j = report.to_json();
         assert!(j.contains("\"cache\":{") && j.contains("\"sumstore\":{\"hits\":"));
+    }
+
+    #[test]
+    fn shared_result_cache_serves_hits_across_services() {
+        // Two sequential services sharing one cache Arc: the second must
+        // be served the first's completed apps without executing, and the
+        // attribution must say so per service.
+        let cache = Arc::new(ResultCache::new());
+        let first = VettingService::start(ServiceConfig {
+            label: "first".to_owned(),
+            prep_workers: 1,
+            devices: 1,
+            result_cache: Some(Arc::clone(&cache)),
+            ..ServiceConfig::default()
+        });
+        for seed in 0..3u64 {
+            first.submit(Priority::Standard, seed_source(seed as usize, 5800 + seed)).unwrap();
+        }
+        let (first_report, first_results) = first.drain();
+        assert_eq!(first_report.counters.cache_hits, 0);
+        let second = VettingService::start(ServiceConfig {
+            label: "second".to_owned(),
+            prep_workers: 1,
+            devices: 1,
+            result_cache: Some(Arc::clone(&cache)),
+            ..ServiceConfig::default()
+        });
+        for seed in 0..3u64 {
+            second.submit(Priority::Standard, seed_source(seed as usize, 5800 + seed)).unwrap();
+        }
+        let (second_report, second_results) = second.drain();
+        assert_eq!(second_report.counters.cache_hits, 3, "shared cache must serve every app");
+        assert_eq!(second_report.counters.executed, 0);
+        for (a, b) in first_results.iter().zip(&second_results) {
+            assert_eq!(
+                a.outcome.as_ref().map(|o| o.report.to_json()),
+                b.outcome.as_ref().map(|o| o.report.to_json()),
+                "cached outcome diverged across services"
+            );
+        }
+        let merged = first_report.merge(&second_report);
+        assert_eq!(merged.per_source.len(), 2);
+        assert_eq!(merged.per_source[0].label, "first");
+        assert_eq!(merged.per_source[1].cache_hits, 3);
     }
 
     #[test]
@@ -938,8 +1022,9 @@ mod tests {
         // race), so batching MUST happen — and every batched result must
         // still match the engine reference bit for bit.
         let state = ServiceState {
+            label: "test".to_owned(),
             dispatch: DispatchHeap::new(8),
-            cache: ResultCache::new(),
+            cache: Arc::new(ResultCache::new()),
             metrics: ServiceMetrics::new(),
             pool: DevicePool::new(1, DeviceConfig::tesla_p40(), None),
             results: Mutex::new(Vec::new()),

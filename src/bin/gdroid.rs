@@ -145,6 +145,7 @@ fn usage() -> ! {
          gdroid campaign --apps N [--shards S] [--seed X] [--workers K] [--devices D] \
          [--coresident C] [--engine worklist|rel|cpu] [--exec multi|persistent] [--targeted] \
          [--sumstore] [--scale F] \
+         [--snapshot] [--rotate N] [--shared-store] [--delta DIR] [--updates PPM[:SALT]] \
          [--journal-dir DIR] [--out FILE] [--verdicts FILE] [--trace-dir DIR] [--fresh] [--json]"
     );
     exit(2)
@@ -826,6 +827,26 @@ fn main() {
                     .unwrap_or_else(|| usage()),
                 None => gdroid::apk::PAPER_MASTER_SEED,
             };
+            // Snapshot mode: `--snapshot` turns on journal rotation at the
+            // default segment size; `--rotate N` picks the size (and
+            // implies snapshot mode).
+            let rotate_records = match flag_value(&args, "--rotate") {
+                Some(n) => Some(n.max(1)),
+                None => args.iter().any(|a| a == "--snapshot").then_some(256),
+            };
+            let (update_ppm, update_salt) = match flag_str(&args, "--updates") {
+                None => (0, 0),
+                Some(spec) => {
+                    let (ppm, salt) = match spec.split_once(':') {
+                        Some((p, s)) => (p.parse().ok(), s.parse().ok()),
+                        None => (spec.parse().ok(), Some(0)),
+                    };
+                    match (ppm, salt) {
+                        (Some(p), Some(s)) => (p, s),
+                        _ => usage(),
+                    }
+                }
+            };
             let config = gdroid::campaign::CampaignConfig {
                 apps,
                 shards,
@@ -840,6 +861,11 @@ fn main() {
                 engine: service_engine(&args),
                 exec: service_exec(&args),
                 trace_dir: flag_str(&args, "--trace-dir").map(Into::into),
+                rotate_records,
+                shared_stores: args.iter().any(|a| a == "--shared-store"),
+                delta_base: flag_str(&args, "--delta").map(Into::into),
+                update_ppm,
+                update_salt,
             };
             let started = std::time::Instant::now();
             let outcome = gdroid::campaign::run_campaign(&config).unwrap_or_else(|e| {
@@ -855,14 +881,50 @@ fn main() {
                 eprintln!("wrote fleet report to {path}");
             }
             if let Some(path) = flag_str(&args, "--verdicts") {
-                std::fs::write(path, fleet.verdict_lines()).unwrap_or_else(|e| {
+                // Rotated journals fold incrementally, so the in-memory
+                // report only holds the unsealed tails; per-app verdict
+                // lines need the one monolithic re-read.
+                let lines = if config.rotate_records.is_some() {
+                    let mut shard_records = Vec::with_capacity(config.shards);
+                    for shard in 0..config.shards {
+                        let (_, records) = gdroid::campaign::read_shard_records(
+                            std::path::Path::new(journal_dir),
+                            shard,
+                        )
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot re-read journals: {e}");
+                            exit(1)
+                        });
+                        shard_records.push(records);
+                    }
+                    gdroid::campaign::FleetReport::from_records(
+                        config.master_seed,
+                        config.apps,
+                        gdroid::campaign::config_digest(&config),
+                        shard_records,
+                    )
+                    .verdict_lines()
+                } else {
+                    fleet.verdict_lines()
+                };
+                std::fs::write(path, lines).unwrap_or_else(|e| {
                     eprintln!("cannot write {path}: {e}");
                     exit(1)
                 });
                 eprintln!("wrote verdict lines to {path}");
             }
             if args.iter().any(|a| a == "--json") {
-                println!("{}", fleet.to_json());
+                // One JSON document: a delta campaign splices its delta
+                // report into the fleet object rather than printing a
+                // second line.
+                match &outcome.delta {
+                    Some(delta) => {
+                        let fleet_json = fleet.to_json();
+                        let body = fleet_json.strip_suffix('}').unwrap_or(&fleet_json);
+                        println!("{body},\"delta\":{}}}", delta.to_json());
+                    }
+                    None => println!("{}", fleet.to_json()),
+                }
             } else {
                 print!("{}", fleet.render());
             }
@@ -870,16 +932,24 @@ fn main() {
             // the canonical report: it varies with resume and scheduling.
             let wall = started.elapsed().as_secs_f64();
             eprintln!(
-                "this run: {} executed, {} resumed from journal | wall {:.2} s \
-                 ({:.1} apps/s live) | {} cache hits, {} sumstore hits, {} device faults",
+                "this run: {} executed, {} resumed from journal, {} copied from delta base | \
+                 wall {:.2} s ({:.1} apps/s live) | {} cache hits, {} sumstore hits, \
+                 {} device faults",
                 outcome.executed,
                 outcome.resumed,
+                outcome.copied,
                 wall,
                 if wall > 0.0 { outcome.executed as f64 / wall } else { 0.0 },
                 outcome.service.cache.hits,
                 outcome.service.sumstore.hits,
                 outcome.service.device_faults,
             );
+            if let Some(delta) = &outcome.delta {
+                eprintln!(
+                    "delta vs base: {} copied, {} re-vetted, {} added, {} verdict flip(s)",
+                    delta.copied, delta.revetted, delta.added, delta.verdict_flips
+                );
+            }
             if fleet.quarantined + fleet.failed > 0 {
                 eprintln!(
                     "{} quarantined, {} failed app(s) — see journals under {journal_dir}",
@@ -887,8 +957,8 @@ fn main() {
                 );
                 exit(1);
             }
-            if fleet.records.len() != apps {
-                eprintln!("expected {} records, journals hold {}", apps, fleet.records.len());
+            if fleet.tallied_apps() != apps {
+                eprintln!("expected {} apps, journals tally {}", apps, fleet.tallied_apps());
                 exit(1);
             }
         }
